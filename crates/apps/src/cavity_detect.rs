@@ -1,0 +1,157 @@
+//! Cavity detection in medical images — the classic DTSE demonstrator.
+//!
+//! Four passes over the image, each producing a temporary consumed by the
+//! next: Gaussian blur (horizontal then vertical), gradient magnitude
+//! ("compute edges"), and max-thresholding. The row-window reuse (each
+//! vertical filter re-reads a 3-row band that slides one row per
+//! iteration) and the pass-to-pass temporaries are what MHLA exploits.
+
+use mhla_ir::{ElemType, Program, ProgramBuilder};
+
+use crate::{Application, Domain};
+
+/// Kernel dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Params {
+    /// Image width in pixels.
+    pub width: u64,
+    /// Image height in pixels.
+    pub height: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 320,
+            height: 240,
+        }
+    }
+}
+
+/// Builds the kernel.
+///
+/// # Panics
+///
+/// Panics if the image is smaller than the 3-pixel filter support.
+pub fn program(p: Params) -> Program {
+    assert!(p.width >= 3 && p.height >= 3, "image below filter support");
+    let (w, h) = (p.width as i64, p.height as i64);
+
+    let mut b = ProgramBuilder::new("cavity_detect");
+    let img = b.array("img", &[p.height, p.width], ElemType::U8);
+    let gauss_h = b.array("gauss_h", &[p.height, p.width], ElemType::U8);
+    let gauss = b.array("gauss", &[p.height, p.width], ElemType::U8);
+    let edge = b.array("edge", &[p.height, p.width], ElemType::U8);
+    let out = b.array("label", &[p.height, p.width], ElemType::U8);
+
+    // Pass 1: horizontal 1x3 blur.
+    let l1y = b.begin_loop("hy", 0, h, 1);
+    let l1x = b.begin_loop("hx", 1, w - 1, 1);
+    let (y, x) = (b.var(l1y), b.var(l1x));
+    b.stmt("blur_h")
+        .read(img, vec![y.clone(), x.clone() - 1])
+        .read(img, vec![y.clone(), x.clone()])
+        .read(img, vec![y.clone(), x.clone() + 1])
+        .write(gauss_h, vec![y, x])
+        .compute_cycles(6)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+
+    // Pass 2: vertical 3x1 blur (sliding 3-row band of gauss_h).
+    let l2y = b.begin_loop("vy", 1, h - 1, 1);
+    let l2x = b.begin_loop("vx", 0, w, 1);
+    let (y, x) = (b.var(l2y), b.var(l2x));
+    b.stmt("blur_v")
+        .read(gauss_h, vec![y.clone() - 1, x.clone()])
+        .read(gauss_h, vec![y.clone(), x.clone()])
+        .read(gauss_h, vec![y.clone() + 1, x.clone()])
+        .write(gauss, vec![y, x])
+        .compute_cycles(6)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+
+    // Pass 3: gradient magnitude over a 3x3 neighbourhood.
+    let l3y = b.begin_loop("gy", 1, h - 1, 1);
+    let l3x = b.begin_loop("gx", 1, w - 1, 1);
+    let (y, x) = (b.var(l3y), b.var(l3x));
+    b.stmt("gradient")
+        .read(gauss, vec![y.clone() - 1, x.clone()])
+        .read(gauss, vec![y.clone() + 1, x.clone()])
+        .read(gauss, vec![y.clone(), x.clone() - 1])
+        .read(gauss, vec![y.clone(), x.clone() + 1])
+        .write(edge, vec![y, x])
+        .compute_cycles(8)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+
+    // Pass 4: adaptive threshold against a sliding row maximum.
+    let l4y = b.begin_loop("ty", 0, h, 1);
+    let l4x = b.begin_loop("tx", 0, w, 1);
+    let (y, x) = (b.var(l4y), b.var(l4x));
+    b.stmt("threshold")
+        .read(edge, vec![y.clone(), x.clone()])
+        .write(out, vec![y, x])
+        .compute_cycles(4)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+    b.finish()
+}
+
+/// The application at default (QVGA) size.
+pub fn app() -> Application {
+    Application {
+        program: program(Params::default()),
+        domain: Domain::ImageProcessing,
+        default_scratchpad: 8 * 1024,
+        description: "cavity detection: blur, gradient, threshold passes, QVGA",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_temporaries_are_internal() {
+        let prog = program(Params::default());
+        let classes = mhla_core::classify_arrays(&prog, &[]);
+        for name in ["gauss_h", "gauss", "edge"] {
+            let a = prog.array_by_name(name).unwrap();
+            assert_eq!(classes[a.index()], mhla_core::ArrayClass::Internal, "{name}");
+        }
+    }
+
+    #[test]
+    fn vertical_blur_band_slides_one_row() {
+        let prog = program(Params::default());
+        let reuse = mhla_reuse::ReuseAnalysis::analyze(&prog);
+        let gauss_h = prog.array_by_name("gauss_h").unwrap();
+        let vy = prog
+            .loops()
+            .find(|(_, l)| l.name == "vy")
+            .map(|(id, _)| id)
+            .unwrap();
+        let cc = reuse.array(gauss_h).at(vy).unwrap();
+        assert_eq!(cc.footprint.widths, vec![3, 320], "3-row band");
+        assert_eq!(cc.footprint.shifts, vec![1, 0]);
+        assert_eq!(cc.footprint.delta_elements(), 320, "one new row per step");
+        assert!(cc.transfers_delta < cc.transfers_full / 2);
+    }
+
+    #[test]
+    fn each_pass_reads_the_previous_output() {
+        let prog = program(Params::default());
+        let info = prog.info();
+        let gauss = prog.array_by_name("gauss").unwrap();
+        let c = info.access_counts(gauss);
+        assert!(c.reads > 0 && c.writes > 0);
+        let tl = prog.timeline();
+        // gauss is written (pass 2) before it is read (pass 3).
+        let span = tl.array_span(gauss).unwrap();
+        assert!(span.len() > 0);
+    }
+}

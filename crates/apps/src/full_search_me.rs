@@ -1,0 +1,180 @@
+//! Full-search block-matching motion estimation (QCIF).
+//!
+//! The classic MHLA showcase: for every 16×16 macroblock of the current
+//! frame, all displacements in a ±`search` window of the previous frame are
+//! evaluated with a sum-of-absolute-differences kernel. Reuse structure:
+//!
+//! * the current macroblock (256 B) is re-read for every displacement —
+//!   a copy at the macroblock loop serves `(2·search+1)²` scans;
+//! * the search window of the previous frame slides macroblock by
+//!   macroblock — a copy at the macroblock loop with sliding-window updates
+//!   transfers only the newly exposed columns.
+
+use mhla_ir::{ElemType, Program, ProgramBuilder};
+
+use crate::{Application, Domain};
+
+/// Kernel dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Params {
+    /// Frame width in pixels.
+    pub width: u64,
+    /// Frame height in pixels.
+    pub height: u64,
+    /// Macroblock edge (16 for MPEG-class codecs).
+    pub block: u64,
+    /// Search radius; the window spans `2·search + 1` displacements.
+    pub search: u64,
+}
+
+impl Default for Params {
+    /// QCIF luma with the paper-era ±8 search range.
+    fn default() -> Self {
+        Params {
+            width: 176,
+            height: 144,
+            block: 16,
+            search: 8,
+        }
+    }
+}
+
+/// Builds the kernel for the given dimensions.
+///
+/// # Panics
+///
+/// Panics if the frame is not a whole number of blocks.
+pub fn program(p: Params) -> Program {
+    assert!(
+        p.width % p.block == 0 && p.height % p.block == 0,
+        "frame must be a whole number of blocks"
+    );
+    let mb_x = p.width / p.block;
+    let mb_y = p.height / p.block;
+    let window = 2 * p.search + 1;
+
+    let mut b = ProgramBuilder::new("full_search_me");
+    let cur = b.array("cur", &[p.height, p.width], ElemType::U8);
+    // Previous frame padded by `search` on every side so subscripts stay
+    // non-negative (halo border, standard for search-window kernels).
+    let prev = b.array(
+        "prev",
+        &[p.height + 2 * p.search, p.width + 2 * p.search],
+        ElemType::U8,
+    );
+    let mv = b.array("mv", &[mb_y, mb_x, 2], ElemType::I16);
+
+    let lmy = b.begin_loop("mby", 0, mb_y as i64, 1);
+    let lmx = b.begin_loop("mbx", 0, mb_x as i64, 1);
+    let ldy = b.begin_loop("dy", 0, window as i64, 1);
+    let ldx = b.begin_loop("dx", 0, window as i64, 1);
+    let ly = b.begin_loop("y", 0, p.block as i64, 1);
+    let lx = b.begin_loop("x", 0, p.block as i64, 1);
+    let (mby, mbx, dy, dx, y, x) = (
+        b.var(lmy),
+        b.var(lmx),
+        b.var(ldy),
+        b.var(ldx),
+        b.var(ly),
+        b.var(lx),
+    );
+    let blk = p.block as i64;
+    b.stmt("sad")
+        .read(cur, vec![mby.clone() * blk + y.clone(), mbx.clone() * blk + x.clone()])
+        .read(prev, vec![mby.clone() * blk + dy + y, mbx.clone() * blk + dx + x])
+        .compute_cycles(8) // abs-diff, compare, accumulate, addressing
+        .finish();
+    b.end_loop(); // x
+    b.end_loop(); // y
+    b.end_loop(); // dx
+    b.end_loop(); // dy
+    let (zero, one) = (mhla_ir::AffineExpr::zero(), mhla_ir::AffineExpr::constant_expr(1));
+    b.stmt("best")
+        .write(mv, vec![mby.clone(), mbx.clone(), zero])
+        .write(mv, vec![mby, mbx, one])
+        .compute_cycles(8)
+        .finish();
+    b.end_loop(); // mbx
+    b.end_loop(); // mby
+    b.finish()
+}
+
+/// The application at default (QCIF, ±8) size.
+pub fn app() -> Application {
+    Application {
+        program: program(Params::default()),
+        domain: Domain::MotionEstimation,
+        // Search window (31+16)·(31+16) ≈ 2.2 KiB with double buffering.
+        default_scratchpad: 16 * 1024,
+        description: "full-search block-matching motion estimation, QCIF, ±8 window",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhla_ir::AccessKind;
+
+    #[test]
+    fn access_counts_match_the_nest() {
+        let p = Params {
+            width: 32,
+            height: 32,
+            block: 16,
+            search: 2,
+        };
+        let prog = program(p);
+        let info = prog.info();
+        let cur = prog.array_by_name("cur").unwrap();
+        let prev = prog.array_by_name("prev").unwrap();
+        let sad_execs = 4 * 5 * 5 * 256; // 4 MBs × 25 displacements × 256 px
+        assert_eq!(info.access_count(cur, AccessKind::Read), sad_execs);
+        assert_eq!(info.access_count(prev, AccessKind::Read), sad_execs);
+        let mv = prog.array_by_name("mv").unwrap();
+        assert_eq!(info.access_count(mv, AccessKind::Write), 2 * 4);
+    }
+
+    #[test]
+    fn current_block_candidate_is_one_macroblock() {
+        let prog = program(Params::default());
+        let reuse = mhla_reuse::ReuseAnalysis::analyze(&prog);
+        let cur = prog.array_by_name("cur").unwrap();
+        // The candidate at the dx loop (one displacement's reads of cur) is
+        // exactly one 16×16 macroblock and never slides with dx.
+        let mbx_loop = prog
+            .loops()
+            .find(|(_, l)| l.name == "dx")
+            .map(|(id, _)| id)
+            .unwrap();
+        let cc = reuse.array(cur).at(mbx_loop).unwrap();
+        assert_eq!(cc.footprint.widths, vec![16, 16]);
+        assert_eq!(cc.footprint.delta_elements(), 0, "block ignores dx");
+    }
+
+    #[test]
+    fn search_window_slides_by_one_block_column() {
+        let prog = program(Params::default());
+        let reuse = mhla_reuse::ReuseAnalysis::analyze(&prog);
+        let prev = prog.array_by_name("prev").unwrap();
+        let mbx_loop = prog
+            .loops()
+            .find(|(_, l)| l.name == "mbx")
+            .map(|(id, _)| id)
+            .unwrap();
+        let cc = reuse.array(prev).at(mbx_loop).unwrap();
+        // Window = (16+16) rows × (16+16) cols around each macroblock.
+        assert_eq!(cc.footprint.widths, vec![32, 32]);
+        assert_eq!(cc.footprint.shifts, vec![0, 16]);
+        // Sliding update halves the refill volume.
+        assert!(cc.transfers_delta < cc.transfers_full);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn rejects_fractional_blocks() {
+        let _ = program(Params {
+            width: 30,
+            ..Params::default()
+        });
+    }
+}

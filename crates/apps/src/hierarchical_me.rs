@@ -1,0 +1,191 @@
+//! Three-level hierarchical motion estimation (QSDPCM-style).
+//!
+//! The QSDPCM video coder — a standard DTSE/MHLA benchmark — estimates
+//! motion on a 4:1 subsampled frame first, refines on a 2:1 subsampled
+//! frame, and finishes at full resolution with a small window. The
+//! subsampled frames are *internal temporaries* (produced by the kernel
+//! itself), so MHLA can home them on-chip outright instead of copying.
+
+use mhla_ir::{AffineExpr, ElemType, Program, ProgramBuilder};
+
+use crate::{Application, Domain};
+
+/// Kernel dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Params {
+    /// Frame width (full resolution).
+    pub width: u64,
+    /// Frame height (full resolution).
+    pub height: u64,
+    /// Block edge at full resolution.
+    pub block: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 176,
+            height: 144,
+            block: 16,
+        }
+    }
+}
+
+/// Builds the kernel.
+///
+/// # Panics
+///
+/// Panics unless width/height are multiples of `4·block`.
+pub fn program(p: Params) -> Program {
+    assert!(
+        p.width % (4 * p.block) == 0 || p.width % p.block == 0,
+        "frame must tile into blocks"
+    );
+    let mut b = ProgramBuilder::new("hierarchical_me");
+    let cur = b.array("cur", &[p.height, p.width], ElemType::U8);
+    let prev = b.array("prev", &[p.height + 8, p.width + 8], ElemType::U8);
+    // Subsampled pyramids (internal temporaries).
+    let cur4 = b.array("cur4", &[p.height / 4, p.width / 4], ElemType::U8);
+    let prev4 = b.array("prev4", &[p.height / 4 + 4, p.width / 4 + 4], ElemType::U8);
+    let mv = b.array("mv", &[p.height / p.block, p.width / p.block, 2], ElemType::I16);
+
+    // Pass 1: subsample both frames 4:1 (mean of 4x4 → one pixel).
+    let lsy = b.begin_loop("sy", 0, (p.height / 4) as i64, 1);
+    let lsx = b.begin_loop("sx", 0, (p.width / 4) as i64, 1);
+    let lky = b.begin_loop("ky", 0, 4, 1);
+    let lkx = b.begin_loop("kx", 0, 4, 1);
+    let (sy, sx, ky, kx) = (b.var(lsy), b.var(lsx), b.var(lky), b.var(lkx));
+    b.stmt("sub_acc")
+        .read(cur, vec![sy.clone() * 4 + ky.clone(), sx.clone() * 4 + kx.clone()])
+        .read(prev, vec![sy.clone() * 4 + ky, sx.clone() * 4 + kx])
+        .compute_cycles(4)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+    b.stmt("sub_store")
+        .write(cur4, vec![sy.clone(), sx.clone()])
+        .write(prev4, vec![sy, sx])
+        .compute_cycles(4)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+
+    // Pass 2: coarse full search on the 4:1 pyramid (±4 at quarter res).
+    let bq = (p.block / 4) as i64; // 4x4 blocks at quarter resolution
+    let lmy = b.begin_loop("cmby", 0, (p.height / p.block) as i64, 1);
+    let lmx = b.begin_loop("cmbx", 0, (p.width / p.block) as i64, 1);
+    let ldy = b.begin_loop("cdy", 0, 9, 1);
+    let ldx = b.begin_loop("cdx", 0, 9, 1);
+    let lyy = b.begin_loop("cy", 0, bq, 1);
+    let lxx = b.begin_loop("cx", 0, bq, 1);
+    let (my, mx, dy, dx, y, x) = (
+        b.var(lmy),
+        b.var(lmx),
+        b.var(ldy),
+        b.var(ldx),
+        b.var(lyy),
+        b.var(lxx),
+    );
+    b.stmt("coarse_sad")
+        .read(cur4, vec![my.clone() * bq + y.clone(), mx.clone() * bq + x.clone()])
+        .read(prev4, vec![my.clone() * bq + dy + y, mx.clone() * bq + dx + x])
+        .compute_cycles(8)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    b.stmt("coarse_best")
+        .write(mv, vec![my, mx, AffineExpr::zero()])
+        .compute_cycles(4)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+
+    // Pass 3: full-resolution refinement, ±2 around the coarse vector.
+    let blk = p.block as i64;
+    let lfy = b.begin_loop("fmby", 0, (p.height / p.block) as i64, 1);
+    let lfx = b.begin_loop("fmbx", 0, (p.width / p.block) as i64, 1);
+    let lrdy = b.begin_loop("rdy", 0, 5, 1);
+    let lrdx = b.begin_loop("rdx", 0, 5, 1);
+    let lry = b.begin_loop("ry", 0, blk, 1);
+    let lrx = b.begin_loop("rx", 0, blk, 1);
+    let (fy, fx, rdy, rdx, ry, rx) = (
+        b.var(lfy),
+        b.var(lfx),
+        b.var(lrdy),
+        b.var(lrdx),
+        b.var(lry),
+        b.var(lrx),
+    );
+    b.stmt("refine_sad")
+        .read(cur, vec![fy.clone() * blk + ry.clone(), fx.clone() * blk + rx.clone()])
+        .read(prev, vec![fy.clone() * blk + rdy + ry, fx.clone() * blk + rdx + rx])
+        .compute_cycles(8)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    b.stmt("refine_best")
+        .read(mv, vec![fy.clone(), fx.clone(), AffineExpr::zero()])
+        .write(mv, vec![fy, fx, AffineExpr::constant_expr(1)])
+        .compute_cycles(4)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+    b.finish()
+}
+
+/// The application at default (QCIF) size.
+pub fn app() -> Application {
+    Application {
+        program: program(Params::default()),
+        domain: Domain::MotionEstimation,
+        default_scratchpad: 16 * 1024,
+        description: "3-level hierarchical motion estimation (QSDPCM-style), QCIF",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pyramids_are_internal_temporaries() {
+        let prog = program(Params::default());
+        let classes = mhla_core::classify_arrays(&prog, &[]);
+        let cur4 = prog.array_by_name("cur4").unwrap();
+        let prev4 = prog.array_by_name("prev4").unwrap();
+        let cur = prog.array_by_name("cur").unwrap();
+        assert_eq!(classes[cur4.index()], mhla_core::ArrayClass::Internal);
+        assert_eq!(classes[prev4.index()], mhla_core::ArrayClass::Internal);
+        assert_eq!(classes[cur.index()], mhla_core::ArrayClass::External);
+    }
+
+    #[test]
+    fn three_passes_in_sequence() {
+        let prog = program(Params::default());
+        // Three top-level nests (subsample, coarse, refine).
+        assert_eq!(prog.roots().len(), 3);
+        let tl = prog.timeline();
+        let spans: Vec<_> = prog
+            .roots()
+            .iter()
+            .map(|&r| tl.node_span(r))
+            .collect();
+        assert!(spans[0].end <= spans[1].start);
+        assert!(spans[1].end <= spans[2].start);
+    }
+
+    #[test]
+    fn coarse_pass_reads_the_quarter_pyramid() {
+        let prog = program(Params::default());
+        let info = prog.info();
+        let cur4 = prog.array_by_name("cur4").unwrap();
+        let counts = info.access_counts(cur4);
+        // 99 blocks × 81 displacements × 16 px reads + 1584 writes.
+        assert_eq!(counts.reads, 99 * 81 * 16);
+        assert_eq!(counts.writes, (144 / 4) * (176 / 4));
+    }
+}

@@ -1,0 +1,170 @@
+//! JPEG-style still-image encoder: level shift, 8×8 DCT, quantization and
+//! zig-zag reordering.
+//!
+//! Differences from the video encoder loop: no motion compensation (pure
+//! intra coding), an extra zig-zag pass driven by a lookup table, and a
+//! larger (VGA-class) input image, which makes the per-block staging of the
+//! input tile matter more.
+
+use mhla_ir::{ElemType, Program, ProgramBuilder};
+
+use crate::{Application, Domain};
+
+/// Kernel dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Params {
+    /// Image width in pixels.
+    pub width: u64,
+    /// Image height in pixels.
+    pub height: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 352,
+            height: 288,
+        }
+    }
+}
+
+/// Builds the kernel.
+///
+/// # Panics
+///
+/// Panics unless the image tiles into 8×8 blocks.
+pub fn program(p: Params) -> Program {
+    assert!(
+        p.width % 8 == 0 && p.height % 8 == 0,
+        "image must tile into 8x8 blocks"
+    );
+    let bx = (p.width / 8) as i64;
+    let by = (p.height / 8) as i64;
+
+    let mut b = ProgramBuilder::new("jpeg_enc");
+    let img = b.array("img", &[p.height, p.width], ElemType::U8);
+    let blkbuf = b.array("blkbuf", &[8, 8], ElemType::I16);
+    let tmp = b.array("dct_tmp", &[8, 8], ElemType::I16);
+    let coef = b.array("coef", &[8, 8], ElemType::I16);
+    let qtab = b.array("qtab", &[8, 8], ElemType::I16);
+    let zz = b.array("zigzag", &[64], ElemType::I16);
+    let cos = b.array("cos_tab", &[8, 8], ElemType::I16);
+    let out = b.array("out", &[p.height, p.width], ElemType::I16);
+
+    let lby = b.begin_loop("blky", 0, by, 1);
+    let lbx = b.begin_loop("blkx", 0, bx, 1);
+    let (blky, blkx) = (b.var(lby), b.var(lbx));
+
+    // Level shift: copy the tile into a block buffer, centering at zero.
+    let l0y = b.begin_loop("lsy", 0, 8, 1);
+    let l0x = b.begin_loop("lsx", 0, 8, 1);
+    let (y, x) = (b.var(l0y), b.var(l0x));
+    b.stmt("shift")
+        .read(img, vec![blky.clone() * 8 + y.clone(), blkx.clone() * 8 + x.clone()])
+        .write(blkbuf, vec![y, x])
+        .compute_cycles(2)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+
+    // Separable DCT, row then column pass.
+    let l1y = b.begin_loop("dry", 0, 8, 1);
+    let l1x = b.begin_loop("drx", 0, 8, 1);
+    let l1k = b.begin_loop("drk", 0, 8, 1);
+    let (y, x, k) = (b.var(l1y), b.var(l1x), b.var(l1k));
+    b.stmt("dct_row")
+        .read(blkbuf, vec![y.clone(), k.clone()])
+        .read(cos, vec![k, x.clone()])
+        .write(tmp, vec![y, x])
+        .compute_cycles(5)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+
+    let l2y = b.begin_loop("dcy", 0, 8, 1);
+    let l2x = b.begin_loop("dcx", 0, 8, 1);
+    let l2k = b.begin_loop("dck", 0, 8, 1);
+    let (y, x, k) = (b.var(l2y), b.var(l2x), b.var(l2k));
+    b.stmt("dct_col")
+        .read(cos, vec![y.clone(), k.clone()])
+        .read(tmp, vec![k, x.clone()])
+        .write(coef, vec![y, x])
+        .compute_cycles(5)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+
+    // Quantize + zig-zag: the zig-zag table supplies the scan order (its
+    // *values* pick the destination; geometrically every coefficient is
+    // read once and one output element per position is written).
+    let l3y = b.begin_loop("zzy", 0, 8, 1);
+    let l3x = b.begin_loop("zzx", 0, 8, 1);
+    let (y, x) = (b.var(l3y), b.var(l3x));
+    b.stmt("quant_zz")
+        .read(coef, vec![y.clone(), x.clone()])
+        .read(qtab, vec![y.clone(), x.clone()])
+        .read(zz, vec![y.clone() * 8 + x.clone()])
+        .write(out, vec![blky * 8 + y, blkx * 8 + x])
+        .compute_cycles(8)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+
+    b.end_loop(); // blkx
+    b.end_loop(); // blky
+    b.finish()
+}
+
+/// The application at default (CIF) size.
+pub fn app() -> Application {
+    Application {
+        program: program(Params::default()),
+        domain: Domain::ImageProcessing,
+        default_scratchpad: 8 * 1024,
+        description: "JPEG-style 8x8 DCT + quantization + zig-zag encoder, CIF",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_table_is_fully_reused() {
+        let prog = program(Params::default());
+        let reuse = mhla_reuse::ReuseAnalysis::analyze(&prog);
+        let zz = prog.array_by_name("zigzag").unwrap();
+        let whole = reuse.array(zz).whole_array().unwrap();
+        let blocks = (352 / 8) * (288 / 8);
+        assert_eq!(whole.accesses_served, blocks * 64);
+        assert_eq!(whole.transfers_full, 64);
+        assert_eq!(whole.reuse_factor(), blocks as f64);
+    }
+
+    #[test]
+    fn the_image_tile_candidate_is_64_bytes() {
+        let prog = program(Params::default());
+        let reuse = mhla_reuse::ReuseAnalysis::analyze(&prog);
+        let img = prog.array_by_name("img").unwrap();
+        let blkx = prog
+            .loops()
+            .find(|(_, l)| l.name == "blkx")
+            .map(|(id, _)| id)
+            .unwrap();
+        let cc = reuse.array(img).at(blkx).unwrap();
+        assert_eq!(cc.elements, 64);
+        assert_eq!(cc.bytes, 64);
+    }
+
+    #[test]
+    fn out_is_write_only_external() {
+        let prog = program(Params::default());
+        let classes = mhla_core::classify_arrays(&prog, &[]);
+        let out = prog.array_by_name("out").unwrap();
+        assert_eq!(classes[out.index()], mhla_core::ArrayClass::External);
+        let reuse = mhla_reuse::ReuseAnalysis::analyze(&prog);
+        assert!(reuse.array(out).candidates().is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! # mhla-apps — the nine evaluation workloads
+//!
+//! The paper demonstrates MHLA on "nine real life applications of motion
+//! estimation, video encoding, image and audio processing domain". Those
+//! industrial codes are not distributed; this crate provides nine
+//! synthetic-but-realistic kernels from exactly those domains, with the
+//! loop structure and data-reuse patterns that drive the technique (block
+//! tiling, sliding search windows, coefficient tables, multi-pass
+//! temporaries):
+//!
+//! | # | app | domain |
+//! |---|-----|--------|
+//! | 1 | [`full_search_me`] | motion estimation (full search, QCIF) |
+//! | 2 | [`hierarchical_me`] | motion estimation (3-level, QSDPCM-style) |
+//! | 3 | [`video_encoder`] | video encoding (MC + DCT + quant loop) |
+//! | 4 | [`jpeg_enc`] | image coding (8×8 DCT, quant, zig-zag) |
+//! | 5 | [`cavity_detect`] | medical imaging (the DTSE cavity detector) |
+//! | 6 | [`wavelet`] | image transform (2-level 2-D DWT) |
+//! | 7 | [`sobel_edge`] | image filtering (3×3 gradient) |
+//! | 8 | [`fir_bank`] | audio (FIR filter bank) |
+//! | 9 | [`lpc_voice`] | speech coding (autocorrelation + Levinson–Durbin) |
+//!
+//! Every module exposes a `Params` struct (sizes are configurable so tests
+//! can shrink them) and an `app()` constructor returning an
+//! [`Application`]. [`all_apps`] returns the full suite at default sizes —
+//! the configuration the figure harnesses in `mhla-bench` run.
+//!
+//! # Example
+//!
+//! ```
+//! let apps = mhla_apps::all_apps();
+//! assert_eq!(apps.len(), 9);
+//! for app in &apps {
+//!     assert!(app.program.validate().is_ok());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mhla_ir::Program;
+
+pub mod cavity_detect;
+pub mod fir_bank;
+pub mod full_search_me;
+pub mod hierarchical_me;
+pub mod jpeg_enc;
+pub mod lpc_voice;
+pub mod sobel_edge;
+pub mod video_encoder;
+pub mod wavelet;
+
+/// Application domain, following the paper's taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Domain {
+    /// Block-matching motion estimation.
+    MotionEstimation,
+    /// Video encoding loops (MC, transform, quantization).
+    VideoEncoding,
+    /// Still-image and medical-image processing.
+    ImageProcessing,
+    /// Audio / speech processing.
+    AudioProcessing,
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Domain::MotionEstimation => "motion estimation",
+            Domain::VideoEncoding => "video encoding",
+            Domain::ImageProcessing => "image processing",
+            Domain::AudioProcessing => "audio processing",
+        })
+    }
+}
+
+/// One benchmark application: a program plus evaluation defaults.
+#[derive(Clone, Debug)]
+pub struct Application {
+    /// The kernel as loop-nest IR.
+    pub program: Program,
+    /// Domain bucket (for reporting).
+    pub domain: Domain,
+    /// Scratchpad capacity (bytes) used for the headline single-point
+    /// figures; chosen so the dominant working set fits with room for
+    /// double buffering.
+    pub default_scratchpad: u64,
+    /// One-line description of what the kernel models.
+    pub description: &'static str,
+}
+
+impl Application {
+    /// Short name (the program name).
+    pub fn name(&self) -> &str {
+        self.program.name()
+    }
+}
+
+/// The full nine-application suite at default (paper-era) sizes.
+pub fn all_apps() -> Vec<Application> {
+    vec![
+        full_search_me::app(),
+        hierarchical_me::app(),
+        video_encoder::app(),
+        jpeg_enc::app(),
+        cavity_detect::app(),
+        wavelet::app(),
+        sobel_edge::app(),
+        fir_bank::app(),
+        lpc_voice::app(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nine_distinct_valid_apps() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 9);
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9, "names must be unique");
+        for app in &apps {
+            assert!(app.program.validate().is_ok(), "{} invalid", app.name());
+            assert!(app.program.stmt_count() > 0, "{} empty", app.name());
+            assert!(app.default_scratchpad > 0);
+            assert!(!app.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_four_domains_are_covered() {
+        let apps = all_apps();
+        for d in [
+            Domain::MotionEstimation,
+            Domain::VideoEncoding,
+            Domain::ImageProcessing,
+            Domain::AudioProcessing,
+        ] {
+            assert!(
+                apps.iter().any(|a| a.domain == d),
+                "domain {d} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn every_app_has_exploitable_reuse() {
+        // MHLA is pointless without reuse; every workload must offer at
+        // least one candidate with reuse factor > 1.
+        for app in all_apps() {
+            let reuse = mhla_reuse::ReuseAnalysis::analyze(&app.program);
+            let best = reuse
+                .arrays()
+                .flat_map(|ar| ar.candidates().iter())
+                .map(|c| c.reuse_factor())
+                .fold(0.0f64, f64::max);
+            assert!(
+                best > 1.5,
+                "{} offers no reuse (best factor {best:.2})",
+                app.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! LPC voice coder front-end: autocorrelation + Levinson–Durbin recursion
+//! + residual filtering, per speech frame.
+//!
+//! The autocorrelation re-reads each frame window `order+1` times; the
+//! small per-frame arrays (autocorrelation lags, LPC coefficients) are
+//! internal temporaries that live comfortably on-chip.
+
+use mhla_ir::{ElemType, Program, ProgramBuilder};
+
+use crate::{Application, Domain};
+
+/// Kernel dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Params {
+    /// Number of speech frames processed.
+    pub frames: u64,
+    /// Samples per frame.
+    pub frame_len: u64,
+    /// LPC order.
+    pub order: u64,
+}
+
+impl Default for Params {
+    /// 50 frames of 160 samples (8 kHz, 20 ms), order-10 LPC.
+    fn default() -> Self {
+        Params {
+            frames: 50,
+            frame_len: 160,
+            order: 10,
+        }
+    }
+}
+
+/// Builds the kernel.
+///
+/// # Panics
+///
+/// Panics if the order reaches the frame length.
+pub fn program(p: Params) -> Program {
+    assert!(p.order < p.frame_len, "LPC order must be below frame length");
+    let (frames, n, m) = (p.frames as i64, p.frame_len as i64, p.order as i64);
+
+    let mut b = ProgramBuilder::new("lpc_voice");
+    let speech = b.array("speech", &[p.frames * p.frame_len + p.order], ElemType::I16);
+    let autoc = b.array("autoc", &[p.order + 1], ElemType::I32);
+    let lpc = b.array("lpc", &[p.order + 1], ElemType::I32);
+    let refl = b.array("refl", &[p.order + 1], ElemType::I32);
+    let resid = b.array("resid", &[p.frames * p.frame_len], ElemType::I16);
+
+    let lf = b.begin_loop("frame", 0, frames, 1);
+    let f = b.var(lf);
+
+    // Autocorrelation: lag 0..=order over the frame window.
+    let ll = b.begin_loop("lag", 0, m + 1, 1);
+    let ls = b.begin_loop("s", 0, n, 1);
+    let (lag, s) = (b.var(ll), b.var(ls));
+    b.stmt("autocorr")
+        .read(speech, vec![f.clone() * n + s.clone()])
+        .read(speech, vec![f.clone() * n + s + lag.clone()])
+        .compute_cycles(4)
+        .finish();
+    b.end_loop();
+    b.stmt("autocorr_store")
+        .write(autoc, vec![lag])
+        .compute_cycles(1)
+        .finish();
+    b.end_loop();
+
+    // Levinson–Durbin recursion: order × order triangular updates.
+    let li = b.begin_loop("ord", 0, m, 1);
+    let i = b.var(li);
+    b.stmt("reflection")
+        .read(autoc, vec![i.clone() + 1])
+        .read(lpc, vec![i.clone()])
+        .write(refl, vec![i.clone()])
+        .compute_cycles(8) // divide
+        .finish();
+    let lj = b.begin_loop("upd", 0, m, 1);
+    let j = b.var(lj);
+    b.stmt("update")
+        .read(lpc, vec![j.clone()])
+        .read(refl, vec![i.clone()])
+        .write(lpc, vec![j])
+        .compute_cycles(3)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+
+    // Residual: inverse-filter the frame with the LPC coefficients.
+    let lr = b.begin_loop("r", 0, n, 1);
+    let lk = b.begin_loop("k", 0, m + 1, 1);
+    let (r, k) = (b.var(lr), b.var(lk));
+    b.stmt("filter")
+        .read(speech, vec![f.clone() * n + r.clone() + k.clone()])
+        .read(lpc, vec![k])
+        .compute_cycles(4)
+        .finish();
+    b.end_loop();
+    b.stmt("resid_store")
+        .write(resid, vec![f * n + r])
+        .compute_cycles(1)
+        .finish();
+    b.end_loop();
+
+    b.end_loop(); // frame
+    b.finish()
+}
+
+/// The application at default size.
+pub fn app() -> Application {
+    Application {
+        program: program(Params::default()),
+        domain: Domain::AudioProcessing,
+        default_scratchpad: 2 * 1024,
+        description: "LPC voice coder: autocorrelation + Levinson-Durbin + residual",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_window_is_reused_across_lags() {
+        let prog = program(Params::default());
+        let reuse = mhla_reuse::ReuseAnalysis::analyze(&prog);
+        let speech = prog.array_by_name("speech").unwrap();
+        let frame = prog
+            .loops()
+            .find(|(_, l)| l.name == "frame")
+            .map(|(id, _)| id)
+            .unwrap();
+        let cc = reuse.array(speech).at(frame).unwrap();
+        // One frame touches frame_len + order samples, re-read by 11 lags,
+        // the residual pass and both autocorrelation operands.
+        assert_eq!(cc.footprint.widths, vec![170]);
+        assert!(cc.reuse_factor() > 10.0);
+    }
+
+    #[test]
+    fn lpc_state_is_internal() {
+        let prog = program(Params::default());
+        let classes = mhla_core::classify_arrays(&prog, &[]);
+        for name in ["autoc", "refl"] {
+            let a = prog.array_by_name(name).unwrap();
+            assert_eq!(classes[a.index()], mhla_core::ArrayClass::Internal, "{name}");
+        }
+    }
+
+    #[test]
+    fn durbin_recursion_writes_block_prefetching() {
+        // lpc is read AND written inside the frame loop: no copy of lpc may
+        // be hoisted across it.
+        let prog = program(Params::default());
+        let info = prog.info();
+        let lpc = prog.array_by_name("lpc").unwrap();
+        let c = info.access_counts(lpc);
+        assert!(c.writes > 0);
+        assert!(c.reads > c.writes);
+    }
+}

@@ -1,0 +1,155 @@
+//! Two-level 2-D discrete wavelet transform (5-tap analysis filter).
+//!
+//! Each level runs a horizontal filtering pass (producing low/high bands
+//! into a temporary) and a vertical pass (producing the four subbands).
+//! The second level recurses on the LL band — a quarter-size internal
+//! array, a natural candidate for on-chip homing.
+
+use mhla_ir::{ElemType, Program, ProgramBuilder};
+
+use crate::{Application, Domain};
+
+/// Kernel dimensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Params {
+    /// Image width (must be divisible by 4 for two levels).
+    pub width: u64,
+    /// Image height (must be divisible by 4).
+    pub height: u64,
+    /// Filter taps (odd, ≥ 3).
+    pub taps: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 256,
+            height: 256,
+            taps: 5,
+        }
+    }
+}
+
+/// Builds one analysis level: `src` (h×w) → `tmp` (h×w) → `dst` (h/2 rows
+/// of w/2 low + w/2 high columns modeled as an h/2 × w array).
+fn level(
+    b: &mut ProgramBuilder,
+    name: &str,
+    src: mhla_ir::ArrayId,
+    tmp: mhla_ir::ArrayId,
+    dst: mhla_ir::ArrayId,
+    h: i64,
+    w: i64,
+    taps: i64,
+) {
+    // Horizontal pass: every output column filters `taps` input columns.
+    let lhy = b.begin_loop(format!("{name}_hy"), 0, h, 1);
+    let lhx = b.begin_loop(format!("{name}_hx"), 0, w / 2 - taps / 2, 1);
+    let lhk = b.begin_loop(format!("{name}_hk"), 0, taps, 1);
+    let (y, x, k) = (b.var(lhy), b.var(lhx), b.var(lhk));
+    b.stmt(format!("{name}_h"))
+        .read(src, vec![y.clone(), x.clone() * 2 + k])
+        .write(tmp, vec![y, x])
+        .compute_cycles(4)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+
+    // Vertical pass over the temporary: sliding `taps`-row band.
+    let lvy = b.begin_loop(format!("{name}_vy"), 0, h / 2 - taps / 2, 1);
+    let lvx = b.begin_loop(format!("{name}_vx"), 0, w / 2, 1);
+    let lvk = b.begin_loop(format!("{name}_vk"), 0, taps, 1);
+    let (y, x, k) = (b.var(lvy), b.var(lvx), b.var(lvk));
+    b.stmt(format!("{name}_v"))
+        .read(tmp, vec![y.clone() * 2 + k, x.clone()])
+        .write(dst, vec![y, x])
+        .compute_cycles(4)
+        .finish();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+}
+
+/// Builds the kernel.
+///
+/// # Panics
+///
+/// Panics unless dimensions support two decimation levels and the filter
+/// is odd-length.
+pub fn program(p: Params) -> Program {
+    assert!(
+        p.width % 4 == 0 && p.height % 4 == 0,
+        "two levels need multiples of 4"
+    );
+    assert!(p.taps % 2 == 1 && p.taps >= 3, "analysis filter must be odd");
+    let (w, h, t) = (p.width as i64, p.height as i64, p.taps as i64);
+
+    let mut b = ProgramBuilder::new("wavelet");
+    let img = b.array("img", &[p.height, p.width], ElemType::I16);
+    let tmp1 = b.array("tmp1", &[p.height, p.width / 2], ElemType::I16);
+    let ll1 = b.array("ll1", &[p.height / 2, p.width / 2], ElemType::I16);
+    let tmp2 = b.array("tmp2", &[p.height / 2, p.width / 4], ElemType::I16);
+    let ll2 = b.array("ll2", &[p.height / 4, p.width / 4], ElemType::I16);
+
+    level(&mut b, "l1", img, tmp1, ll1, h, w, t);
+    level(&mut b, "l2", ll1, tmp2, ll2, h / 2, w / 2, t);
+    b.finish()
+}
+
+/// The application at default (256²) size.
+pub fn app() -> Application {
+    Application {
+        program: program(Params::default()),
+        domain: Domain::ImageProcessing,
+        default_scratchpad: 8 * 1024,
+        description: "two-level 2-D DWT, 5-tap analysis filter, 256x256",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_outputs_are_internal_temporaries() {
+        let prog = program(Params::default());
+        let classes = mhla_core::classify_arrays(&prog, &[]);
+        for name in ["tmp1", "ll1", "tmp2"] {
+            let a = prog.array_by_name(name).unwrap();
+            assert_eq!(classes[a.index()], mhla_core::ArrayClass::Internal, "{name}");
+        }
+        let img = prog.array_by_name("img").unwrap();
+        assert_eq!(classes[img.index()], mhla_core::ArrayClass::External);
+    }
+
+    #[test]
+    fn second_level_is_a_quarter_of_the_first() {
+        let prog = program(Params::default());
+        let info = prog.info();
+        let img = prog.array_by_name("img").unwrap();
+        let ll1 = prog.array_by_name("ll1").unwrap();
+        let r1 = info.access_counts(img).reads;
+        let r2 = info.access_counts(ll1).reads;
+        // Same nest shape at half the linear size → ~quarter the reads.
+        let ratio = r1 as f64 / r2 as f64;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn horizontal_window_slides_by_two() {
+        let prog = program(Params::default());
+        let reuse = mhla_reuse::ReuseAnalysis::analyze(&prog);
+        let img = prog.array_by_name("img").unwrap();
+        let hx = prog
+            .loops()
+            .find(|(_, l)| l.name == "l1_hx")
+            .map(|(id, _)| id)
+            .unwrap();
+        let cc = reuse.array(img).at(hx).unwrap();
+        // One output column reads `taps` consecutive columns; decimation
+        // advances the window by 2.
+        assert_eq!(cc.footprint.widths, vec![1, 5]);
+        assert_eq!(cc.footprint.shifts, vec![0, 2]);
+    }
+}

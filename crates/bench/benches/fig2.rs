@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure-2 pipeline: per application, the full
+//! flow (reuse analysis → assignment → TE → simulation) that produces the
+//! performance bars. Regenerates and prints the figure rows once, then
+//! benchmarks the pipeline runtime (the paper claims "fast, accurate and
+//! automatic exploration" — this measures the "fast").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    // Print the regenerated figure once so `cargo bench` leaves the same
+    // evidence as the dedicated binary.
+    println!("\nFigure 2 rows (baseline / mhla / mhla+te / ideal cycles):");
+    for f in mhla_bench::fig2_fig3_suite() {
+        println!(
+            "  {:<18} {} / {} / {} / {}  (step1 {:.1}%, te {:.1}%)",
+            f.name,
+            f.baseline_cycles,
+            f.mhla_cycles,
+            f.mhla_te_cycles,
+            f.ideal_cycles,
+            f.mhla_gain_pct(),
+            f.te_gain_pct()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig2_pipeline");
+    group.sample_size(10);
+    for app in mhla_apps::all_apps() {
+        group.bench_function(app.name().to_string(), |b| {
+            b.iter(|| black_box(mhla_bench::evaluate_app(black_box(&app))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the Figure-3 (energy) pipeline. Prints the energy
+//! rows once — asserting the paper's invariant that TE leaves energy
+//! unchanged — then benchmarks the energy-objective assignment search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhla_core::{Mhla, MhlaConfig, Objective};
+use mhla_hierarchy::Platform;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    println!("\nFigure 3 rows (baseline uJ / mhla uJ / saving):");
+    for f in mhla_bench::fig2_fig3_suite() {
+        println!(
+            "  {:<18} {:.2} / {:.2} / {:.1}%",
+            f.name,
+            f.baseline_energy_pj / 1e6,
+            f.mhla_energy_pj / 1e6,
+            f.energy_gain_pct()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig3_energy_search");
+    group.sample_size(10);
+    for app in mhla_apps::all_apps() {
+        let platform = Platform::embedded_default(app.default_scratchpad);
+        let config = MhlaConfig {
+            objective: Objective::Energy,
+            ..MhlaConfig::default()
+        };
+        group.bench_function(app.name().to_string(), |b| {
+            b.iter(|| {
+                let mhla = Mhla::new(
+                    black_box(&app.program),
+                    black_box(&platform),
+                    config.clone(),
+                );
+                black_box(mhla.run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for the TE ablation (paper §3: TE boosts performance
+//! "up to 33%, if there are a lot of processing loops"). Prints the
+//! ablation table once, then benchmarks the TE planning step itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhla_core::{te, Mhla, MhlaConfig};
+use mhla_hierarchy::Platform;
+use std::hint::black_box;
+
+fn bench_te(c: &mut Criterion) {
+    println!("\nTE ablation (compute scale → te gain / hiding):");
+    for app in [mhla_apps::full_search_me::app(), mhla_apps::fir_bank::app()] {
+        for scale in [1u64, 4, 16] {
+            let f = mhla_bench::te_ablation_point(&app, scale);
+            println!(
+                "  {:<18} {:>2}x  te {:>5.1}%  hide {:>5.1}%",
+                f.name,
+                scale,
+                f.te_gain_pct(),
+                f.hiding_pct()
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("te_plan");
+    group.sample_size(20);
+    for app in mhla_apps::all_apps() {
+        let platform = Platform::embedded_default(app.default_scratchpad);
+        let mhla = Mhla::new(&app.program, &platform, MhlaConfig::default());
+        let model = mhla.cost_model();
+        let result = mhla.run();
+        group.bench_function(app.name().to_string(), |b| {
+            b.iter(|| black_box(te::plan(black_box(&model), black_box(&result.assignment))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_te);
+criterion_main!(benches);

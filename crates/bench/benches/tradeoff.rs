@@ -1,0 +1,54 @@
+//! Criterion bench for the trade-off exploration: the per-application
+//! capacity sweep (the paper's "thorough trade-off exploration for
+//! different memory layer sizes"). Benchmarks the sweep on a representative
+//! subset to keep `cargo bench` turnaround sane.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhla_core::explore::{default_capacities, sweep};
+use mhla_core::MhlaConfig;
+use mhla_hierarchy::{LayerId, Platform};
+use std::hint::black_box;
+
+fn bench_tradeoff(c: &mut Criterion) {
+    let apps = [
+        mhla_apps::sobel_edge::app(),
+        mhla_apps::fir_bank::app(),
+        mhla_apps::jpeg_enc::app(),
+    ];
+    let platform = Platform::embedded_default(1024);
+    let caps = default_capacities();
+
+    // Print the Pareto fronts once.
+    for app in &apps {
+        let s = sweep(&app.program, &platform, LayerId(1), &caps, &MhlaConfig::default());
+        let front = s.pareto_cycles();
+        println!(
+            "\n{} Pareto (capacity, cycles): {:?}",
+            app.name(),
+            front
+                .iter()
+                .map(|&i| (s.points[i].capacity, s.points[i].cycles()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    let mut group = c.benchmark_group("tradeoff_sweep");
+    group.sample_size(10);
+    for app in &apps {
+        group.bench_function(app.name().to_string(), |b| {
+            b.iter(|| {
+                black_box(sweep(
+                    black_box(&app.program),
+                    black_box(&platform),
+                    LayerId(1),
+                    &caps,
+                    &MhlaConfig::default(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tradeoff);
+criterion_main!(benches);

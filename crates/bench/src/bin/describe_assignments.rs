@@ -1,0 +1,23 @@
+//! Prints the full MHLA decision record for every application: array homes,
+//! selected copy chains, and per-transfer Time-Extension decisions
+//! (bt_time, freedom, extension, buffers, DMA priority).
+//!
+//! Run with `cargo run --release -p mhla-bench --bin describe_assignments`.
+
+use mhla_core::{report, Mhla, MhlaConfig};
+use mhla_hierarchy::Platform;
+
+fn main() {
+    for app in mhla_apps::all_apps() {
+        let pf = Platform::embedded_default(app.default_scratchpad);
+        let mhla = Mhla::new(&app.program, &pf, MhlaConfig::default());
+        let r = mhla.run();
+        println!(
+            "==== {} ({}; scratchpad {} B) ====",
+            app.name(),
+            app.domain,
+            app.default_scratchpad
+        );
+        println!("{}", report::describe(&app.program, mhla.reuse(), &r));
+    }
+}

@@ -1,0 +1,167 @@
+//! Ablations for the design choices DESIGN.md documents:
+//!
+//! 1. **Transfer policy** — sliding-window (delta) updates vs. full
+//!    refresh of copy buffers: volume moved, cycles and energy.
+//! 2. **In-place optimization** — scratchpad bytes required with lifetime
+//!    sharing (peak occupancy) vs. without (sum of buffer sizes): how much
+//!    capacity the paper's in-place step recovers.
+//! 3. **Search strategy** — greedy gain/size steering vs. exhaustive
+//!    branch-and-bound on shrunken instances: solution quality and search
+//!    effort (validating that the published heuristic is near-optimal).
+//!
+//! Run with `cargo run --release -p mhla-bench --bin design_ablations`.
+
+use mhla_core::{assign, Mhla, MhlaConfig, Objective, SearchStrategy, TransferPolicy};
+use mhla_hierarchy::Platform;
+use mhla_sim::Simulator;
+use std::collections::HashMap;
+
+fn main() {
+    transfer_policy();
+    inplace();
+    search_strategy();
+}
+
+fn transfer_policy() {
+    println!("== ablation 1: sliding-window (delta) vs full-refresh transfers ==");
+    println!(
+        "{:<18} {:>14} {:>14} {:>10} {:>10}",
+        "application", "bytes(full)", "bytes(delta)", "cyc save", "E save"
+    );
+    let mut csv = String::from("app,bytes_full,bytes_delta,cycle_save_pct,energy_save_pct\n");
+    for app in mhla_apps::all_apps() {
+        let platform = Platform::embedded_default(app.default_scratchpad);
+        let run = |policy: TransferPolicy| {
+            let config = MhlaConfig {
+                policy,
+                ..MhlaConfig::default()
+            };
+            let mhla = Mhla::new(&app.program, &platform, config);
+            let model = mhla.cost_model();
+            let r = mhla.run();
+            let sim = Simulator::new(&model, &r.assignment, &r.te).run();
+            (sim.transfer_bytes, sim.total_cycles(), sim.total_energy_pj())
+        };
+        let (fb, fc, fe) = run(TransferPolicy::FullRefresh);
+        let (db, dc, de) = run(TransferPolicy::SlidingDelta);
+        let cyc = 100.0 * (1.0 - dc as f64 / fc as f64);
+        let en = 100.0 * (1.0 - de / fe);
+        println!(
+            "{:<18} {:>14} {:>14} {:>9.1}% {:>9.1}%",
+            app.name(),
+            fb,
+            db,
+            cyc,
+            en
+        );
+        csv.push_str(&format!("{},{fb},{db},{cyc:.2},{en:.2}\n", app.name()));
+    }
+    mhla_bench::write_results("ablation_transfer_policy.csv", &csv);
+    println!();
+}
+
+fn inplace() {
+    println!("== ablation 2: in-place optimization (lifetime sharing) ==");
+    println!(
+        "{:<18} {:>12} {:>12} {:>10}",
+        "application", "peak [B]", "no-share [B]", "recovered"
+    );
+    let mut csv = String::from("app,peak_bytes,sum_bytes,recovered_pct\n");
+    for app in mhla_apps::all_apps() {
+        let platform = Platform::embedded_default(app.default_scratchpad);
+        let mhla = Mhla::new(&app.program, &platform, MhlaConfig::default());
+        let model = mhla.cost_model();
+        let r = mhla.run();
+        let usage = &model.layer_usage(&r.assignment, &HashMap::new())[1];
+        let recovered = if usage.without_inplace > 0 {
+            100.0 * (1.0 - usage.required as f64 / usage.without_inplace as f64)
+        } else {
+            0.0
+        };
+        println!(
+            "{:<18} {:>12} {:>12} {:>9.1}%",
+            app.name(),
+            usage.required,
+            usage.without_inplace,
+            recovered
+        );
+        csv.push_str(&format!(
+            "{},{},{},{recovered:.2}\n",
+            app.name(),
+            usage.required,
+            usage.without_inplace
+        ));
+    }
+    mhla_bench::write_results("ablation_inplace.csv", &csv);
+    println!();
+}
+
+fn search_strategy() {
+    println!("== ablation 3: greedy steering vs exhaustive branch-and-bound ==");
+    println!("(shrunken instances so the exhaustive search stays tractable)");
+    println!(
+        "{:<18} {:>14} {:>14} {:>8} {:>10}",
+        "instance", "greedy cycles", "exact cycles", "gap", "bnb nodes"
+    );
+    let mut csv = String::from("instance,greedy_cycles,exact_cycles,gap_pct,nodes\n");
+    let instances: Vec<(&str, mhla_ir::Program)> = vec![
+        (
+            "me_32x32",
+            mhla_apps::full_search_me::program(mhla_apps::full_search_me::Params {
+                width: 32,
+                height: 32,
+                block: 16,
+                search: 2,
+            }),
+        ),
+        (
+            "fir_2x256",
+            mhla_apps::fir_bank::program(mhla_apps::fir_bank::Params {
+                bands: 2,
+                samples: 256,
+                taps: 16,
+            }),
+        ),
+        (
+            "sobel_32x32",
+            mhla_apps::sobel_edge::program(mhla_apps::sobel_edge::Params {
+                width: 32,
+                height: 32,
+            }),
+        ),
+        (
+            "lpc_4x64",
+            mhla_apps::lpc_voice::program(mhla_apps::lpc_voice::Params {
+                frames: 4,
+                frame_len: 64,
+                order: 8,
+            }),
+        ),
+    ];
+    for (name, program) in &instances {
+        let platform = Platform::embedded_default(1024);
+        let config = MhlaConfig::default();
+        let mhla = Mhla::new(program, &platform, config.clone());
+        let model = mhla.cost_model();
+        let g = assign::greedy(&model, &config);
+        let e = assign::exhaustive(&model, &config, 2_000_000);
+        let gap = 100.0
+            * (Objective::Cycles.score(&g.cost) / Objective::Cycles.score(&e.cost) - 1.0);
+        println!(
+            "{:<18} {:>14} {:>14} {:>7.2}% {:>10}",
+            name,
+            g.cost.total_cycles(),
+            e.cost.total_cycles(),
+            gap,
+            e.steps
+        );
+        csv.push_str(&format!(
+            "{name},{},{},{gap:.3},{}\n",
+            g.cost.total_cycles(),
+            e.cost.total_cycles(),
+            e.steps
+        ));
+        let _ = SearchStrategy::Greedy; // strategies exercised above
+    }
+    mhla_bench::write_results("ablation_search.csv", &csv);
+}

@@ -1,0 +1,63 @@
+//! Regenerates the paper's §3 **TE claim**: "This step can boost
+//! performance of up 33%, if there are a lot of processing loops that can
+//! hide prefetching block transfers."
+//!
+//! The ablation scales every statement's compute cycles (×1/4 to ×8) on
+//! three workloads and reports the TE boost and the fraction of the
+//! transfer stall hidden. Less compute per fetched byte makes transfers a
+//! larger share of the execution, so TE's relative boost grows toward the
+//! paper's figure; more compute keeps the hiding fraction at ~100% while
+//! the relative boost shrinks — "a lot of processing loops" make hiding
+//! easy but also less important.
+//!
+//! Run with `cargo run --release -p mhla-bench --bin te_ablation`.
+
+use mhla_bench::{te_ablation_point_frac, write_results};
+
+fn main() {
+    let apps = [
+        mhla_apps::full_search_me::app(),
+        mhla_apps::wavelet::app(),
+        mhla_apps::fir_bank::app(),
+    ];
+    // mul/div compute scales: the left side is transfer-bound (big TE
+    // share), the right side compute-bound (everything hidden, small share).
+    let scales = [(1u64, 4u64), (1, 2), (1, 1), (2, 1), (4, 1), (8, 1)];
+
+    println!("TE ablation — prefetch benefit vs. available processing");
+    println!(
+        "{:<18} {:>7} {:>12} {:>12} {:>8} {:>8}",
+        "application", "scale", "mhla", "mhla+te", "te%", "hide%"
+    );
+    let mut csv = String::from("app,compute_scale,mhla_cycles,mhla_te_cycles,te_gain_pct,hiding_pct\n");
+    for app in &apps {
+        for &(mul, div) in &scales {
+            let f = te_ablation_point_frac(app, mul, div);
+            let label = if div == 1 {
+                format!("{mul}")
+            } else {
+                format!("{mul}/{div}")
+            };
+            println!(
+                "{:<18} {:>6}x {:>12} {:>12} {:>7.1}% {:>7.1}%",
+                f.name,
+                label,
+                f.mhla_cycles,
+                f.mhla_te_cycles,
+                f.te_gain_pct(),
+                f.hiding_pct()
+            );
+            csv.push_str(&format!(
+                "{},{:.3},{},{},{:.2},{:.2}\n",
+                f.name,
+                mul as f64 / div as f64,
+                f.mhla_cycles,
+                f.mhla_te_cycles,
+                f.te_gain_pct(),
+                f.hiding_pct()
+            ));
+        }
+        println!();
+    }
+    write_results("te_ablation.csv", &csv);
+}

@@ -1,0 +1,52 @@
+//! Regenerates the paper's **trade-off exploration** claim (§1/§2): for
+//! every application, sweep the scratchpad capacity, print the
+//! (capacity, cycles, energy) curve and mark the Pareto-optimal points the
+//! tool "is able to find".
+//!
+//! Run with `cargo run --release -p mhla-bench --bin tradeoff_curves`.
+
+use mhla_bench::{evaluate_app_at, write_results};
+use mhla_core::explore::default_capacities;
+
+fn main() {
+    let apps = mhla_apps::all_apps();
+    let caps = default_capacities();
+    let mut csv = String::from("app,capacity,cycles_mhla_te,energy_mhla_pj,pareto_cycles\n");
+
+    for app in &apps {
+        println!("\n=== {} — capacity sweep ===", app.name());
+        println!(
+            "{:>10} {:>14} {:>14} {:>8}",
+            "capacity", "cycles(te)", "energy [uJ]", "pareto"
+        );
+        let points: Vec<_> = caps
+            .iter()
+            .map(|&c| (c, evaluate_app_at(app, c)))
+            .collect();
+        // Pareto on (capacity asc, cycles): strictly improving cycles.
+        let mut best = u64::MAX;
+        for (c, f) in &points {
+            let pareto = f.mhla_te_cycles < best;
+            if pareto {
+                best = f.mhla_te_cycles;
+            }
+            println!(
+                "{:>10} {:>14} {:>14.2} {:>8}",
+                c,
+                f.mhla_te_cycles,
+                f.mhla_energy_pj / 1e6,
+                if pareto { "*" } else { "" }
+            );
+            csv.push_str(&format!(
+                "{},{},{},{:.1},{}\n",
+                app.name(),
+                c,
+                f.mhla_te_cycles,
+                f.mhla_energy_pj,
+                pareto as u8
+            ));
+        }
+    }
+    write_results("tradeoff_curves.csv", &csv);
+    println!("\n(*) Pareto-optimal (capacity, cycles) point");
+}

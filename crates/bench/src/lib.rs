@@ -1,0 +1,259 @@
+//! # mhla-bench — figure regeneration harnesses
+//!
+//! One pipeline per experiment of the DATE 2005 paper (see DESIGN.md's
+//! per-experiment index):
+//!
+//! * [`evaluate_app`] — the four Figure-2 bars and the two Figure-3 bars
+//!   for one application, measured on the simulator (not the static
+//!   estimates): out-of-the-box baseline, MHLA step 1, MHLA + TE, and the
+//!   zero-wait ideal;
+//! * [`fig2_fig3_suite`] — the full nine-application table;
+//! * [`te_ablation`] — TE benefit as a function of available compute
+//!   (the §3 claim: "up to 33%, if there are a lot of processing loops");
+//! * capacity sweeps reuse [`mhla_core::explore`] directly.
+//!
+//! The binaries (`fig2_performance`, `fig3_energy`, `tradeoff_curves`,
+//! `te_ablation`) print the tables and drop CSVs under `results/`; the
+//! Criterion benches wrap the same pipelines so `cargo bench` regenerates
+//! everything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mhla_apps::Application;
+use mhla_core::{Mhla, MhlaConfig};
+use mhla_hierarchy::Platform;
+use mhla_sim::Simulator;
+
+/// Simulated figures for one application (Figure 2 + Figure 3 bars).
+#[derive(Clone, PartialEq, Debug)]
+pub struct AppFigures {
+    /// Application name.
+    pub name: String,
+    /// Scratchpad capacity used, bytes.
+    pub scratchpad: u64,
+    /// Simulated cycles, out-of-the-box (everything off-chip).
+    pub baseline_cycles: u64,
+    /// Simulated cycles after MHLA step 1 (no prefetching).
+    pub mhla_cycles: u64,
+    /// Simulated cycles after MHLA + Time Extensions.
+    pub mhla_te_cycles: u64,
+    /// Ideal bound: zero-wait block transfers.
+    pub ideal_cycles: u64,
+    /// Simulated memory energy, baseline, picojoule.
+    pub baseline_energy_pj: f64,
+    /// Simulated memory energy after MHLA (TE leaves it unchanged).
+    pub mhla_energy_pj: f64,
+}
+
+impl AppFigures {
+    /// Step-1 cycle reduction vs. baseline, percent.
+    pub fn mhla_gain_pct(&self) -> f64 {
+        100.0 * (1.0 - self.mhla_cycles as f64 / self.baseline_cycles as f64)
+    }
+
+    /// Extra reduction of TE relative to the step-1 result, percent.
+    pub fn te_gain_pct(&self) -> f64 {
+        100.0 * (1.0 - self.mhla_te_cycles as f64 / self.mhla_cycles.max(1) as f64)
+    }
+
+    /// Energy reduction vs. baseline, percent.
+    pub fn energy_gain_pct(&self) -> f64 {
+        100.0 * (1.0 - self.mhla_energy_pj / self.baseline_energy_pj.max(f64::MIN_POSITIVE))
+    }
+
+    /// How much of the MHLA→ideal stall gap TE closes, percent (100 = all
+    /// transfers hidden).
+    pub fn hiding_pct(&self) -> f64 {
+        let gap = self.mhla_cycles.saturating_sub(self.ideal_cycles);
+        if gap == 0 {
+            100.0
+        } else {
+            let closed = self.mhla_cycles.saturating_sub(self.mhla_te_cycles);
+            100.0 * closed as f64 / gap as f64
+        }
+    }
+}
+
+/// Runs the full measurement pipeline for one application on a platform
+/// with the given scratchpad capacity.
+pub fn evaluate_app_at(app: &Application, scratchpad: u64) -> AppFigures {
+    let platform = Platform::embedded_default(scratchpad);
+
+    // Out-of-the-box: direct placement (no copies, no in-place, no TE) —
+    // what the toolchain produces without the MHLA tool.
+    let mhla = Mhla::new(&app.program, &platform, MhlaConfig::default());
+    let model = mhla.cost_model();
+    let baseline =
+        mhla_core::assign::direct_placement(&model, Default::default()).assignment;
+    let baseline_te = mhla_core::te::plan(&model, &baseline);
+    let base_rep = Simulator::new(&model, &baseline, &baseline_te).run();
+
+    // MHLA step 1 only (transfers never prefetched).
+    let step1_cfg = MhlaConfig {
+        disable_te: true,
+        ..MhlaConfig::default()
+    };
+    let step1 = Mhla::new(&app.program, &platform, step1_cfg);
+    let step1_model = step1.cost_model();
+    let r1 = step1.run();
+    let rep1 = Simulator::new(&step1_model, &r1.assignment, &r1.te).run();
+
+    // MHLA + TE.
+    let r2 = mhla.run();
+    let rep2 = Simulator::new(&model, &r2.assignment, &r2.te).run();
+
+    AppFigures {
+        name: app.name().to_string(),
+        scratchpad,
+        baseline_cycles: base_rep.total_cycles(),
+        mhla_cycles: rep1.total_cycles(),
+        mhla_te_cycles: rep2.total_cycles(),
+        ideal_cycles: rep2.busy_cycles,
+        baseline_energy_pj: base_rep.total_energy_pj(),
+        mhla_energy_pj: rep2.total_energy_pj(),
+    }
+}
+
+/// [`evaluate_app_at`] with the application's default scratchpad.
+pub fn evaluate_app(app: &Application) -> AppFigures {
+    evaluate_app_at(app, app.default_scratchpad)
+}
+
+/// The nine-application suite (Figures 2 and 3).
+pub fn fig2_fig3_suite() -> Vec<AppFigures> {
+    mhla_apps::all_apps().iter().map(evaluate_app).collect()
+}
+
+/// One point of the TE ablation: TE benefit with the statement compute
+/// cycles scaled by `compute_scale`. More processing per fetched byte
+/// makes transfers easier to hide (hiding fraction rises) but a smaller
+/// share of the execution (relative boost falls) — the paper's "up to
+/// 33%, if there are a lot of processing loops" lives at the crossover.
+pub fn te_ablation_point(app: &Application, compute_scale: u64) -> AppFigures {
+    te_ablation_point_frac(app, compute_scale, 1)
+}
+
+/// [`te_ablation_point`] with a rational scale `mul/div`, so the sweep can
+/// also visit the transfer-bound side (e.g. 1/4 of the original compute).
+pub fn te_ablation_point_frac(app: &Application, mul: u64, div: u64) -> AppFigures {
+    let mut program = app.program.clone();
+    scale_compute(&mut program, mul, div.max(1));
+    let scaled = Application {
+        program,
+        ..app.clone()
+    };
+    evaluate_app(&scaled)
+}
+
+/// Scales every statement's compute cycles by `mul/div`.
+fn scale_compute(program: &mut mhla_ir::Program, mul: u64, div: u64) {
+    // Rebuild through the public API: clone arrays/loops, scale statement
+    // costs. The IR is an arena, so a structural rebuild is mechanical.
+    let scaled = rebuild_with(program, |cycles| (cycles * mul.max(1)) / div);
+    *program = scaled;
+}
+
+fn rebuild_with(program: &mhla_ir::Program, f: impl Fn(u64) -> u64) -> mhla_ir::Program {
+    use mhla_ir::{NodeId, ProgramBuilder};
+    let mut b = ProgramBuilder::new(program.name().to_string());
+    for (_, a) in program.arrays() {
+        b.array(a.name.clone(), &a.dims, a.elem);
+    }
+    fn emit(
+        b: &mut mhla_ir::ProgramBuilder,
+        program: &mhla_ir::Program,
+        nodes: &[NodeId],
+        f: &impl Fn(u64) -> u64,
+    ) {
+        for &n in nodes {
+            match n {
+                NodeId::Loop(l) => {
+                    let lp = program.loop_(l);
+                    b.begin_loop(lp.name.clone(), lp.lower, lp.upper, lp.step);
+                    emit(b, program, &lp.body.clone(), f);
+                    b.end_loop();
+                }
+                NodeId::Stmt(s) => {
+                    let st = program.stmt(s);
+                    let mut sb = b.stmt(st.name.clone());
+                    for acc in &st.accesses {
+                        sb = match acc.kind {
+                            mhla_ir::AccessKind::Read => sb.read(acc.array, acc.index.clone()),
+                            mhla_ir::AccessKind::Write => sb.write(acc.array, acc.index.clone()),
+                        };
+                    }
+                    sb.compute_cycles(f(st.compute_cycles)).finish();
+                }
+            }
+        }
+    }
+    emit(&mut b, program, program.roots(), &f);
+    b.finish()
+}
+
+/// Writes `content` to `results/<name>` relative to the workspace root,
+/// creating the directory as needed. Best-effort: failures are printed,
+/// not fatal (benches may run in sandboxes).
+pub fn write_results(name: &str, content: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results");
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|_| std::fs::write(dir.join(name), content))
+    {
+        eprintln!("note: could not write results/{name}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_shape_holds_on_a_small_app() {
+        let app = mhla_apps::sobel_edge::app();
+        let f = evaluate_app(&app);
+        assert!(f.baseline_cycles > f.mhla_cycles, "{f:?}");
+        assert!(f.mhla_cycles >= f.mhla_te_cycles, "{f:?}");
+        assert!(f.mhla_te_cycles >= f.ideal_cycles, "{f:?}");
+        assert!(f.baseline_energy_pj > f.mhla_energy_pj, "{f:?}");
+        assert!(f.mhla_gain_pct() > 0.0);
+        assert!((0.0..=100.0).contains(&f.hiding_pct()));
+    }
+
+    #[test]
+    fn compute_scaling_preserves_structure() {
+        let app = mhla_apps::fir_bank::app();
+        let mut p = app.program.clone();
+        scale_compute(&mut p, 4, 1);
+        assert_eq!(p.stmt_count(), app.program.stmt_count());
+        assert_eq!(p.loop_count(), app.program.loop_count());
+        let (s0, _) = (p.stmts().next().unwrap(), ());
+        let (o0, _) = (app.program.stmts().next().unwrap(), ());
+        assert_eq!(s0.1.compute_cycles, 4 * o0.1.compute_cycles);
+    }
+
+    #[test]
+    fn more_compute_means_more_hiding() {
+        let app = mhla_apps::fir_bank::app();
+        let lean = te_ablation_point(&app, 1);
+        let fat = te_ablation_point(&app, 8);
+        assert!(fat.hiding_pct() >= lean.hiding_pct() - 1e-9);
+    }
+
+    #[test]
+    fn transfer_bound_side_boosts_te_share() {
+        // Shrinking the compute makes transfers a larger share of the
+        // execution, so TE's *relative* boost grows (until nothing can be
+        // hidden any more).
+        let app = mhla_apps::fir_bank::app();
+        let lean = te_ablation_point_frac(&app, 1, 4);
+        let base = te_ablation_point(&app, 1);
+        assert!(
+            lean.te_gain_pct() >= base.te_gain_pct() - 1e-9,
+            "lean {} < base {}",
+            lean.te_gain_pct(),
+            base.te_gain_pct()
+        );
+    }
+}

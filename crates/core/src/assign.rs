@@ -1,0 +1,542 @@
+//! MHLA step 1: selection and assignment of arrays and copy candidates to
+//! memory layers.
+//!
+//! Two search procedures over the same move space:
+//!
+//! * [`greedy`] — the published steering: repeatedly apply the feasible
+//!   move with the best `gain / extra on-chip bytes` ratio until no move
+//!   improves the objective. This is the DATE 2003 heuristic the prototype
+//!   tool uses.
+//! * [`exhaustive`] — branch-and-bound over per-array options; exact on
+//!   small instances, used to validate the greedy and for the optimality
+//!   tests.
+//!
+//! A *move* either stages a copy chain for an array into on-chip layers or
+//! re-homes an internal array on-chip. Feasibility = every on-chip layer's
+//! residents fit after in-place optimization ([`CostModel::check_capacity`]).
+
+use std::collections::HashMap;
+
+use mhla_hierarchy::LayerId;
+use mhla_ir::ArrayId;
+
+use crate::classify::ArrayClass;
+use crate::cost::{CostBreakdown, CostModel};
+use crate::types::{Assignment, MhlaConfig, Objective, SelectedCopy, TransferPolicy};
+
+impl Objective {
+    /// Scalar score of a cost breakdown (lower is better).
+    pub fn score(&self, cost: &CostBreakdown) -> f64 {
+        match self {
+            Objective::Energy => cost.total_energy_pj(),
+            Objective::Cycles => cost.total_cycles() as f64,
+            Objective::Weighted {
+                energy_weight,
+                cycle_weight,
+            } => {
+                energy_weight * cost.total_energy_pj()
+                    + cycle_weight * cost.total_cycles() as f64
+            }
+        }
+    }
+}
+
+/// One candidate modification of an assignment.
+#[derive(Clone, PartialEq, Debug)]
+enum Move {
+    /// Replace the array's copy chain.
+    SetChain(ArrayId, Vec<SelectedCopy>),
+    /// Home an internal array in an on-chip layer (clearing its copies).
+    Rehome(ArrayId, LayerId),
+}
+
+impl Move {
+    fn apply(&self, a: &mut Assignment) {
+        match self {
+            Move::SetChain(array, chain) => {
+                a.clear_copies_of(*array);
+                for c in chain {
+                    a.add_copy(*c);
+                }
+            }
+            Move::Rehome(array, layer) => {
+                a.clear_copies_of(*array);
+                a.set_home(*array, *layer);
+            }
+        }
+    }
+}
+
+/// Enumerates the per-array options (chains over on-chip layers, re-homes).
+fn array_options(model: &CostModel<'_>, config: &MhlaConfig, array: ArrayId) -> Vec<Move> {
+    let platform = model.platform();
+    let onchip: Vec<LayerId> = platform.on_chip_layers().map(|(l, _)| l).collect();
+    let max_chain = if config.max_chain == 0 {
+        onchip.len()
+    } else {
+        config.max_chain.min(onchip.len())
+    };
+    let mut moves = Vec::new();
+    // Copy chains: candidate chains × increasing layer sequences.
+    for chain in model.reuse().chains(array, max_chain) {
+        // Assign chain elements to strictly increasing on-chip layers,
+        // innermost ending anywhere; enumerate combinations.
+        let k = chain.len();
+        if k > onchip.len() {
+            continue;
+        }
+        // Choose k layers out of the on-chip stack (they are already
+        // ordered outer→inner).
+        let combos = layer_combinations(&onchip, k);
+        for layers in combos {
+            let sel: Vec<SelectedCopy> = chain
+                .iter()
+                .zip(&layers)
+                .map(|(&candidate, &layer)| SelectedCopy { candidate, layer })
+                .collect();
+            moves.push(Move::SetChain(array, sel));
+        }
+    }
+    // Re-homing for internal arrays.
+    if model.classes()[array.index()] == ArrayClass::Internal {
+        for &l in &onchip {
+            moves.push(Move::Rehome(array, l));
+        }
+    }
+    moves
+}
+
+fn layer_combinations(layers: &[LayerId], k: usize) -> Vec<Vec<LayerId>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn go(layers: &[LayerId], k: usize, start: usize, cur: &mut Vec<LayerId>, out: &mut Vec<Vec<LayerId>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..layers.len() {
+            cur.push(layers[i]);
+            go(layers, k, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    go(layers, k, 0, &mut cur, &mut out);
+    out
+}
+
+/// Result of an assignment search.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SearchOutcome {
+    /// The chosen assignment.
+    pub assignment: Assignment,
+    /// Its static cost.
+    pub cost: CostBreakdown,
+    /// Moves applied (greedy) or leaves visited (exhaustive) — diagnostics.
+    pub steps: u64,
+}
+
+/// The published greedy gain/size steering.
+///
+/// Starting from the out-of-the-box assignment, repeatedly evaluates every
+/// per-array option and applies the one with the best
+/// `objective gain / additional on-chip bytes` ratio (pure gains with no
+/// size increase rank highest). Stops when no feasible option improves the
+/// objective.
+pub fn greedy(model: &CostModel<'_>, config: &MhlaConfig) -> SearchOutcome {
+    let no_buffers = HashMap::new();
+    let mut current = Assignment::baseline(model.program().array_count(), config.policy);
+    let mut current_cost = model.evaluate(&current);
+    let mut current_size = onchip_required(model, &current, &no_buffers);
+    let mut steps = 0u64;
+
+    loop {
+        let mut best: Option<(f64, Move, CostBreakdown, u64)> = None;
+        for (aid, _) in model.program().arrays() {
+            for mv in array_options(model, config, aid) {
+                let mut trial = current.clone();
+                mv.apply(&mut trial);
+                if model.check_capacity(&trial, &no_buffers).is_err() {
+                    continue;
+                }
+                let cost = model.evaluate(&trial);
+                let gain = config.objective.score(&current_cost) - config.objective.score(&cost);
+                if gain <= 0.0 {
+                    continue;
+                }
+                let size = onchip_required(model, &trial, &no_buffers);
+                let extra = size.saturating_sub(current_size);
+                // Ratio steering: free wins (no extra bytes) dominate any
+                // sized move but are still ordered among themselves by gain.
+                let ratio = if extra == 0 {
+                    gain * 1e12
+                } else {
+                    gain / extra as f64
+                };
+                if best.as_ref().map_or(true, |(r, ..)| ratio > *r) {
+                    best = Some((ratio, mv, cost, size));
+                }
+            }
+        }
+        match best {
+            Some((_, mv, cost, size)) => {
+                mv.apply(&mut current);
+                current_cost = cost;
+                current_size = size;
+                steps += 1;
+            }
+            None => break,
+        }
+    }
+    SearchOutcome {
+        assignment: current,
+        cost: current_cost,
+        steps,
+    }
+}
+
+fn onchip_required(
+    model: &CostModel<'_>,
+    a: &Assignment,
+    buffers: &HashMap<mhla_reuse::CandidateId, u32>,
+) -> u64 {
+    model
+        .layer_usage(a, buffers)
+        .iter()
+        .skip(1)
+        .map(|u| u.required)
+        .sum()
+}
+
+/// Exhaustive branch-and-bound over per-array options.
+///
+/// Exact (up to the option space, which both searches share) but
+/// exponential; intended for small instances and for validating the
+/// greedy. Visits at most `node_limit` leaves, then returns the incumbent.
+pub fn exhaustive(model: &CostModel<'_>, config: &MhlaConfig, node_limit: u64) -> SearchOutcome {
+    let no_buffers = HashMap::new();
+    let arrays: Vec<ArrayId> = model.program().arrays().map(|(a, _)| a).collect();
+    let options: Vec<Vec<Move>> = arrays
+        .iter()
+        .map(|&a| {
+            // First option: leave the array alone (empty chain, home as-is).
+            let mut v = vec![Move::SetChain(a, Vec::new())];
+            v.extend(array_options(model, config, a));
+            v
+        })
+        .collect();
+
+    let baseline = Assignment::baseline(model.program().array_count(), config.policy);
+    let base_cost = model.evaluate(&baseline);
+    let mut best = SearchOutcome {
+        assignment: baseline.clone(),
+        cost: base_cost,
+        steps: 0,
+    };
+    let mut best_score = config.objective.score(&best.cost);
+    let mut visited = 0u64;
+
+    fn dfs(
+        model: &CostModel<'_>,
+        config: &MhlaConfig,
+        options: &[Vec<Move>],
+        depth: usize,
+        current: &mut Assignment,
+        no_buffers: &HashMap<mhla_reuse::CandidateId, u32>,
+        best: &mut SearchOutcome,
+        best_score: &mut f64,
+        visited: &mut u64,
+        node_limit: u64,
+    ) {
+        if *visited >= node_limit {
+            return;
+        }
+        if depth == options.len() {
+            *visited += 1;
+            if model.check_capacity(current, no_buffers).is_err() {
+                return;
+            }
+            let cost = model.evaluate(current);
+            let score = config.objective.score(&cost);
+            if score < *best_score {
+                *best_score = score;
+                *best = SearchOutcome {
+                    assignment: current.clone(),
+                    cost,
+                    steps: *visited,
+                };
+            }
+            return;
+        }
+        for mv in &options[depth] {
+            let saved = current.clone();
+            mv.apply(current);
+            // Prune: partial assignments that already blow a capacity
+            // cannot be fixed by later arrays (options only add residents).
+            if model.check_capacity(current, no_buffers).is_ok() {
+                dfs(
+                    model, config, options, depth + 1, current, no_buffers, best, best_score,
+                    visited, node_limit,
+                );
+            }
+            *current = saved;
+        }
+    }
+
+    let mut current = baseline;
+    dfs(
+        model,
+        config,
+        &options,
+        0,
+        &mut current,
+        &no_buffers,
+        &mut best,
+        &mut best_score,
+        &mut visited,
+        node_limit,
+    );
+    best.steps = visited;
+    best
+}
+
+/// Runs the configured search strategy.
+pub fn search(model: &CostModel<'_>, config: &MhlaConfig) -> SearchOutcome {
+    match config.strategy {
+        crate::types::SearchStrategy::Greedy => greedy(model, config),
+        crate::types::SearchStrategy::Exhaustive { node_limit } => {
+            exhaustive(model, config, node_limit)
+        }
+    }
+}
+
+/// The out-of-the-box assignment and its cost (the paper's 100% bar).
+pub fn baseline(model: &CostModel<'_>, policy: TransferPolicy) -> SearchOutcome {
+    let a = Assignment::baseline(model.program().array_count(), policy);
+    let cost = model.evaluate(&a);
+    SearchOutcome {
+        assignment: a,
+        cost,
+        steps: 0,
+    }
+}
+
+/// The *direct placement* baseline: what a programmer gets without the MHLA
+/// tool on a platform that nevertheless has on-chip SRAM — the toolchain
+/// places data sections by static fit, with no copies, no lifetime sharing
+/// and no prefetching.
+///
+/// Arrays eligible for on-chip linkage are the *internal temporaries*
+/// (compiler-managed `.bss`/stack data, which toolchains of the era did
+/// link into on-chip SRAM). Inputs, outputs and constant tables stay
+/// off-chip — `.rodata` lived in flash/SDRAM, and promoting it on-chip is
+/// precisely the manual tuning MHLA automates. Placement is greedy by
+/// access density (accesses per byte), filling the closest layer first,
+/// and capacity is checked by *sum* of sizes — out-of-the-box code does
+/// not share storage between lifetimes.
+pub fn direct_placement(model: &CostModel<'_>, policy: TransferPolicy) -> SearchOutcome {
+    let program = model.program();
+    let info = program.info();
+    let mut a = Assignment::baseline(program.array_count(), policy);
+
+    // Eligible arrays, densest first.
+    let mut eligible: Vec<(ArrayId, u64, f64)> = program
+        .arrays()
+        .filter_map(|(aid, decl)| {
+            let counts = info.access_counts(aid);
+            let internal = model.classes()[aid.index()] == ArrayClass::Internal;
+            if !internal || counts.total() == 0 {
+                return None;
+            }
+            Some((aid, decl.bytes(), counts.total() as f64 / decl.bytes() as f64))
+        })
+        .collect();
+    eligible.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Fill layers closest-first by remaining capacity.
+    let mut remaining: Vec<(LayerId, u64)> = model
+        .platform()
+        .on_chip_layers()
+        .map(|(l, layer)| (l, layer.capacity.unwrap_or(u64::MAX)))
+        .collect();
+    remaining.reverse(); // closest first
+    for (aid, bytes, _) in eligible {
+        for slot in remaining.iter_mut() {
+            if bytes <= slot.1 {
+                a.set_home(aid, slot.0);
+                slot.1 -= bytes;
+                break;
+            }
+        }
+    }
+    let cost = model.evaluate(&a);
+    SearchOutcome {
+        assignment: a,
+        cost,
+        steps: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_arrays;
+    use mhla_hierarchy::Platform;
+    use mhla_ir::{ElemType, Program, ProgramBuilder};
+    use mhla_reuse::ReuseAnalysis;
+
+    fn run(
+        p: &Program,
+        pf: &Platform,
+        config: &MhlaConfig,
+    ) -> (SearchOutcome, SearchOutcome, CostBreakdown) {
+        let reuse = ReuseAnalysis::analyze(p);
+        let classes = classify_arrays(p, &config.class_overrides);
+        let model = CostModel::new(p, pf, &reuse, classes);
+        let g = greedy(&model, config);
+        let e = exhaustive(&model, config, 1_000_000);
+        let b = model.evaluate(&Assignment::baseline(p.array_count(), config.policy));
+        (g, e, b)
+    }
+
+    /// Table scanned repeatedly — the canonical staging win.
+    fn scan_program() -> Program {
+        let mut b = ProgramBuilder::new("scan");
+        let tab = b.array("tab", &[256], ElemType::U8);
+        let lr = b.begin_loop("rep", 0, 64, 1);
+        let li = b.begin_loop("i", 0, 256, 1);
+        let iv = b.var(li);
+        b.stmt("s").read(tab, vec![iv]).compute_cycles(1).finish();
+        b.end_loop();
+        b.end_loop();
+        let _ = lr;
+        b.finish()
+    }
+
+    #[test]
+    fn greedy_stages_the_scanned_table() {
+        let p = scan_program();
+        let pf = Platform::embedded_default(1024);
+        let (g, _, base) = run(&p, &pf, &MhlaConfig::default());
+        assert_eq!(g.assignment.copies().len(), 1);
+        assert!(g.cost.total_cycles() < base.total_cycles() / 2);
+        assert!(g.cost.total_energy_pj() < base.total_energy_pj() / 2.0);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_instances() {
+        let p = scan_program();
+        let pf = Platform::embedded_default(1024);
+        for objective in [Objective::Cycles, Objective::Energy] {
+            let config = MhlaConfig {
+                objective,
+                ..MhlaConfig::default()
+            };
+            let (g, e, _) = run(&p, &pf, &config);
+            assert_eq!(
+                objective.score(&g.cost),
+                objective.score(&e.cost),
+                "greedy should be optimal here"
+            );
+        }
+    }
+
+    #[test]
+    fn nothing_is_staged_when_scratchpad_is_too_small() {
+        let p = scan_program();
+        let pf = Platform::embedded_default(16); // 16 B: nothing useful fits
+        let (g, e, base) = run(&p, &pf, &MhlaConfig::default());
+        // The only feasible candidates are tiny inner-loop footprints with
+        // no gain; greedy must not regress below baseline.
+        assert!(g.cost.total_cycles() <= base.total_cycles());
+        assert!(e.cost.total_cycles() <= base.total_cycles());
+    }
+
+    #[test]
+    fn capacity_constrains_the_choice() {
+        // Two tables; only one fits.
+        let mut b = ProgramBuilder::new("two");
+        let hot = b.array("hot", &[256], ElemType::U8);
+        let cold = b.array("cold", &[256], ElemType::U8);
+        let lr = b.begin_loop("rep", 0, 64, 1);
+        let li = b.begin_loop("i", 0, 256, 1);
+        let iv = b.var(li);
+        b.stmt("h").read(hot, vec![iv.clone()]).finish();
+        b.end_loop();
+        let lj = b.begin_loop("j", 0, 16, 1);
+        let jv = b.var(lj);
+        b.stmt("c").read(cold, vec![jv * 16]).finish();
+        b.end_loop();
+        b.end_loop();
+        let _ = (lr, li, lj);
+        let p = b.finish();
+        let pf = Platform::embedded_default(256);
+        let (g, e, _) = run(&p, &pf, &MhlaConfig::default());
+        // The hot table (64×256 accesses) must win the single slot.
+        for outcome in [&g, &e] {
+            let staged: Vec<_> = outcome
+                .assignment
+                .copies()
+                .iter()
+                .map(|c| c.candidate.array)
+                .collect();
+            assert!(staged.contains(&hot), "hot table staged: {staged:?}");
+            assert!(!staged.contains(&cold), "cold table must not fit");
+        }
+    }
+
+    #[test]
+    fn internal_temporary_gets_rehomed() {
+        // tmp produced then consumed, fits on-chip: homing beats copying.
+        let mut b = ProgramBuilder::new("p");
+        let tmp = b.array("tmp", &[128], ElemType::U8);
+        b.loop_scope("i", 0, 128, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("w").write(tmp, vec![i]).finish();
+        });
+        b.loop_scope("rep", 0, 32, 1, |b, _| {
+            b.loop_scope("j", 0, 128, 1, |b, lj| {
+                let j = b.var(lj);
+                b.stmt("r").read(tmp, vec![j]).finish();
+            });
+        });
+        let p = b.finish();
+        let pf = Platform::embedded_default(1024);
+        let (g, _, base) = run(&p, &pf, &MhlaConfig::default());
+        assert_eq!(
+            g.assignment.home(tmp),
+            LayerId(1),
+            "temporary homed on-chip"
+        );
+        assert!(g.assignment.copies().is_empty());
+        assert_eq!(g.cost.transfer_count, 0, "no transfers at all");
+        assert!(g.cost.total_cycles() < base.total_cycles());
+    }
+
+    #[test]
+    fn greedy_never_worsens_the_baseline() {
+        let p = scan_program();
+        for cap in [32u64, 128, 512, 4096, 65536] {
+            let pf = Platform::embedded_default(cap);
+            let (g, _, base) = run(&p, &pf, &MhlaConfig::default());
+            assert!(
+                g.cost.total_cycles() <= base.total_cycles(),
+                "regression at cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_objective_interpolates() {
+        let p = scan_program();
+        let pf = Platform::embedded_default(1024);
+        let config = MhlaConfig {
+            objective: Objective::Weighted {
+                energy_weight: 0.5,
+                cycle_weight: 0.5,
+            },
+            ..MhlaConfig::default()
+        };
+        let (g, _, base) = run(&p, &pf, &config);
+        assert!(config.objective.score(&g.cost) < config.objective.score(&base));
+    }
+}

@@ -1,0 +1,150 @@
+//! Array classification: which arrays may be re-homed on-chip.
+//!
+//! The paper's workloads distinguish *external* data (frames, bitstreams —
+//! they materialize in off-chip memory and can only be *copied* on-chip)
+//! from *internal* temporaries (produced and consumed by the kernel — they
+//! may be homed directly in a scratchpad, never touching the off-chip
+//! layer). The prototype tool gets this from the designer; here a simple
+//! first-access heuristic classifies automatically and
+//! [`MhlaConfig::class_overrides`](crate::MhlaConfig::class_overrides)
+//! lets workloads pin the truth.
+
+use mhla_ir::{AccessKind, ArrayId, Program};
+
+/// Whether an array can be re-homed into an on-chip layer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArrayClass {
+    /// Lives in off-chip memory (program input/output); only copies of it
+    /// can be staged on-chip.
+    External,
+    /// Kernel-internal temporary; may be homed in any layer it fits.
+    Internal,
+}
+
+/// Classifies every array of `program`.
+///
+/// Heuristic: an array whose *first* access (in logical time) is a read is
+/// an input and an array that is written but never read is an output —
+/// both [`External`](ArrayClass::External). Arrays that are written before
+/// being read are [`Internal`](ArrayClass::Internal) temporaries.
+/// `overrides` wins where present.
+pub fn classify_arrays(
+    program: &Program,
+    overrides: &[(ArrayId, ArrayClass)],
+) -> Vec<ArrayClass> {
+    let info = program.info();
+    let mut first_access: Vec<Option<(u64, AccessKind)>> = vec![None; program.array_count()];
+    let tl = program.timeline();
+    for (sid, stmt) in program.stmts() {
+        let t = tl.stmt_span(sid).start;
+        for acc in &stmt.accesses {
+            let slot = &mut first_access[acc.array.index()];
+            match slot {
+                Some((t0, _)) if *t0 <= t => {}
+                _ => *slot = Some((t, acc.kind)),
+            }
+        }
+    }
+    let mut classes: Vec<ArrayClass> = (0..program.array_count())
+        .map(|i| {
+            let aid = ArrayId::from_index(i);
+            let counts = info.access_counts(aid);
+            match first_access[i] {
+                // Read before ever written: input.
+                Some((_, AccessKind::Read)) => ArrayClass::External,
+                // Written but never read back: output.
+                Some((_, AccessKind::Write)) if counts.reads == 0 => ArrayClass::External,
+                // Written then read: internal temporary.
+                Some((_, AccessKind::Write)) => ArrayClass::Internal,
+                // Never accessed: treat as external (harmless).
+                None => ArrayClass::External,
+            }
+        })
+        .collect();
+    for (aid, class) in overrides {
+        classes[aid.index()] = *class;
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhla_ir::{ElemType, ProgramBuilder};
+
+    #[test]
+    fn inputs_temporaries_and_outputs() {
+        let mut b = ProgramBuilder::new("p");
+        let input = b.array("in", &[16], ElemType::U8);
+        let tmp = b.array("tmp", &[16], ElemType::U8);
+        let output = b.array("out", &[16], ElemType::U8);
+        b.loop_scope("i", 0, 16, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("s1")
+                .read(input, vec![i.clone()])
+                .write(tmp, vec![i])
+                .finish();
+        });
+        b.loop_scope("j", 0, 16, 1, |b, lj| {
+            let j = b.var(lj);
+            b.stmt("s2")
+                .read(tmp, vec![j.clone()])
+                .write(output, vec![j])
+                .finish();
+        });
+        let p = b.finish();
+        let classes = classify_arrays(&p, &[]);
+        assert_eq!(classes[input.index()], ArrayClass::External, "input");
+        assert_eq!(classes[tmp.index()], ArrayClass::Internal, "temporary");
+        assert_eq!(classes[output.index()], ArrayClass::External, "output");
+    }
+
+    #[test]
+    fn overrides_win() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[4], ElemType::U8);
+        b.loop_scope("i", 0, 4, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("s").read(a, vec![i]).finish();
+        });
+        let p = b.finish();
+        assert_eq!(classify_arrays(&p, &[])[0], ArrayClass::External);
+        assert_eq!(
+            classify_arrays(&p, &[(a, ArrayClass::Internal)])[0],
+            ArrayClass::Internal
+        );
+    }
+
+    #[test]
+    fn unaccessed_arrays_are_external() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[4], ElemType::U8);
+        let dead = b.array("dead", &[4], ElemType::U8);
+        b.loop_scope("i", 0, 4, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("s").read(a, vec![i]).finish();
+        });
+        let p = b.finish();
+        assert_eq!(classify_arrays(&p, &[])[dead.index()], ArrayClass::External);
+    }
+
+    #[test]
+    fn read_modify_write_of_fresh_array_is_internal() {
+        // acc is written (initialized) at t=0 then read — internal.
+        let mut b = ProgramBuilder::new("p");
+        let acc = b.array("acc", &[4], ElemType::I32);
+        b.loop_scope("i", 0, 4, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("init").write(acc, vec![i]).finish();
+        });
+        b.loop_scope("j", 0, 4, 1, |b, lj| {
+            let j = b.var(lj);
+            b.stmt("use")
+                .read(acc, vec![j.clone()])
+                .write(acc, vec![j])
+                .finish();
+        });
+        let p = b.finish();
+        assert_eq!(classify_arrays(&p, &[])[acc.index()], ArrayClass::Internal);
+    }
+}

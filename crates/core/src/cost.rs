@@ -1,0 +1,657 @@
+//! Static cost model: cycles, energy and capacity usage of an assignment.
+//!
+//! The model follows the paper's conventions:
+//!
+//! * **Energy counts memory-hierarchy accesses only** ("in our models we
+//!   only consider accesses to the memory hierarchy") — CPU datapath energy
+//!   is out of scope, and Time Extensions therefore cannot change energy.
+//! * **Cycles** decompose into pure compute, CPU access latency, and block-
+//!   transfer time. The step-1 estimate charges the full transfer time as
+//!   stall (the CPU waits at each block transfer); the *ideal* bound
+//!   charges none of it (every transfer hidden — the paper's "0 wait
+//!   cycles block transfer time" line in Figure 2). The TE step and the
+//!   simulator land in between.
+
+use std::collections::HashMap;
+
+use mhla_hierarchy::{LayerId, Platform};
+use mhla_ir::{AccessKind, ArrayId, LoopId, NodeId, Program, StmtId, Timeline};
+use mhla_lifetime::{peak_occupancy, Resident};
+use mhla_reuse::{CandidateId, ReuseAnalysis};
+
+use crate::classify::ArrayClass;
+use crate::types::{Assignment, AssignmentError, SelectedCopy, TransferPolicy};
+
+/// One block-transfer stream: the transfer geometry of one selected copy.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TransferStream {
+    /// The copy this stream feeds.
+    pub copy: SelectedCopy,
+    /// Layer the data comes from (parent copy's layer or the array home).
+    pub src: LayerId,
+    /// Layer the copy buffer lives in.
+    pub dst: LayerId,
+    /// Loop owning the refreshes (`None` for the whole-array copy).
+    pub owner: Option<LoopId>,
+    /// Buffer size in bytes (one buffer).
+    pub buffer_bytes: u64,
+    /// Total BT instances per program run.
+    pub entries: u64,
+    /// How many of the `entries` are *first* entries (full fill); the rest
+    /// are steady-state refreshes.
+    pub first_entries: u64,
+    /// Bytes of a first (full) transfer.
+    pub full_bytes: u64,
+    /// Bytes of a steady-state transfer under the active policy
+    /// (= `full_bytes` for [`TransferPolicy::FullRefresh`]).
+    pub steady_bytes: u64,
+    /// Write-back bytes per entry (0 for read-only regions).
+    pub writeback_bytes: u64,
+}
+
+impl TransferStream {
+    /// Total bytes moved per program run (fills + refreshes + write-backs).
+    pub fn total_bytes(&self) -> u64 {
+        self.first_entries * self.full_bytes
+            + (self.entries - self.first_entries) * self.steady_bytes
+            + self.entries * self.writeback_bytes
+    }
+}
+
+/// Per-layer capacity usage of an assignment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LayerUsage {
+    /// The layer.
+    pub layer: LayerId,
+    /// Bytes required after in-place optimization (peak concurrent live).
+    pub required: u64,
+    /// Bytes required without lifetime sharing (sum of resident sizes).
+    pub without_inplace: u64,
+    /// Layer capacity (`u64::MAX` for unbounded off-chip).
+    pub capacity: u64,
+}
+
+impl LayerUsage {
+    /// Whether the residents fit.
+    pub fn fits(&self) -> bool {
+        self.required <= self.capacity
+    }
+}
+
+/// Cycle and energy totals of an assignment under the static model.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CostBreakdown {
+    /// Pure datapath cycles.
+    pub compute_cycles: u64,
+    /// CPU memory-access latency cycles.
+    pub cpu_access_cycles: u64,
+    /// Block-transfer cycles, charged as stall in the step-1 estimate.
+    pub transfer_cycles: u64,
+    /// Block-transfer instances per program run.
+    pub transfer_count: u64,
+    /// Energy of CPU accesses, picojoule.
+    pub cpu_access_energy_pj: f64,
+    /// Energy of block transfers, picojoule.
+    pub transfer_energy_pj: f64,
+    /// CPU accesses per layer (indexed by layer).
+    pub accesses_per_layer: Vec<u64>,
+}
+
+impl CostBreakdown {
+    /// Step-1 estimate: every block transfer stalls the CPU.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.cpu_access_cycles + self.transfer_cycles
+    }
+
+    /// Ideal bound: every block transfer fully hidden (the paper's
+    /// "0 wait cycles" line).
+    pub fn ideal_cycles(&self) -> u64 {
+        self.compute_cycles + self.cpu_access_cycles
+    }
+
+    /// Total memory energy, picojoule.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.cpu_access_energy_pj + self.transfer_energy_pj
+    }
+}
+
+/// Static estimator for a fixed (program, platform) pair.
+///
+/// Construction performs the reuse analysis reuse; [`evaluate`]
+/// (CostModel::evaluate) then prices any assignment in
+/// `O(statements + copies)`.
+#[derive(Debug)]
+pub struct CostModel<'a> {
+    program: &'a Program,
+    platform: &'a Platform,
+    reuse: &'a ReuseAnalysis,
+    timeline: Timeline,
+    classes: Vec<ArrayClass>,
+    /// Per statement: executions (cached).
+    stmt_execs: Vec<u64>,
+    /// Per candidate-owning loop: entries count.
+    loop_entries: HashMap<LoopId, u64>,
+    total_compute: u64,
+}
+
+impl<'a> CostModel<'a> {
+    /// Builds a cost model.
+    pub fn new(
+        program: &'a Program,
+        platform: &'a Platform,
+        reuse: &'a ReuseAnalysis,
+        classes: Vec<ArrayClass>,
+    ) -> Self {
+        let info = program.info();
+        let stmt_execs = program
+            .stmts()
+            .map(|(s, _)| info.stmt_executions(s))
+            .collect();
+        let loop_entries = program
+            .loops()
+            .map(|(l, _)| (l, info.loop_entries(l)))
+            .collect();
+        let total_compute = program
+            .roots()
+            .iter()
+            .map(|&r| info.compute_cycles(r))
+            .sum();
+        CostModel {
+            program,
+            platform,
+            reuse,
+            timeline: program.timeline(),
+            classes,
+            stmt_execs,
+            loop_entries,
+            total_compute,
+        }
+    }
+
+    /// The analysed program.
+    pub fn program(&self) -> &'a Program {
+        self.program
+    }
+
+    /// The platform being priced against.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The reuse analysis in use.
+    pub fn reuse(&self) -> &'a ReuseAnalysis {
+        self.reuse
+    }
+
+    /// Array classes (external/internal) in array order.
+    pub fn classes(&self) -> &[ArrayClass] {
+        &self.classes
+    }
+
+    /// The program's logical timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// The layer serving a given access of a statement: the innermost
+    /// selected copy whose region covers the statement, or the array home.
+    pub fn serving_layer(
+        &self,
+        assignment: &Assignment,
+        stmt: StmtId,
+        array: ArrayId,
+    ) -> LayerId {
+        let info = self.program.info();
+        let mut layer = assignment.home(array);
+        for copy in assignment.copies_of(array) {
+            let covers = match self.reuse.candidate(copy.candidate).at_loop {
+                None => true,
+                Some(l) => info.encloses(l, NodeId::Stmt(stmt)),
+            };
+            if covers {
+                layer = layer.max(copy.layer);
+            }
+        }
+        layer
+    }
+
+    /// Derives the block-transfer streams of an assignment: one per
+    /// selected copy, with the source resolved through the chain.
+    pub fn transfer_streams(&self, assignment: &Assignment) -> Vec<TransferStream> {
+        let mut out = Vec::new();
+        for aid in 0..assignment.array_count() {
+            let array = ArrayId::from_index(aid);
+            let chain = assignment.copies_of(array);
+            let mut src = assignment.home(array);
+            for copy in chain {
+                let cc = self.reuse.candidate(copy.candidate);
+                let elem = self.program.array(array).elem.bytes();
+                let (entries, first_entries) = match cc.at_loop {
+                    Some(l) => (cc.entries, self.loop_entries[&l]),
+                    None => (1, 1),
+                };
+                let full_bytes = cc.bytes;
+                let steady_bytes = match assignment.policy() {
+                    TransferPolicy::FullRefresh => full_bytes,
+                    TransferPolicy::SlidingDelta => {
+                        if cc.footprint.exact {
+                            cc.footprint.delta_elements() * elem
+                        } else {
+                            full_bytes
+                        }
+                    }
+                };
+                let writeback_bytes = if entries > 0 {
+                    cc.writebacks * elem / entries
+                } else {
+                    0
+                };
+                out.push(TransferStream {
+                    copy,
+                    src,
+                    dst: copy.layer,
+                    owner: cc.at_loop,
+                    buffer_bytes: cc.bytes,
+                    entries,
+                    first_entries: first_entries.min(entries),
+                    full_bytes,
+                    steady_bytes,
+                    writeback_bytes,
+                });
+                src = copy.layer;
+            }
+        }
+        out
+    }
+
+    /// Cycles and energy to run one stream's transfers (all instances).
+    fn price_stream(&self, s: &TransferStream) -> (u64, f64, u64) {
+        let src = self.platform.layer(s.src);
+        let dst = self.platform.layer(s.dst);
+        let elem = self
+            .program
+            .array(s.copy.candidate.array)
+            .elem
+            .bytes()
+            .max(1);
+        let mut cycles = 0u64;
+        let mut energy = 0f64;
+        let mut count = 0u64;
+        let steady_entries = s.entries - s.first_entries;
+        match self.platform.dma() {
+            Some(dma) => {
+                for (n, bytes) in [
+                    (s.first_entries, s.full_bytes),
+                    (steady_entries, s.steady_bytes),
+                    (s.entries, s.writeback_bytes),
+                ] {
+                    if n == 0 || bytes == 0 {
+                        continue;
+                    }
+                    cycles += n * dma.transfer_cycles(bytes, src, dst);
+                    energy += n as f64 * dma.transfer_energy_pj(bytes, elem, src, dst);
+                    count += n;
+                }
+            }
+            None => {
+                // CPU-performed copy: element loads + stores, blocking.
+                let per_elem_cycles =
+                    self.platform.access_cycles(s.src) + self.platform.access_cycles(s.dst);
+                let per_elem_energy = src.read_energy_pj + dst.write_energy_pj;
+                for (n, bytes) in [
+                    (s.first_entries, s.full_bytes),
+                    (steady_entries, s.steady_bytes),
+                    (s.entries, s.writeback_bytes),
+                ] {
+                    if n == 0 || bytes == 0 {
+                        continue;
+                    }
+                    let elems = bytes / elem;
+                    cycles += n * elems * per_elem_cycles;
+                    energy += n as f64 * elems as f64 * per_elem_energy;
+                    count += n;
+                }
+            }
+        }
+        (cycles, energy, count)
+    }
+
+    /// Prices an assignment under the static model.
+    pub fn evaluate(&self, assignment: &Assignment) -> CostBreakdown {
+        let mut b = CostBreakdown {
+            compute_cycles: self.total_compute,
+            accesses_per_layer: vec![0; self.platform.layer_count()],
+            ..CostBreakdown::default()
+        };
+        // CPU accesses.
+        for (sid, stmt) in self.program.stmts() {
+            let execs = self.stmt_execs[sid.index()];
+            for acc in &stmt.accesses {
+                let layer = self.serving_layer(assignment, sid, acc.array);
+                let l = self.platform.layer(layer);
+                b.cpu_access_cycles += execs * self.platform.access_cycles(layer);
+                b.cpu_access_energy_pj +=
+                    execs as f64 * l.access_energy_pj(acc.kind == AccessKind::Write);
+                b.accesses_per_layer[layer.index()] += execs;
+            }
+        }
+        // Block transfers.
+        for stream in self.transfer_streams(assignment) {
+            let (cycles, energy, count) = self.price_stream(&stream);
+            b.transfer_cycles += cycles;
+            b.transfer_energy_pj += energy;
+            b.transfer_count += count;
+        }
+        b
+    }
+
+    /// CPU cycles of ONE iteration of `loop_id` under an assignment:
+    /// compute plus access latencies of everything executed inside, with
+    /// no block-transfer time (that is what Time Extensions hide the
+    /// transfers *behind* — Figure 1's `compute_loop_cycles()`).
+    pub fn cycles_per_iteration(
+        &self,
+        assignment: &Assignment,
+        loop_id: LoopId,
+    ) -> u64 {
+        let info = self.program.info();
+        let iterations = info.loop_iterations(loop_id).max(1);
+        let mut total = 0u64;
+        for s in info.subtree_stmts(NodeId::Loop(loop_id)) {
+            let execs = self.stmt_execs[s.index()];
+            let stmt = self.program.stmt(s);
+            let mut per_exec = stmt.compute_cycles;
+            for acc in &stmt.accesses {
+                let layer = self.serving_layer(assignment, s, acc.array);
+                per_exec += self.platform.access_cycles(layer);
+            }
+            total += execs * per_exec;
+        }
+        total / iterations
+    }
+
+    /// The residents occupying one layer under an assignment.
+    ///
+    /// `buffers` gives the buffer multiplier per copy (Time Extensions
+    /// request 2+ for prefetched copies); copies absent from the map hold a
+    /// single buffer.
+    pub fn residents(
+        &self,
+        assignment: &Assignment,
+        layer: LayerId,
+        buffers: &HashMap<CandidateId, u32>,
+    ) -> Vec<Resident> {
+        let mut out = Vec::new();
+        for (aid, _) in self.program.arrays() {
+            if assignment.home(aid) == layer && layer.index() != 0 {
+                if let Some(r) = Resident::for_array(self.program, &self.timeline, aid) {
+                    out.push(r);
+                }
+            }
+        }
+        for copy in assignment.copies() {
+            if copy.layer != layer {
+                continue;
+            }
+            let cc = self.reuse.candidate(copy.candidate);
+            let mult = buffers.get(&copy.candidate).copied().unwrap_or(1).max(1);
+            if let Some(mut r) = Resident::for_candidate(
+                self.program,
+                &self.timeline,
+                copy.candidate,
+                cc,
+                false,
+            ) {
+                r.bytes *= mult as u64;
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Capacity usage per layer (after in-place) with the given buffer
+    /// multipliers.
+    pub fn layer_usage(
+        &self,
+        assignment: &Assignment,
+        buffers: &HashMap<CandidateId, u32>,
+    ) -> Vec<LayerUsage> {
+        self.platform
+            .layers()
+            .map(|(lid, layer)| {
+                let residents = self.residents(assignment, lid, buffers);
+                LayerUsage {
+                    layer: lid,
+                    required: peak_occupancy(&residents),
+                    without_inplace: residents.iter().map(|r| r.bytes).sum(),
+                    capacity: layer.capacity.unwrap_or(u64::MAX),
+                }
+            })
+            .collect()
+    }
+
+    /// Checks that every layer fits its residents (after in-place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignmentError::CapacityExceeded`] for the first overfull
+    /// layer.
+    pub fn check_capacity(
+        &self,
+        assignment: &Assignment,
+        buffers: &HashMap<CandidateId, u32>,
+    ) -> Result<(), AssignmentError> {
+        for usage in self.layer_usage(assignment, buffers) {
+            if !usage.fits() {
+                return Err(AssignmentError::CapacityExceeded {
+                    layer: usage.layer,
+                    required: usage.required,
+                    capacity: usage.capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_arrays;
+    use mhla_ir::{ElemType, ProgramBuilder};
+
+    /// `for rep in 0..64 { for i in 0..256 { read tab[i] } }`
+    fn scan() -> (Program, ArrayId, LoopId) {
+        let mut b = ProgramBuilder::new("scan");
+        let tab = b.array("tab", &[256], ElemType::U8);
+        let lr = b.begin_loop("rep", 0, 64, 1);
+        let li = b.begin_loop("i", 0, 256, 1);
+        let iv = b.var(li);
+        b.stmt("s").read(tab, vec![iv]).compute_cycles(2).finish();
+        b.end_loop();
+        b.end_loop();
+        (b.finish(), tab, lr)
+    }
+
+    fn model<'a>(
+        p: &'a Program,
+        pf: &'a Platform,
+        reuse: &'a ReuseAnalysis,
+    ) -> CostModel<'a> {
+        CostModel::new(p, pf, reuse, classify_arrays(p, &[]))
+    }
+
+    #[test]
+    fn baseline_puts_all_accesses_off_chip() {
+        let (p, _, _) = scan();
+        let pf = Platform::embedded_default(1024);
+        let reuse = ReuseAnalysis::analyze(&p);
+        let m = model(&p, &pf, &reuse);
+        let base = Assignment::baseline(1, TransferPolicy::default());
+        let cost = m.evaluate(&base);
+        let accesses = 64 * 256;
+        assert_eq!(cost.compute_cycles, 2 * accesses);
+        assert_eq!(
+            cost.cpu_access_cycles,
+            accesses * mhla_hierarchy::energy::SDRAM_ACCESS_CYCLES
+        );
+        assert_eq!(cost.transfer_cycles, 0);
+        assert_eq!(cost.accesses_per_layer, vec![accesses, 0]);
+        let expect_e = accesses as f64 * mhla_hierarchy::energy::SDRAM_ACCESS_PJ;
+        assert!((cost.cpu_access_energy_pj - expect_e).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staging_the_table_moves_accesses_on_chip() {
+        let (p, tab, _) = scan();
+        let pf = Platform::embedded_default(1024);
+        let reuse = ReuseAnalysis::analyze(&p);
+        let m = model(&p, &pf, &reuse);
+
+        let mut a = Assignment::baseline(1, TransferPolicy::default());
+        // Whole-array candidate is index 0.
+        a.add_copy(SelectedCopy {
+            candidate: CandidateId {
+                array: tab,
+                index: 0,
+            },
+            layer: LayerId(1),
+        });
+        let cost = m.evaluate(&a);
+        let accesses = 64 * 256;
+        assert_eq!(cost.accesses_per_layer, vec![0, accesses]);
+        assert_eq!(cost.cpu_access_cycles, accesses, "1 cycle per SPM access");
+        // One fill transfer of 256 B.
+        assert_eq!(cost.transfer_count, 1);
+        let dma = pf.dma().unwrap();
+        let expect = dma.transfer_cycles(256, pf.layer(LayerId(0)), pf.layer(LayerId(1)));
+        assert_eq!(cost.transfer_cycles, expect);
+        // Far cheaper than baseline on both axes.
+        let base = m.evaluate(&Assignment::baseline(1, TransferPolicy::default()));
+        assert!(cost.total_cycles() < base.total_cycles() / 2);
+        assert!(cost.total_energy_pj() < base.total_energy_pj() / 2.0);
+        // Ideal bound strips the transfer cycles.
+        assert_eq!(cost.ideal_cycles(), cost.total_cycles() - cost.transfer_cycles);
+    }
+
+    #[test]
+    fn copy_at_rep_loop_refreshes_every_iteration() {
+        let (p, tab, lr) = scan();
+        let pf = Platform::embedded_default(1024);
+        let reuse = ReuseAnalysis::analyze(&p);
+        let m = model(&p, &pf, &reuse);
+        let idx = reuse
+            .array(tab)
+            .candidates()
+            .iter()
+            .position(|c| c.at_loop == Some(lr))
+            .unwrap();
+        let mut a = Assignment::baseline(1, TransferPolicy::FullRefresh);
+        a.add_copy(SelectedCopy {
+            candidate: CandidateId {
+                array: tab,
+                index: idx,
+            },
+            layer: LayerId(1),
+        });
+        let streams = m.transfer_streams(&a);
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].entries, 64);
+        assert_eq!(streams[0].total_bytes(), 64 * 256);
+        // Sliding-delta collapses the refreshes (footprint does not move
+        // with rep): only the first fill transfers data.
+        let mut a2 = a.clone();
+        a2 = {
+            let mut x = Assignment::baseline(1, TransferPolicy::SlidingDelta);
+            for c in a2.copies() {
+                x.add_copy(*c);
+            }
+            x
+        };
+        let streams2 = m.transfer_streams(&a2);
+        assert_eq!(streams2[0].steady_bytes, 0, "window never slides");
+        assert_eq!(streams2[0].total_bytes(), 256);
+    }
+
+    #[test]
+    fn capacity_checking_uses_inplace_peak() {
+        let (p, tab, _) = scan();
+        let pf = Platform::embedded_default(128); // too small for 256 B
+        let reuse = ReuseAnalysis::analyze(&p);
+        let m = model(&p, &pf, &reuse);
+        let mut a = Assignment::baseline(1, TransferPolicy::default());
+        a.add_copy(SelectedCopy {
+            candidate: CandidateId {
+                array: tab,
+                index: 0,
+            },
+            layer: LayerId(1),
+        });
+        let err = m.check_capacity(&a, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, AssignmentError::CapacityExceeded { .. }));
+        // Double-buffering request doubles the requirement.
+        let pf_big = Platform::embedded_default(384);
+        let m2 = model(&p, &pf_big, &reuse);
+        assert!(m2.check_capacity(&a, &HashMap::new()).is_ok());
+        let mut buffers = HashMap::new();
+        buffers.insert(
+            CandidateId {
+                array: tab,
+                index: 0,
+            },
+            2,
+        );
+        assert!(m2.check_capacity(&a, &buffers).is_err(), "2x256 > 384");
+    }
+
+    #[test]
+    fn without_dma_copies_run_on_the_cpu() {
+        let (p, tab, _) = scan();
+        let pf = Platform::without_dma(1024);
+        let reuse = ReuseAnalysis::analyze(&p);
+        let m = model(&p, &pf, &reuse);
+        let mut a = Assignment::baseline(1, TransferPolicy::default());
+        a.add_copy(SelectedCopy {
+            candidate: CandidateId {
+                array: tab,
+                index: 0,
+            },
+            layer: LayerId(1),
+        });
+        let cost = m.evaluate(&a);
+        // 256 elements × (8 + 1) cycles (CPU copy loop: SDRAM read + SPM
+        // write per element).
+        assert_eq!(cost.transfer_cycles, 256 * 9);
+        // Still wins overall.
+        let base = m.evaluate(&Assignment::baseline(1, TransferPolicy::default()));
+        assert!(cost.total_cycles() < base.total_cycles());
+    }
+
+    #[test]
+    fn internal_array_homed_on_chip_has_no_transfers() {
+        // tmp written then read; home it on-chip.
+        let mut b = ProgramBuilder::new("p");
+        let tmp = b.array("tmp", &[64], ElemType::U8);
+        b.loop_scope("i", 0, 64, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("w").write(tmp, vec![i]).finish();
+        });
+        b.loop_scope("j", 0, 64, 1, |b, lj| {
+            let j = b.var(lj);
+            b.stmt("r").read(tmp, vec![j]).finish();
+        });
+        let p = b.finish();
+        let pf = Platform::embedded_default(1024);
+        let reuse = ReuseAnalysis::analyze(&p);
+        let m = model(&p, &pf, &reuse);
+        let mut a = Assignment::baseline(1, TransferPolicy::default());
+        a.set_home(tmp, LayerId(1));
+        let cost = m.evaluate(&a);
+        assert_eq!(cost.transfer_count, 0);
+        assert_eq!(cost.accesses_per_layer, vec![0, 128]);
+        let usage = m.layer_usage(&a, &HashMap::new());
+        assert_eq!(usage[1].required, 64);
+    }
+
+    use mhla_ir::{LoopId, Program};
+}

@@ -1,0 +1,198 @@
+//! Trade-off exploration over on-chip layer sizes.
+//!
+//! The paper's §1 claim — "performs a thorough trade-off exploration for
+//! different memory layer sizes … able to find all the optimal trade-off
+//! points" — maps to a capacity sweep: run both MHLA steps for every
+//! scratchpad size in a range, then keep the Pareto-optimal
+//! (capacity, cycles) and (capacity, energy) points.
+
+use mhla_hierarchy::{LayerId, Platform};
+use mhla_ir::Program;
+
+use crate::driver::{Mhla, MhlaResult};
+use crate::types::MhlaConfig;
+
+/// One point of the capacity sweep.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepPoint {
+    /// On-chip scratchpad capacity of this point, bytes.
+    pub capacity: u64,
+    /// The full MHLA result at this capacity.
+    pub result: MhlaResult,
+}
+
+impl SweepPoint {
+    /// Static MHLA+TE cycles at this point.
+    pub fn cycles(&self) -> u64 {
+        self.result.mhla_te_cycles()
+    }
+
+    /// Memory energy at this point, picojoule.
+    pub fn energy_pj(&self) -> f64 {
+        self.result.mhla_energy_pj()
+    }
+}
+
+/// Result of [`sweep`]: all evaluated points in ascending capacity order.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Sweep {
+    /// Evaluated points, ascending capacity.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Indices of the Pareto-optimal (capacity, cycles) points: no other
+    /// point has both smaller-or-equal capacity and strictly fewer cycles.
+    pub fn pareto_cycles(&self) -> Vec<usize> {
+        pareto_indices(&self.points, |p| p.cycles() as f64)
+    }
+
+    /// Indices of the Pareto-optimal (capacity, energy) points.
+    pub fn pareto_energy(&self) -> Vec<usize> {
+        pareto_indices(&self.points, |p| p.energy_pj())
+    }
+
+    /// The point with the fewest cycles (ties: smallest capacity).
+    pub fn best_cycles(&self) -> Option<&SweepPoint> {
+        self.points.iter().min_by(|a, b| {
+            (a.cycles(), a.capacity).cmp(&(b.cycles(), b.capacity))
+        })
+    }
+
+    /// The point with the least energy (ties: smallest capacity).
+    pub fn best_energy(&self) -> Option<&SweepPoint> {
+        self.points.iter().min_by(|a, b| {
+            (a.energy_pj(), a.capacity)
+                .partial_cmp(&(b.energy_pj(), b.capacity))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+/// Pareto filter for points sorted by ascending capacity: keep a point iff
+/// its objective strictly improves on everything at smaller-or-equal
+/// capacity.
+fn pareto_indices(points: &[SweepPoint], objective: impl Fn(&SweepPoint) -> f64) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut best = f64::INFINITY;
+    for (i, p) in points.iter().enumerate() {
+        let v = objective(p);
+        if v < best {
+            best = v;
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Default capacity grid: powers of two from 128 B to 128 KiB.
+pub fn default_capacities() -> Vec<u64> {
+    (7..=17).map(|e| 1u64 << e).collect()
+}
+
+/// Sweeps scratchpad capacities, resizing `layer` of `platform` to each of
+/// `capacities` and running the full MHLA flow.
+///
+/// # Panics
+///
+/// Panics if `layer` is the off-chip layer (it cannot be resized).
+pub fn sweep(
+    program: &Program,
+    platform: &Platform,
+    layer: LayerId,
+    capacities: &[u64],
+    config: &MhlaConfig,
+) -> Sweep {
+    let mut caps: Vec<u64> = capacities.to_vec();
+    caps.sort_unstable();
+    caps.dedup();
+    let points = caps
+        .into_iter()
+        .map(|capacity| {
+            let pf = platform.with_layer_capacity(layer, capacity);
+            let result = Mhla::new(program, &pf, config.clone()).run();
+            SweepPoint { capacity, result }
+        })
+        .collect();
+    Sweep { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhla_ir::{ElemType, ProgramBuilder};
+
+    fn blocked() -> Program {
+        let mut b = ProgramBuilder::new("blocked");
+        let data = b.array("data", &[4096], ElemType::U8);
+        let lb = b.begin_loop("blk", 0, 16, 1);
+        let lr = b.begin_loop("rep", 0, 8, 1);
+        let li = b.begin_loop("i", 0, 256, 1);
+        let (blk, i) = (b.var(lb), b.var(li));
+        b.stmt("use")
+            .read(data, vec![blk * 256 + i])
+            .compute_cycles(2)
+            .finish();
+        b.end_loop();
+        b.end_loop();
+        b.end_loop();
+        let _ = lr;
+        b.finish()
+    }
+
+    #[test]
+    fn sweep_is_monotone_enough_and_pareto_is_sane() {
+        let p = blocked();
+        let pf = Platform::embedded_default(1024);
+        let caps: Vec<u64> = vec![32, 64, 128, 256, 512, 1024, 4096];
+        let s = sweep(&p, &pf, LayerId(1), &caps, &MhlaConfig::default());
+        assert_eq!(s.points.len(), caps.len());
+        // Capacities ascend.
+        for w in s.points.windows(2) {
+            assert!(w[0].capacity < w[1].capacity);
+        }
+        // The Pareto front is non-empty, ascending in capacity and strictly
+        // descending in cycles.
+        let front = s.pareto_cycles();
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(s.points[w[0]].cycles() > s.points[w[1]].cycles());
+        }
+        // Best-cycles point beats the smallest-capacity point.
+        let best = s.best_cycles().unwrap();
+        assert!(best.cycles() <= s.points[0].cycles());
+    }
+
+    #[test]
+    fn bigger_scratchpads_never_hurt_cycles_on_the_front() {
+        let p = blocked();
+        let pf = Platform::embedded_default(1024);
+        let s = sweep(
+            &p,
+            &pf,
+            LayerId(1),
+            &default_capacities(),
+            &MhlaConfig::default(),
+        );
+        let front = s.pareto_energy();
+        for w in front.windows(2) {
+            assert!(s.points[w[0]].energy_pj() > s.points[w[1]].energy_pj());
+        }
+    }
+
+    #[test]
+    fn duplicate_capacities_are_deduped() {
+        let p = blocked();
+        let pf = Platform::embedded_default(1024);
+        let s = sweep(
+            &p,
+            &pf,
+            LayerId(1),
+            &[256, 256, 512],
+            &MhlaConfig::default(),
+        );
+        assert_eq!(s.points.len(), 2);
+    }
+
+    use mhla_ir::Program;
+}

@@ -1,0 +1,174 @@
+//! Human-readable and CSV reporting of MHLA results.
+
+use std::fmt::Write as _;
+
+use mhla_ir::Program;
+use mhla_reuse::ReuseAnalysis;
+
+use crate::driver::MhlaResult;
+use crate::explore::Sweep;
+
+/// Renders the paper's four Figure-2 bars for one application as text.
+///
+/// ```text
+/// app            baseline     mhla   mhla+te    ideal
+/// me              1234567   456789    345678   300000
+/// ```
+pub fn performance_row(name: &str, r: &MhlaResult) -> String {
+    format!(
+        "{name:<18} {:>12} {:>12} {:>12} {:>12}",
+        r.baseline_cycles(),
+        r.mhla_cycles(),
+        r.mhla_te_cycles(),
+        r.ideal_cycles()
+    )
+}
+
+/// Header matching [`performance_row`].
+pub fn performance_header() -> String {
+    format!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "application", "baseline", "mhla", "mhla+te", "ideal"
+    )
+}
+
+/// Renders one Figure-3 energy row (baseline vs MHLA, µJ, plus savings).
+pub fn energy_row(name: &str, r: &MhlaResult) -> String {
+    let base = r.baseline_energy_pj() / 1e6;
+    let opt = r.mhla_energy_pj() / 1e6;
+    let saving = if r.baseline_energy_pj() > 0.0 {
+        100.0 * (1.0 - r.mhla_energy_pj() / r.baseline_energy_pj())
+    } else {
+        0.0
+    };
+    format!("{name:<18} {base:>12.2} {opt:>12.2} {saving:>9.1}%")
+}
+
+/// Header matching [`energy_row`].
+pub fn energy_header() -> String {
+    format!(
+        "{:<18} {:>12} {:>12} {:>10}",
+        "application", "base [uJ]", "mhla [uJ]", "saving"
+    )
+}
+
+/// Describes an assignment: homes, copies, TE decisions.
+pub fn describe(program: &Program, reuse: &ReuseAnalysis, r: &MhlaResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "assignment for `{}`:", program.name());
+    for (aid, decl) in program.arrays() {
+        let home = r.assignment.home(aid);
+        let _ = writeln!(out, "  {} `{}` ({} B) -> {home}", aid, decl.name, decl.bytes());
+        for copy in r.assignment.copies_of(aid) {
+            let cc = reuse.candidate(copy.candidate);
+            let _ = writeln!(out, "    copy {cc} -> {}", copy.layer);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "time extensions: {} ({} of {} transfers extended)",
+        if r.te.applicable { "applicable" } else { "not applicable" },
+        r.te.extended_count(),
+        r.te.transfers.len()
+    );
+    for bt in &r.te.transfers {
+        let _ = writeln!(
+            out,
+            "    prio {} {}: bt_time {} cyc, ext {} cyc, {} buffer(s){}",
+            bt.priority,
+            bt.stream.copy,
+            bt.bt_time,
+            bt.ext_cycles,
+            bt.buffers,
+            if bt.fully_hidden { ", hidden" } else { "" }
+        );
+    }
+    out
+}
+
+/// CSV of a capacity sweep: `capacity,cycles_baseline,cycles_mhla,
+/// cycles_mhla_te,cycles_ideal,energy_baseline_pj,energy_mhla_pj`.
+pub fn sweep_csv(s: &Sweep) -> String {
+    let mut out = String::from(
+        "capacity,cycles_baseline,cycles_mhla,cycles_mhla_te,cycles_ideal,energy_baseline_pj,energy_mhla_pj\n",
+    );
+    for p in &s.points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.1},{:.1}",
+            p.capacity,
+            p.result.baseline_cycles(),
+            p.result.mhla_cycles(),
+            p.result.mhla_te_cycles(),
+            p.result.ideal_cycles(),
+            p.result.baseline_energy_pj(),
+            p.result.mhla_energy_pj()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Mhla;
+    use crate::types::MhlaConfig;
+    use mhla_hierarchy::Platform;
+    use mhla_ir::{ElemType, ProgramBuilder};
+
+    fn result() -> (Program, ReuseAnalysis, MhlaResult) {
+        let mut b = ProgramBuilder::new("tiny");
+        let tab = b.array("tab", &[64], ElemType::U8);
+        let lr = b.begin_loop("rep", 0, 16, 1);
+        let li = b.begin_loop("i", 0, 64, 1);
+        let iv = b.var(li);
+        b.stmt("s").read(tab, vec![iv]).finish();
+        b.end_loop();
+        b.end_loop();
+        let _ = lr;
+        let p = b.finish();
+        let pf = Platform::embedded_default(256);
+        let mhla = Mhla::new(&p, &pf, MhlaConfig::default());
+        let reuse = mhla.reuse().clone();
+        let r = mhla.run();
+        (p, reuse, r)
+    }
+
+    #[test]
+    fn rows_align_with_headers() {
+        let (_, _, r) = result();
+        let h = performance_header();
+        let row = performance_row("tiny", &r);
+        assert_eq!(h.len(), row.len(), "\n{h}\n{row}");
+        let eh = energy_header();
+        let er = energy_row("tiny", &r);
+        assert!(er.contains('%'));
+        assert!(!eh.is_empty());
+    }
+
+    #[test]
+    fn describe_names_arrays_and_te() {
+        let (p, reuse, r) = result();
+        let text = describe(&p, &reuse, &r);
+        assert!(text.contains("`tab`"), "{text}");
+        assert!(text.contains("time extensions: applicable"), "{text}");
+    }
+
+    #[test]
+    fn sweep_csv_has_one_line_per_point_plus_header() {
+        let (p, _, _) = result();
+        let pf = Platform::embedded_default(256);
+        let s = crate::explore::sweep(
+            &p,
+            &pf,
+            mhla_hierarchy::LayerId(1),
+            &[64, 128],
+            &MhlaConfig::default(),
+        );
+        let csv = sweep_csv(&s);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("capacity,"));
+    }
+
+    use mhla_ir::Program;
+}

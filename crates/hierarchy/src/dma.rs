@@ -1,0 +1,142 @@
+//! DMA engine ("memory transfer engine") model.
+
+use crate::layer::MemoryLayer;
+
+/// Model of the platform's block-transfer engine.
+///
+/// The DATE 2005 paper's Time Extensions "need the support of a memory
+/// transfer engine (like DMA engine or data mover) that allows simultaneous
+/// the CPU to continue processing data and the engine to copy off-chip data
+/// to on-chip layers". This struct is that engine: block transfers cost a
+/// fixed setup plus a throughput-limited streaming phase, and run
+/// concurrently with the CPU.
+///
+/// A platform *without* an engine (see
+/// [`Platform::without_dma`](crate::Platform::without_dma)) must perform
+/// copies on the CPU, and Time Extensions are not applicable — exactly the
+/// caveat in the paper.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DmaModel {
+    /// Independent channels that can stream concurrently.
+    pub channels: u32,
+    /// Programming + arbitration overhead per block transfer, cycles.
+    pub setup_cycles: u64,
+    /// Engine's own maximum throughput, bytes per cycle (the effective rate
+    /// is additionally bounded by source and destination layers).
+    pub bytes_per_cycle: f64,
+}
+
+impl DmaModel {
+    /// A single-channel engine representative of 2005-era embedded SoCs:
+    /// 30-cycle setup (descriptor write + bus arbitration), 4 B/cycle
+    /// engine limit (64-bit internal bus at half the core clock).
+    pub fn single_channel() -> Self {
+        DmaModel {
+            channels: 1,
+            setup_cycles: 30,
+            bytes_per_cycle: 4.0,
+        }
+    }
+
+    /// A wider engine with `channels` concurrent channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn multi_channel(channels: u32) -> Self {
+        assert!(channels > 0, "DMA engine needs at least one channel");
+        DmaModel {
+            channels,
+            ..Self::single_channel()
+        }
+    }
+
+    /// Cycles to move `bytes` from `src` to `dst`, including setup.
+    ///
+    /// The streaming phase is limited by the slowest of engine, source and
+    /// destination throughput.
+    pub fn transfer_cycles(&self, bytes: u64, src: &MemoryLayer, dst: &MemoryLayer) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let rate = self
+            .bytes_per_cycle
+            .min(src.burst_bytes_per_cycle)
+            .min(dst.burst_bytes_per_cycle);
+        self.setup_cycles + (bytes as f64 / rate).ceil() as u64
+    }
+
+    /// Energy to move `bytes` from `src` to `dst`, picojoule.
+    ///
+    /// Each element is read from the source and written to the destination
+    /// at the layers' *burst* energy (block transfers amortize row
+    /// activation and I/O toggling relative to random CPU accesses).
+    pub fn transfer_energy_pj(
+        &self,
+        bytes: u64,
+        elem_bytes: u64,
+        src: &MemoryLayer,
+        dst: &MemoryLayer,
+    ) -> f64 {
+        debug_assert!(elem_bytes > 0);
+        let elems = (bytes / elem_bytes.max(1)) as f64;
+        elems * (src.burst_energy_pj + dst.burst_energy_pj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_setup_plus_stream() {
+        let dma = DmaModel::single_channel();
+        let sdram = MemoryLayer::off_chip_sdram(); // 0.25 B/cycle — bottleneck
+        let spm = MemoryLayer::scratchpad(16 * 1024); // 4 B/cycle
+        let t = dma.transfer_cycles(256, &sdram, &spm);
+        assert_eq!(t, 30 + 1024);
+    }
+
+    #[test]
+    fn on_chip_to_on_chip_is_engine_limited() {
+        let dma = DmaModel::single_channel(); // 4 B/cycle
+        let a = MemoryLayer::scratchpad(64 * 1024);
+        let b = MemoryLayer::scratchpad(1024);
+        assert_eq!(dma.transfer_cycles(400, &a, &b), 30 + 100);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let dma = DmaModel::single_channel();
+        let sdram = MemoryLayer::off_chip_sdram();
+        let spm = MemoryLayer::scratchpad(1024);
+        assert_eq!(dma.transfer_cycles(0, &sdram, &spm), 0);
+        assert_eq!(dma.transfer_energy_pj(0, 1, &sdram, &spm), 0.0);
+    }
+
+    #[test]
+    fn transfer_energy_uses_burst_rates() {
+        let dma = DmaModel::single_channel();
+        let sdram = MemoryLayer::off_chip_sdram();
+        let spm = MemoryLayer::scratchpad(1024);
+        let e = dma.transfer_energy_pj(64, 1, &sdram, &spm);
+        let expect = 64.0 * (sdram.burst_energy_pj + spm.burst_energy_pj);
+        assert!((e - expect).abs() < 1e-9);
+        // Burst transfers must beat 64 individual CPU round-trips.
+        let cpu = 64.0 * (sdram.read_energy_pj + spm.write_energy_pj);
+        assert!(e < cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = DmaModel::multi_channel(0);
+    }
+
+    #[test]
+    fn multi_channel_inherits_per_channel_parameters() {
+        let dma = DmaModel::multi_channel(4);
+        assert_eq!(dma.channels, 4);
+        assert_eq!(dma.setup_cycles, DmaModel::single_channel().setup_cycles);
+    }
+}

@@ -1,0 +1,211 @@
+//! Memory layer descriptions.
+
+use std::fmt;
+
+use crate::energy;
+
+/// Index of a layer within a [`Platform`](crate::Platform).
+///
+/// Layer 0 is the *furthest* from the processor (off-chip main memory);
+/// higher indices are closer (on-chip scratchpads).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LayerId(pub usize);
+
+impl LayerId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Technology class of a memory layer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LayerKind {
+    /// External DRAM: large/unbounded, slow, expensive per access.
+    OffChipSdram,
+    /// On-chip software-controlled SRAM (scratchpad).
+    ScratchpadSram,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LayerKind::OffChipSdram => "off-chip SDRAM",
+            LayerKind::ScratchpadSram => "scratchpad SRAM",
+        })
+    }
+}
+
+/// One layer of the memory hierarchy.
+///
+/// Constructed via [`MemoryLayer::off_chip_sdram`] or
+/// [`MemoryLayer::scratchpad`] (which derive energy/latency from the
+/// [`energy`] scaling laws), or field-by-field for custom technologies.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MemoryLayer {
+    /// Human-readable name, e.g. `"SDRAM"` or `"SPM-16K"`.
+    pub name: String,
+    /// Technology class.
+    pub kind: LayerKind,
+    /// Usable capacity in bytes; `None` = effectively unbounded.
+    pub capacity: Option<u64>,
+    /// Energy of one CPU element read, picojoule.
+    pub read_energy_pj: f64,
+    /// Energy of one CPU element write, picojoule.
+    pub write_energy_pj: f64,
+    /// Energy per element when streamed in DMA burst mode, picojoule.
+    pub burst_energy_pj: f64,
+    /// CPU-visible latency of one random access, cycles.
+    pub access_cycles: u64,
+    /// Sustained streaming throughput, bytes per cycle.
+    pub burst_bytes_per_cycle: f64,
+}
+
+impl MemoryLayer {
+    /// An off-chip SDRAM layer with representative 2005-era parameters
+    /// (see [`energy`] for the constants and their justification).
+    pub fn off_chip_sdram() -> Self {
+        MemoryLayer {
+            name: "SDRAM".into(),
+            kind: LayerKind::OffChipSdram,
+            capacity: None,
+            read_energy_pj: energy::SDRAM_ACCESS_PJ,
+            write_energy_pj: energy::SDRAM_ACCESS_PJ,
+            burst_energy_pj: energy::SDRAM_BURST_PJ,
+            access_cycles: energy::SDRAM_ACCESS_CYCLES,
+            burst_bytes_per_cycle: energy::SDRAM_BURST_BYTES_PER_CYCLE,
+        }
+    }
+
+    /// An on-chip scratchpad of the given capacity, with energy and latency
+    /// derived from the analytic scaling laws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn scratchpad(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "scratchpad capacity must be positive");
+        MemoryLayer {
+            name: format!("SPM-{}", format_size(capacity_bytes)),
+            kind: LayerKind::ScratchpadSram,
+            capacity: Some(capacity_bytes),
+            read_energy_pj: energy::sram_read_pj(capacity_bytes),
+            write_energy_pj: energy::sram_write_pj(capacity_bytes),
+            burst_energy_pj: energy::sram_write_pj(capacity_bytes),
+            access_cycles: energy::sram_access_cycles(capacity_bytes),
+            burst_bytes_per_cycle: energy::SRAM_BURST_BYTES_PER_CYCLE,
+        }
+    }
+
+    /// Whether a block of `bytes` fits the layer capacity.
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.capacity.map_or(true, |c| bytes <= c)
+    }
+
+    /// Energy of one element access of the given direction, picojoule.
+    pub fn access_energy_pj(&self, is_write: bool) -> f64 {
+        if is_write {
+            self.write_energy_pj
+        } else {
+            self.read_energy_pj
+        }
+    }
+
+    /// Cycles for the layer to stream `bytes` in burst mode (excluding
+    /// DMA engine setup).
+    pub fn stream_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.burst_bytes_per_cycle).ceil() as u64
+    }
+}
+
+fn format_size(bytes: u64) -> String {
+    if bytes % (1024 * 1024) == 0 {
+        format!("{}M", bytes / (1024 * 1024))
+    } else if bytes % 1024 == 0 {
+        format!("{}K", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+impl fmt::Display for MemoryLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, cap {}, {:.1}/{:.1} pJ r/w, {} cyc)",
+            self.name,
+            self.kind,
+            self.capacity
+                .map_or("inf".to_string(), |c| format_size(c)),
+            self.read_energy_pj,
+            self.write_energy_pj,
+            self.access_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratchpad_derives_from_scaling_laws() {
+        let spm = MemoryLayer::scratchpad(16 * 1024);
+        assert_eq!(spm.kind, LayerKind::ScratchpadSram);
+        assert_eq!(spm.capacity, Some(16 * 1024));
+        assert_eq!(spm.read_energy_pj, energy::sram_read_pj(16 * 1024));
+        assert_eq!(spm.access_cycles, 1);
+        assert_eq!(spm.name, "SPM-16K");
+    }
+
+    #[test]
+    fn sdram_is_unbounded_and_slow() {
+        let sdram = MemoryLayer::off_chip_sdram();
+        assert_eq!(sdram.capacity, None);
+        assert!(sdram.fits(u64::MAX));
+        assert!(sdram.access_cycles > MemoryLayer::scratchpad(1024).access_cycles);
+    }
+
+    #[test]
+    fn fits_respects_capacity() {
+        let spm = MemoryLayer::scratchpad(2048);
+        assert!(spm.fits(2048));
+        assert!(!spm.fits(2049));
+        assert!(spm.fits(0));
+    }
+
+    #[test]
+    fn stream_cycles_round_up() {
+        let sdram = MemoryLayer::off_chip_sdram(); // 0.25 B/cycle
+        assert_eq!(sdram.stream_cycles(100), 400);
+        let spm = MemoryLayer::scratchpad(1024); // 4 B/cycle
+        assert_eq!(spm.stream_cycles(100), 25);
+        assert_eq!(spm.stream_cycles(101), 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_scratchpad_rejected() {
+        let _ = MemoryLayer::scratchpad(0);
+    }
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(MemoryLayer::scratchpad(512).name, "SPM-512B");
+        assert_eq!(MemoryLayer::scratchpad(4096).name, "SPM-4K");
+        assert_eq!(MemoryLayer::scratchpad(2 * 1024 * 1024).name, "SPM-2M");
+    }
+
+    #[test]
+    fn access_energy_selects_direction() {
+        let spm = MemoryLayer::scratchpad(8192);
+        assert_eq!(spm.access_energy_pj(false), spm.read_energy_pj);
+        assert_eq!(spm.access_energy_pj(true), spm.write_energy_pj);
+    }
+}

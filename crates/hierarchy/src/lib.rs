@@ -1,0 +1,50 @@
+//! # mhla-hierarchy — memory hierarchy, energy and DMA models
+//!
+//! MHLA (DATE 2003/2005) explores trade-offs over a *multi-layered memory
+//! organization*: a large, slow, energy-hungry off-chip memory plus one or
+//! more small on-chip scratchpad layers, with a DMA engine ("memory transfer
+//! engine" in the paper) that can move blocks between layers concurrently
+//! with CPU execution.
+//!
+//! This crate provides the parametric platform models the rest of the
+//! workspace prices against:
+//!
+//! * [`MemoryLayer`] — capacity, per-access energy, access latency, and
+//!   streaming (burst) throughput of one layer,
+//! * [`energy`] — CACTI-style analytic scaling of SRAM energy/latency with
+//!   capacity, and fixed off-chip SDRAM costs,
+//! * [`DmaModel`] — block-transfer engine (setup cycles + per-byte cost),
+//! * [`Platform`] — a complete machine: ordered layers + DMA + CPU model,
+//!   with presets matching the paper's experimental setup.
+//!
+//! The absolute numbers are *representative* of a 2005-era embedded platform
+//! (documented per preset); MHLA's reported results are relative (% gains),
+//! which depend only on the ratios preserved here: off-chip accesses cost
+//! roughly an order of magnitude more cycles and 20–50× more energy than
+//! scratchpad accesses, and burst DMA transfers amortize the per-access
+//! off-chip cost.
+//!
+//! # Example
+//!
+//! ```
+//! use mhla_hierarchy::Platform;
+//!
+//! let platform = Platform::embedded_default(16 * 1024);
+//! assert_eq!(platform.layers().count(), 2);
+//! assert!(platform.dma().is_some());
+//! let spm = platform.closest();
+//! assert!(platform.layer(spm).access_cycles < platform.layer(platform.furthest()).access_cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+
+mod dma;
+mod layer;
+mod platform;
+
+pub use dma::DmaModel;
+pub use layer::{LayerId, LayerKind, MemoryLayer};
+pub use platform::{CpuModel, Platform, PlatformError};

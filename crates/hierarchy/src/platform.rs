@@ -1,0 +1,376 @@
+//! Complete platform descriptions (layers + DMA + CPU).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::dma::DmaModel;
+use crate::layer::{LayerId, LayerKind, MemoryLayer};
+
+/// Simple in-order CPU model.
+///
+/// Each statement costs its `compute_cycles` plus the access latency of
+/// every memory reference (single-issue, blocking accesses — representative
+/// of the embedded cores the paper targets).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CpuModel {
+    /// Latency overhead added per memory access instruction on top of the
+    /// layer latency (address generation etc.).
+    pub access_overhead_cycles: u64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            access_overhead_cycles: 0,
+        }
+    }
+}
+
+/// Errors constructing or modifying a [`Platform`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlatformError {
+    /// Layer 0 must be the (unbounded) off-chip memory.
+    FurthestLayerNotOffChip,
+    /// A platform needs at least two layers for MHLA to have any freedom.
+    TooFewLayers,
+    /// Layers must get strictly faster (or equal) and smaller toward the CPU.
+    NotMonotone {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::FurthestLayerNotOffChip => {
+                write!(f, "layer 0 must be an off-chip memory")
+            }
+            PlatformError::TooFewLayers => {
+                write!(f, "a platform needs at least two memory layers")
+            }
+            PlatformError::NotMonotone { layer } => write!(
+                f,
+                "layer {layer} is slower or more energy-hungry than the layer below it"
+            ),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+/// A complete machine description: ordered memory layers, optional DMA
+/// engine, and CPU model.
+///
+/// Layer 0 is the off-chip main memory; the last layer is closest to the
+/// CPU. Use the presets ([`embedded_default`](Self::embedded_default),
+/// [`three_level`](Self::three_level), …) or [`Platform::new`] for custom
+/// stacks.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Platform {
+    name: String,
+    layers: Vec<MemoryLayer>,
+    dma: Option<DmaModel>,
+    cpu: CpuModel,
+}
+
+impl Platform {
+    /// Builds a platform from an ordered layer stack (furthest first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] when the stack is malformed: fewer than two
+    /// layers, layer 0 not off-chip, or energy/latency not monotonically
+    /// non-increasing toward the CPU.
+    pub fn new(
+        name: impl Into<String>,
+        layers: Vec<MemoryLayer>,
+        dma: Option<DmaModel>,
+        cpu: CpuModel,
+    ) -> Result<Self, PlatformError> {
+        if layers.len() < 2 {
+            return Err(PlatformError::TooFewLayers);
+        }
+        if layers[0].kind != LayerKind::OffChipSdram || layers[0].capacity.is_some() {
+            return Err(PlatformError::FurthestLayerNotOffChip);
+        }
+        for i in 1..layers.len() {
+            let closer = &layers[i];
+            let further = &layers[i - 1];
+            if closer.access_cycles > further.access_cycles
+                || closer.read_energy_pj > further.read_energy_pj
+            {
+                return Err(PlatformError::NotMonotone { layer: i });
+            }
+        }
+        Ok(Platform {
+            name: name.into(),
+            layers,
+            dma,
+            cpu,
+        })
+    }
+
+    /// The paper's default platform: off-chip SDRAM + one on-chip
+    /// scratchpad of `scratchpad_bytes`, single-channel DMA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratchpad_bytes` is zero.
+    pub fn embedded_default(scratchpad_bytes: u64) -> Self {
+        Platform::new(
+            format!("embedded-spm{}", scratchpad_bytes / 1024),
+            vec![
+                MemoryLayer::off_chip_sdram(),
+                MemoryLayer::scratchpad(scratchpad_bytes),
+            ],
+            Some(DmaModel::single_channel()),
+            CpuModel::default(),
+        )
+        .expect("default platform is well-formed")
+    }
+
+    /// A three-level hierarchy: SDRAM + large L2 scratchpad + small L1
+    /// scratchpad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l1_bytes >= l2_bytes` (the stack would not be a pyramid)
+    /// or either size is zero.
+    pub fn three_level(l2_bytes: u64, l1_bytes: u64) -> Self {
+        assert!(
+            l1_bytes < l2_bytes,
+            "L1 ({l1_bytes} B) must be smaller than L2 ({l2_bytes} B)"
+        );
+        Platform::new(
+            format!("embedded-l2-{}k-l1-{}k", l2_bytes / 1024, l1_bytes / 1024),
+            vec![
+                MemoryLayer::off_chip_sdram(),
+                MemoryLayer::scratchpad(l2_bytes),
+                MemoryLayer::scratchpad(l1_bytes),
+            ],
+            Some(DmaModel::single_channel()),
+            CpuModel::default(),
+        )
+        .expect("three-level platform is well-formed")
+    }
+
+    /// Same as [`embedded_default`](Self::embedded_default) but without a
+    /// memory transfer engine. Copies must run on the CPU and Time
+    /// Extensions are not applicable (paper, §1).
+    pub fn without_dma(scratchpad_bytes: u64) -> Self {
+        let mut p = Self::embedded_default(scratchpad_bytes);
+        p.dma = None;
+        p.name = format!("embedded-nodma-spm{}", scratchpad_bytes / 1024);
+        p
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers, furthest (off-chip) first.
+    pub fn layers(&self) -> impl Iterator<Item = (LayerId, &MemoryLayer)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LayerId(i), l))
+    }
+
+    /// Looks up one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn layer(&self, id: LayerId) -> &MemoryLayer {
+        &self.layers[id.0]
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The off-chip layer (always `LayerId(0)`).
+    pub fn furthest(&self) -> LayerId {
+        LayerId(0)
+    }
+
+    /// The layer closest to the CPU.
+    pub fn closest(&self) -> LayerId {
+        LayerId(self.layers.len() - 1)
+    }
+
+    /// On-chip layers (everything above the off-chip memory).
+    pub fn on_chip_layers(&self) -> impl Iterator<Item = (LayerId, &MemoryLayer)> {
+        self.layers().skip(1)
+    }
+
+    /// Total on-chip capacity in bytes.
+    pub fn on_chip_capacity(&self) -> u64 {
+        self.on_chip_layers()
+            .map(|(_, l)| l.capacity.unwrap_or(0))
+            .sum()
+    }
+
+    /// The DMA engine, if the platform has one.
+    pub fn dma(&self) -> Option<&DmaModel> {
+        self.dma.as_ref()
+    }
+
+    /// The CPU model.
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// Returns a copy with the scratchpad at `layer` resized to
+    /// `capacity_bytes` (energy/latency re-derived). Used by the capacity
+    /// sweep of the trade-off exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is the off-chip layer or out of range, or if
+    /// `capacity_bytes` is zero.
+    pub fn with_layer_capacity(&self, layer: LayerId, capacity_bytes: u64) -> Self {
+        assert!(layer.0 != 0, "cannot resize the off-chip layer");
+        let mut p = self.clone();
+        p.layers[layer.0] = MemoryLayer::scratchpad(capacity_bytes);
+        p.name = format!("{}@{}", self.name, p.layers[layer.0].name);
+        p
+    }
+
+    /// CPU-visible cycles for one access to `layer`.
+    pub fn access_cycles(&self, layer: LayerId) -> u64 {
+        self.cpu.access_overhead_cycles + self.layer(layer).access_cycles
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "platform {} {{", self.name)?;
+        for (id, l) in self.layers() {
+            writeln!(f, "  {id}: {l}")?;
+        }
+        match &self.dma {
+            Some(d) => writeln!(
+                f,
+                "  dma: {} ch, {} setup cyc, {} B/cyc",
+                d.channels, d.setup_cycles, d.bytes_per_cycle
+            )?,
+            None => writeln!(f, "  dma: none (TE not applicable)")?,
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_platform_shape() {
+        let p = Platform::embedded_default(16 * 1024);
+        assert_eq!(p.layer_count(), 2);
+        assert_eq!(p.furthest(), LayerId(0));
+        assert_eq!(p.closest(), LayerId(1));
+        assert_eq!(p.on_chip_capacity(), 16 * 1024);
+        assert!(p.dma().is_some());
+    }
+
+    #[test]
+    fn three_level_is_a_pyramid() {
+        let p = Platform::three_level(64 * 1024, 4 * 1024);
+        assert_eq!(p.layer_count(), 3);
+        let caps: Vec<_> = p.layers().map(|(_, l)| l.capacity).collect();
+        assert_eq!(caps, vec![None, Some(64 * 1024), Some(4 * 1024)]);
+        // Energy strictly decreases toward the CPU.
+        let e: Vec<_> = p.layers().map(|(_, l)| l.read_energy_pj).collect();
+        assert!(e[0] > e[1] && e[1] > e[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than L2")]
+    fn three_level_rejects_inverted_pyramid() {
+        let _ = Platform::three_level(4 * 1024, 64 * 1024);
+    }
+
+    #[test]
+    fn without_dma_disables_te_support() {
+        let p = Platform::without_dma(8 * 1024);
+        assert!(p.dma().is_none());
+        assert!(p.to_string().contains("TE not applicable"));
+    }
+
+    #[test]
+    fn constructor_rejects_malformed_stacks() {
+        let cpu = CpuModel::default();
+        assert_eq!(
+            Platform::new("x", vec![MemoryLayer::off_chip_sdram()], None, cpu).unwrap_err(),
+            PlatformError::TooFewLayers
+        );
+        assert_eq!(
+            Platform::new(
+                "x",
+                vec![
+                    MemoryLayer::scratchpad(1024),
+                    MemoryLayer::scratchpad(512)
+                ],
+                None,
+                cpu
+            )
+            .unwrap_err(),
+            PlatformError::FurthestLayerNotOffChip
+        );
+        // A huge scratchpad above a small one is slower toward the CPU.
+        assert_eq!(
+            Platform::new(
+                "x",
+                vec![
+                    MemoryLayer::off_chip_sdram(),
+                    MemoryLayer::scratchpad(1024),
+                    MemoryLayer::scratchpad(1024 * 1024),
+                ],
+                None,
+                cpu
+            )
+            .unwrap_err(),
+            PlatformError::NotMonotone { layer: 2 }
+        );
+    }
+
+    #[test]
+    fn resize_rederives_layer_parameters() {
+        let p = Platform::embedded_default(4 * 1024);
+        let big = p.with_layer_capacity(LayerId(1), 64 * 1024);
+        assert_eq!(big.layer(LayerId(1)).capacity, Some(64 * 1024));
+        assert!(
+            big.layer(LayerId(1)).read_energy_pj > p.layer(LayerId(1)).read_energy_pj,
+            "bigger scratchpad costs more per access"
+        );
+        assert_eq!(big.layer(LayerId(0)), p.layer(LayerId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "off-chip")]
+    fn resize_rejects_off_chip_layer() {
+        let p = Platform::embedded_default(4 * 1024);
+        let _ = p.with_layer_capacity(LayerId(0), 1024);
+    }
+
+    #[test]
+    fn access_cycles_include_cpu_overhead() {
+        let mut p = Platform::embedded_default(4 * 1024);
+        assert_eq!(p.access_cycles(LayerId(1)), 1);
+        p.cpu.access_overhead_cycles = 1;
+        assert_eq!(p.access_cycles(LayerId(1)), 2);
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let text = Platform::embedded_default(16 * 1024).to_string();
+        assert!(text.contains("M0: SDRAM"), "{text}");
+        assert!(text.contains("M1: SPM-16K"), "{text}");
+        assert!(text.contains("dma: 1 ch"), "{text}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the platform models: scaling-law monotonicity,
+//! transfer-time consistency, and platform constructor invariants.
+
+use mhla_hierarchy::{energy, DmaModel, LayerId, MemoryLayer, Platform};
+use proptest::prelude::*;
+
+proptest! {
+    /// SRAM energy and latency are monotone non-decreasing in capacity.
+    #[test]
+    fn sram_scaling_is_monotone(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(energy::sram_read_pj(lo) <= energy::sram_read_pj(hi));
+        prop_assert!(energy::sram_write_pj(lo) <= energy::sram_write_pj(hi));
+        prop_assert!(energy::sram_access_cycles(lo) <= energy::sram_access_cycles(hi));
+    }
+
+    /// Writes never cost less than reads at any capacity.
+    #[test]
+    fn writes_dominate_reads(cap in 1u64..1_000_000) {
+        prop_assert!(energy::sram_write_pj(cap) >= energy::sram_read_pj(cap));
+    }
+
+    /// DMA transfer time is monotone in bytes and superadditive-ish:
+    /// one combined transfer never costs more than two split ones
+    /// (the setup is paid once instead of twice).
+    #[test]
+    fn dma_transfer_time_is_monotone_and_batch_friendly(
+        x in 1u64..100_000,
+        y in 1u64..100_000,
+    ) {
+        let dma = DmaModel::single_channel();
+        let sdram = MemoryLayer::off_chip_sdram();
+        let spm = MemoryLayer::scratchpad(16 * 1024);
+        let tx = dma.transfer_cycles(x, &sdram, &spm);
+        let ty = dma.transfer_cycles(y, &sdram, &spm);
+        let txy = dma.transfer_cycles(x + y, &sdram, &spm);
+        prop_assert!(txy >= tx.max(ty), "monotone");
+        prop_assert!(txy <= tx + ty, "batching amortizes setup");
+    }
+
+    /// Transfer energy is linear in the number of elements.
+    #[test]
+    fn dma_energy_is_linear(elems in 1u64..10_000, elem_bytes in 1u64..8) {
+        let dma = DmaModel::single_channel();
+        let sdram = MemoryLayer::off_chip_sdram();
+        let spm = MemoryLayer::scratchpad(4096);
+        let one = dma.transfer_energy_pj(elem_bytes, elem_bytes, &sdram, &spm);
+        let many = dma.transfer_energy_pj(elems * elem_bytes, elem_bytes, &sdram, &spm);
+        prop_assert!((many - one * elems as f64).abs() < 1e-6 * many.max(1.0));
+    }
+
+    /// Any scratchpad size yields a well-formed default platform whose
+    /// layers get strictly cheaper per access toward the CPU.
+    #[test]
+    fn default_platform_is_always_well_formed(spm in 1u64..4_000_000) {
+        let p = Platform::embedded_default(spm);
+        prop_assert_eq!(p.layer_count(), 2);
+        prop_assert!(p.layer(LayerId(1)).read_energy_pj < p.layer(LayerId(0)).read_energy_pj);
+        prop_assert!(p.access_cycles(LayerId(1)) <= p.access_cycles(LayerId(0)));
+        prop_assert_eq!(p.on_chip_capacity(), spm);
+    }
+
+    /// Resizing a scratchpad re-derives a consistent layer.
+    #[test]
+    fn resize_round_trips(spm in 1u64..1_000_000, resized in 1u64..1_000_000) {
+        let p = Platform::embedded_default(spm);
+        let q = p.with_layer_capacity(LayerId(1), resized);
+        prop_assert_eq!(q.layer(LayerId(1)).capacity, Some(resized));
+        let back = q.with_layer_capacity(LayerId(1), spm);
+        prop_assert_eq!(back.layer(LayerId(1)), p.layer(LayerId(1)));
+    }
+
+    /// Three-level stacks are pyramids whenever L1 < L2.
+    #[test]
+    fn three_level_pyramids(l2 in 2u64..1_000_000, l1_frac in 1u64..100) {
+        let l1 = (l2 * l1_frac / 100).max(1).min(l2 - 1);
+        let p = Platform::three_level(l2, l1);
+        prop_assert_eq!(p.layer_count(), 3);
+        let e: Vec<f64> = p.layers().map(|(_, l)| l.read_energy_pj).collect();
+        prop_assert!(e[0] > e[1] && e[1] >= e[2]);
+    }
+}

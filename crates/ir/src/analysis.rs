@@ -1,0 +1,359 @@
+//! Derived structural facts about a [`Program`].
+
+use std::collections::HashMap;
+
+use crate::ids::{ArrayId, LoopId, NodeId, StmtId};
+use crate::program::{AccessKind, Program};
+
+/// Read/write access totals for one array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AccessCounts {
+    /// Total element reads over one program execution.
+    pub reads: u64,
+    /// Total element writes over one program execution.
+    pub writes: u64,
+}
+
+impl AccessCounts {
+    /// Reads plus writes.
+    pub fn total(self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Structural information derived from a [`Program`]:
+/// parent links, nesting depth, execution counts and access counts.
+///
+/// Obtained from [`Program::info`]; computation is `O(program size)`.
+#[derive(Debug)]
+pub struct ProgramInfo<'p> {
+    program: &'p Program,
+    loop_parent: Vec<Option<LoopId>>,
+    stmt_parent: Vec<Option<LoopId>>,
+    loop_depth: Vec<usize>,
+    /// Executions of the loop *entry* (product of enclosing trip counts).
+    loop_entries: Vec<u64>,
+    stmt_executions: Vec<u64>,
+    access_counts: Vec<AccessCounts>,
+}
+
+impl<'p> ProgramInfo<'p> {
+    pub(crate) fn new(program: &'p Program) -> Self {
+        let mut info = ProgramInfo {
+            program,
+            loop_parent: vec![None; program.loop_count()],
+            stmt_parent: vec![None; program.stmt_count()],
+            loop_depth: vec![0; program.loop_count()],
+            loop_entries: vec![0; program.loop_count()],
+            stmt_executions: vec![0; program.stmt_count()],
+            access_counts: vec![AccessCounts::default(); program.array_count()],
+        };
+        info.walk(&program.roots().to_vec(), None, 0, 1);
+        for (sid, stmt) in program.stmts() {
+            let execs = info.stmt_executions[sid.index()];
+            for acc in &stmt.accesses {
+                let c = &mut info.access_counts[acc.array.index()];
+                match acc.kind {
+                    AccessKind::Read => c.reads += execs,
+                    AccessKind::Write => c.writes += execs,
+                }
+            }
+        }
+        info
+    }
+
+    fn walk(&mut self, nodes: &[NodeId], parent: Option<LoopId>, depth: usize, execs: u64) {
+        for &n in nodes {
+            match n {
+                NodeId::Loop(l) => {
+                    self.loop_parent[l.index()] = parent;
+                    self.loop_depth[l.index()] = depth;
+                    self.loop_entries[l.index()] = execs;
+                    let body = self.program.loop_(l).body.clone();
+                    let trips = self.program.loop_(l).trip_count();
+                    self.walk(&body, Some(l), depth + 1, execs * trips);
+                }
+                NodeId::Stmt(s) => {
+                    self.stmt_parent[s.index()] = parent;
+                    self.stmt_executions[s.index()] = execs;
+                }
+            }
+        }
+    }
+
+    /// The program this information was derived from.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Parent loop of a node (`None` at the root).
+    pub fn parent(&self, node: NodeId) -> Option<LoopId> {
+        match node {
+            NodeId::Loop(l) => self.loop_parent[l.index()],
+            NodeId::Stmt(s) => self.stmt_parent[s.index()],
+        }
+    }
+
+    /// Nesting depth of a loop (0 for top-level loops).
+    pub fn loop_depth(&self, l: LoopId) -> usize {
+        self.loop_depth[l.index()]
+    }
+
+    /// How many times the loop is *entered* over one program execution.
+    pub fn loop_entries(&self, l: LoopId) -> u64 {
+        self.loop_entries[l.index()]
+    }
+
+    /// Total iterations the loop body runs over one program execution
+    /// (`entries × trip_count`).
+    pub fn loop_iterations(&self, l: LoopId) -> u64 {
+        self.loop_entries[l.index()] * self.program.loop_(l).trip_count()
+    }
+
+    /// Total executions of a statement over one program execution.
+    pub fn stmt_executions(&self, s: StmtId) -> u64 {
+        self.stmt_executions[s.index()]
+    }
+
+    /// Read/write totals for an array.
+    pub fn access_counts(&self, a: ArrayId) -> AccessCounts {
+        self.access_counts[a.index()]
+    }
+
+    /// Total accesses of one kind for an array.
+    pub fn access_count(&self, a: ArrayId, kind: AccessKind) -> u64 {
+        let c = self.access_counts(a);
+        match kind {
+            AccessKind::Read => c.reads,
+            AccessKind::Write => c.writes,
+        }
+    }
+
+    /// Enclosing loops of a node, outermost first.
+    pub fn enclosing_loops(&self, node: NodeId) -> Vec<LoopId> {
+        let mut path = Vec::new();
+        let mut cur = self.parent(node);
+        while let Some(l) = cur {
+            path.push(l);
+            cur = self.loop_parent[l.index()];
+        }
+        path.reverse();
+        path
+    }
+
+    /// Whether `ancestor` encloses `node` (strictly; a loop does not enclose
+    /// itself).
+    pub fn encloses(&self, ancestor: LoopId, node: NodeId) -> bool {
+        let mut cur = self.parent(node);
+        while let Some(l) = cur {
+            if l == ancestor {
+                return true;
+            }
+            cur = self.loop_parent[l.index()];
+        }
+        false
+    }
+
+    /// All statements in the subtree rooted at `node` (program order).
+    pub fn subtree_stmts(&self, node: NodeId) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        self.collect_stmts(node, &mut out);
+        out
+    }
+
+    fn collect_stmts(&self, node: NodeId, out: &mut Vec<StmtId>) {
+        match node {
+            NodeId::Stmt(s) => out.push(s),
+            NodeId::Loop(l) => {
+                for &child in &self.program.loop_(l).body {
+                    self.collect_stmts(child, out);
+                }
+            }
+        }
+    }
+
+    /// Statements in the subtree of `node` that access `array`, with the
+    /// per-execution count of matching accesses.
+    pub fn accessors_in_subtree(
+        &self,
+        node: NodeId,
+        array: ArrayId,
+    ) -> Vec<(StmtId, u64)> {
+        self.subtree_stmts(node)
+            .into_iter()
+            .filter_map(|s| {
+                let n = self
+                    .program
+                    .stmt(s)
+                    .accesses
+                    .iter()
+                    .filter(|a| a.array == array)
+                    .count() as u64;
+                (n > 0).then_some((s, n))
+            })
+            .collect()
+    }
+
+    /// Arrays accessed anywhere in the subtree of `node`.
+    pub fn arrays_in_subtree(&self, node: NodeId) -> Vec<ArrayId> {
+        let mut seen = HashMap::new();
+        for s in self.subtree_stmts(node) {
+            for a in &self.program.stmt(s).accesses {
+                seen.entry(a.array).or_insert(());
+            }
+        }
+        let mut v: Vec<ArrayId> = seen.into_keys().collect();
+        v.sort();
+        v
+    }
+
+    /// Pure datapath cycles of one full execution of `node`'s subtree
+    /// (compute cycles only — no memory latency, which depends on the layer
+    /// assignment and is priced by the cost model).
+    pub fn compute_cycles(&self, node: NodeId) -> u64 {
+        match node {
+            NodeId::Stmt(s) => self.program.stmt(s).compute_cycles,
+            NodeId::Loop(l) => {
+                let lp = self.program.loop_(l);
+                let body: u64 = lp.body.iter().map(|&n| self.compute_cycles(n)).sum();
+                lp.trip_count() * body
+            }
+        }
+    }
+
+    /// Memory accesses issued by one full execution of `node`'s subtree.
+    pub fn subtree_accesses(&self, node: NodeId) -> u64 {
+        match node {
+            NodeId::Stmt(s) => self.program.stmt(s).accesses.len() as u64,
+            NodeId::Loop(l) => {
+                let lp = self.program.loop_(l);
+                let body: u64 = lp.body.iter().map(|&n| self.subtree_accesses(n)).sum();
+                lp.trip_count() * body
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::ElemType;
+
+    /// Builds:
+    /// ```text
+    /// for i in 0..4:
+    ///   S0: read a[i]            (2 cycles)
+    ///   for j in 0..3:
+    ///     S1: read a[i], write b[j]  (1 cycle)
+    /// S2: read b[0]
+    /// ```
+    fn sample() -> (Program, ArrayId, ArrayId, LoopId, LoopId, StmtId, StmtId, StmtId) {
+        let mut b = ProgramBuilder::new("sample");
+        let a = b.array("a", &[16], ElemType::U8);
+        let bb = b.array("b", &[8], ElemType::U8);
+        let li = b.begin_loop("i", 0, 4, 1);
+        let iv = b.var(li);
+        let s0 = b
+            .stmt("s0")
+            .read(a, vec![iv.clone()])
+            .compute_cycles(2)
+            .finish();
+        let lj = b.begin_loop("j", 0, 3, 1);
+        let jv = b.var(lj);
+        let s1 = b
+            .stmt("s1")
+            .read(a, vec![iv])
+            .write(bb, vec![jv])
+            .finish();
+        b.end_loop();
+        b.end_loop();
+        let s2 = b
+            .stmt("s2")
+            .read(bb, vec![crate::AffineExpr::zero()])
+            .finish();
+        (b.finish(), a, bb, li, lj, s0, s1, s2)
+    }
+
+    use crate::program::Program;
+
+    #[test]
+    fn parents_and_depths() {
+        let (p, _, _, li, lj, s0, s1, s2) = sample();
+        let info = p.info();
+        assert_eq!(info.parent(NodeId::Loop(li)), None);
+        assert_eq!(info.parent(NodeId::Loop(lj)), Some(li));
+        assert_eq!(info.parent(NodeId::Stmt(s0)), Some(li));
+        assert_eq!(info.parent(NodeId::Stmt(s1)), Some(lj));
+        assert_eq!(info.parent(NodeId::Stmt(s2)), None);
+        assert_eq!(info.loop_depth(li), 0);
+        assert_eq!(info.loop_depth(lj), 1);
+    }
+
+    #[test]
+    fn execution_counts() {
+        let (p, _, _, li, lj, s0, s1, s2) = sample();
+        let info = p.info();
+        assert_eq!(info.loop_entries(li), 1);
+        assert_eq!(info.loop_iterations(li), 4);
+        assert_eq!(info.loop_entries(lj), 4);
+        assert_eq!(info.loop_iterations(lj), 12);
+        assert_eq!(info.stmt_executions(s0), 4);
+        assert_eq!(info.stmt_executions(s1), 12);
+        assert_eq!(info.stmt_executions(s2), 1);
+    }
+
+    #[test]
+    fn access_totals() {
+        let (p, a, bb, ..) = sample();
+        let info = p.info();
+        assert_eq!(
+            info.access_counts(a),
+            AccessCounts {
+                reads: 4 + 12,
+                writes: 0
+            }
+        );
+        assert_eq!(
+            info.access_counts(bb),
+            AccessCounts {
+                reads: 1,
+                writes: 12
+            }
+        );
+        assert_eq!(info.access_counts(bb).total(), 13);
+    }
+
+    #[test]
+    fn enclosing_loop_paths() {
+        let (p, _, _, li, lj, _, s1, s2) = sample();
+        let info = p.info();
+        assert_eq!(info.enclosing_loops(NodeId::Stmt(s1)), vec![li, lj]);
+        assert_eq!(info.enclosing_loops(NodeId::Stmt(s2)), vec![]);
+        assert!(info.encloses(li, NodeId::Stmt(s1)));
+        assert!(info.encloses(lj, NodeId::Stmt(s1)));
+        assert!(!info.encloses(lj, NodeId::Loop(li)));
+        assert!(!info.encloses(li, NodeId::Loop(li)), "strict enclosure");
+    }
+
+    #[test]
+    fn subtree_queries() {
+        let (p, a, _, li, _, s0, s1, _) = sample();
+        let info = p.info();
+        assert_eq!(info.subtree_stmts(NodeId::Loop(li)), vec![s0, s1]);
+        let acc = info.accessors_in_subtree(NodeId::Loop(li), a);
+        assert_eq!(acc, vec![(s0, 1), (s1, 1)]);
+        let arrays = info.arrays_in_subtree(NodeId::Loop(li));
+        assert_eq!(arrays.len(), 2);
+    }
+
+    #[test]
+    fn cycle_and_access_aggregation() {
+        let (p, _, _, li, ..) = sample();
+        let info = p.info();
+        // per i-iteration: s0 (2 cycles) + 3 × s1 (1 cycle) = 5
+        assert_eq!(info.compute_cycles(NodeId::Loop(li)), 4 * 5);
+        // per i-iteration: 1 (s0) + 3 × 2 (s1) = 7 accesses
+        assert_eq!(info.subtree_accesses(NodeId::Loop(li)), 4 * 7);
+    }
+}

@@ -1,0 +1,301 @@
+//! Fluent construction of [`Program`]s.
+
+use crate::expr::AffineExpr;
+use crate::ids::{ArrayId, LoopId, NodeId, StmtId};
+use crate::program::{Access, AccessKind, ArrayDecl, ElemType, Loop, Program, Statement};
+
+/// Incremental builder for [`Program`].
+///
+/// Loops are opened with [`begin_loop`](Self::begin_loop) and closed with
+/// [`end_loop`](Self::end_loop); statements are added to the innermost open
+/// loop (or the program root). [`finish`](Self::finish) validates the result.
+///
+/// # Example
+///
+/// ```
+/// use mhla_ir::{ProgramBuilder, ElemType};
+///
+/// let mut b = ProgramBuilder::new("copy");
+/// let src = b.array("src", &[64], ElemType::U8);
+/// let dst = b.array("dst", &[64], ElemType::U8);
+/// let i = b.begin_loop("i", 0, 64, 1);
+/// let iv = b.var(i);
+/// b.stmt("mv").read(src, vec![iv.clone()]).write(dst, vec![iv]).finish();
+/// b.end_loop();
+/// let p = b.finish();
+/// assert_eq!(p.loop_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    loops: Vec<Loop>,
+    stmts: Vec<Statement>,
+    roots: Vec<NodeId>,
+    open: Vec<LoopId>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            arrays: Vec::new(),
+            loops: Vec::new(),
+            stmts: Vec::new(),
+            roots: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// Declares an array and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero extent.
+    pub fn array(&mut self, name: impl Into<String>, dims: &[u64], elem: ElemType) -> ArrayId {
+        assert!(!dims.is_empty(), "array must have at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "array dimensions must be positive"
+        );
+        let id = ArrayId::from_index(self.arrays.len());
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims: dims.to_vec(),
+            elem,
+        });
+        id
+    }
+
+    /// Opens a loop `for name in (lower..upper).step_by(step)` and returns
+    /// its id, which also names the iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0`.
+    pub fn begin_loop(
+        &mut self,
+        name: impl Into<String>,
+        lower: i64,
+        upper: i64,
+        step: i64,
+    ) -> LoopId {
+        assert!(step > 0, "loop step must be positive");
+        let id = LoopId::from_index(self.loops.len());
+        self.loops.push(Loop {
+            name: name.into(),
+            lower,
+            upper,
+            step,
+            body: Vec::new(),
+        });
+        self.attach(NodeId::Loop(id));
+        self.open.push(id);
+        id
+    }
+
+    /// Closes the innermost open loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop is open.
+    pub fn end_loop(&mut self) {
+        self.open.pop().expect("end_loop without matching begin_loop");
+    }
+
+    /// Convenience: opens a loop, runs `body`, closes the loop.
+    pub fn loop_scope<R>(
+        &mut self,
+        name: impl Into<String>,
+        lower: i64,
+        upper: i64,
+        step: i64,
+        body: impl FnOnce(&mut Self, LoopId) -> R,
+    ) -> R {
+        let id = self.begin_loop(name, lower, upper, step);
+        let r = body(self, id);
+        self.end_loop();
+        r
+    }
+
+    /// The iterator of `loop_id` as an affine expression.
+    pub fn var(&self, loop_id: LoopId) -> AffineExpr {
+        AffineExpr::var(loop_id)
+    }
+
+    /// Starts a statement in the innermost open loop (or at the root).
+    pub fn stmt(&mut self, name: impl Into<String>) -> StmtBuilder<'_> {
+        StmtBuilder {
+            builder: self,
+            stmt: Statement {
+                name: name.into(),
+                accesses: Vec::new(),
+                compute_cycles: 1,
+            },
+        }
+    }
+
+    /// Number of loops currently open (nesting depth of the insert point).
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if loops are still open or the program fails
+    /// [`Program::validate`] — both indicate construction bugs in the
+    /// caller, not runtime conditions.
+    pub fn finish(self) -> Program {
+        assert!(
+            self.open.is_empty(),
+            "finish() with {} unclosed loop(s)",
+            self.open.len()
+        );
+        let program = Program {
+            name: self.name,
+            arrays: self.arrays,
+            loops: self.loops,
+            stmts: self.stmts,
+            roots: self.roots,
+        };
+        if let Err(e) = program.validate() {
+            panic!("builder produced invalid program: {e}");
+        }
+        program
+    }
+
+    fn attach(&mut self, node: NodeId) {
+        match self.open.last() {
+            Some(&l) => self.loops[l.index()].body.push(node),
+            None => self.roots.push(node),
+        }
+    }
+}
+
+/// Builder for one [`Statement`]; returned by [`ProgramBuilder::stmt`].
+///
+/// Call [`finish`](Self::finish) to attach the statement; dropping the
+/// builder without finishing discards the statement.
+#[derive(Debug)]
+#[must_use = "call .finish() to attach the statement"]
+pub struct StmtBuilder<'b> {
+    builder: &'b mut ProgramBuilder,
+    stmt: Statement,
+}
+
+impl<'b> StmtBuilder<'b> {
+    /// Adds a read access.
+    pub fn read(mut self, array: ArrayId, index: Vec<AffineExpr>) -> Self {
+        self.stmt.accesses.push(Access {
+            array,
+            kind: AccessKind::Read,
+            index,
+        });
+        self
+    }
+
+    /// Adds a write access.
+    pub fn write(mut self, array: ArrayId, index: Vec<AffineExpr>) -> Self {
+        self.stmt.accesses.push(Access {
+            array,
+            kind: AccessKind::Write,
+            index,
+        });
+        self
+    }
+
+    /// Sets the pure datapath cycles per execution (default 1).
+    pub fn compute_cycles(mut self, cycles: u64) -> Self {
+        self.stmt.compute_cycles = cycles;
+        self
+    }
+
+    /// Attaches the statement and returns its id.
+    pub fn finish(self) -> StmtId {
+        let id = StmtId::from_index(self.builder.stmts.len());
+        self.builder.stmts.push(self.stmt);
+        self.builder.attach(NodeId::Stmt(id));
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[16, 16], ElemType::I16);
+        let li = b.begin_loop("i", 0, 16, 1);
+        let lj = b.begin_loop("j", 0, 16, 1);
+        let (i, j) = (b.var(li), b.var(lj));
+        let s = b.stmt("t").read(a, vec![i, j]).compute_cycles(3).finish();
+        b.end_loop();
+        b.end_loop();
+        let p = b.finish();
+        assert_eq!(p.roots(), &[NodeId::Loop(li)]);
+        assert_eq!(p.loop_(li).body, vec![NodeId::Loop(lj)]);
+        assert_eq!(p.loop_(lj).body, vec![NodeId::Stmt(s)]);
+        assert_eq!(p.stmt(s).compute_cycles, 3);
+        assert_eq!(p.stmt(s).accesses.len(), 1);
+    }
+
+    #[test]
+    fn loop_scope_closes_automatically() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[4], ElemType::U8);
+        b.loop_scope("i", 0, 4, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("s").read(a, vec![i]).finish();
+        });
+        assert_eq!(b.open_depth(), 0);
+        let p = b.finish();
+        assert_eq!(p.loop_count(), 1);
+        assert_eq!(p.stmt_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed loop")]
+    fn finish_rejects_open_loops() {
+        let mut b = ProgramBuilder::new("p");
+        b.begin_loop("i", 0, 4, 1);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "end_loop without matching")]
+    fn end_loop_requires_open_loop() {
+        let mut b = ProgramBuilder::new("p");
+        b.end_loop();
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn rejects_nonpositive_step() {
+        let mut b = ProgramBuilder::new("p");
+        b.begin_loop("i", 0, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_zero_dims() {
+        let mut b = ProgramBuilder::new("p");
+        b.array("a", &[4, 0], ElemType::U8);
+    }
+
+    #[test]
+    fn statements_at_root_are_allowed() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[1], ElemType::U8);
+        let s = b
+            .stmt("init")
+            .write(a, vec![AffineExpr::zero()])
+            .finish();
+        let p = b.finish();
+        assert_eq!(p.roots(), &[NodeId::Stmt(s)]);
+    }
+}

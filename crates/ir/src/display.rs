@@ -1,0 +1,156 @@
+//! C-like pretty printing of programs.
+
+use std::fmt;
+
+use crate::ids::NodeId;
+use crate::program::{AccessKind, Program};
+
+impl fmt::Display for Program {
+    /// Renders the program as pseudo-C, one construct per line.
+    ///
+    /// ```
+    /// use mhla_ir::{ProgramBuilder, ElemType};
+    /// let mut b = ProgramBuilder::new("p");
+    /// let a = b.array("a", &[8], ElemType::U8);
+    /// b.loop_scope("i", 0, 8, 1, |b, li| {
+    ///     let iv = b.var(li);
+    ///     b.stmt("s").read(a, vec![iv]).finish();
+    /// });
+    /// let text = b.finish().to_string();
+    /// assert!(text.contains("for (i = 0; i < 8; i += 1)"));
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} {{", self.name())?;
+        for (_, a) in self.arrays() {
+            let dims: Vec<String> = a.dims.iter().map(|d| format!("[{d}]")).collect();
+            writeln!(f, "  {} {}{};", a.elem, a.name, dims.join(""))?;
+        }
+        fn go(
+            p: &Program,
+            f: &mut fmt::Formatter<'_>,
+            nodes: &[NodeId],
+            depth: usize,
+        ) -> fmt::Result {
+            let pad = "  ".repeat(depth + 1);
+            for &n in nodes {
+                match n {
+                    NodeId::Loop(l) => {
+                        let lp = p.loop_(l);
+                        writeln!(
+                            f,
+                            "{pad}for ({name} = {lo}; {name} < {hi}; {name} += {st}) {{",
+                            name = lp.name,
+                            lo = lp.lower,
+                            hi = lp.upper,
+                            st = lp.step
+                        )?;
+                        go(p, f, &lp.body, depth + 1)?;
+                        writeln!(f, "{pad}}}")?;
+                    }
+                    NodeId::Stmt(s) => {
+                        let st = p.stmt(s);
+                        let mut parts = Vec::new();
+                        for acc in &st.accesses {
+                            let name = &p.array(acc.array).name;
+                            let idx: Vec<String> = acc
+                                .index
+                                .iter()
+                                .map(|e| format!("[{}]", pretty_expr(p, e)))
+                                .collect();
+                            let rw = match acc.kind {
+                                AccessKind::Read => "R",
+                                AccessKind::Write => "W",
+                            };
+                            parts.push(format!("{rw}:{name}{}", idx.join("")));
+                        }
+                        writeln!(
+                            f,
+                            "{pad}{}: {} // {} cycle(s)",
+                            st.name,
+                            parts.join(", "),
+                            st.compute_cycles
+                        )?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        go(self, f, self.roots(), 0)?;
+        writeln!(f, "}}")
+    }
+}
+
+/// Formats an affine expression using loop *names* instead of raw ids.
+fn pretty_expr(p: &Program, e: &crate::AffineExpr) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for (l, c) in e.terms() {
+        let name = &p.loop_(l).name;
+        if first {
+            match c {
+                1 => out.push_str(name),
+                -1 => out.push_str(&format!("-{name}")),
+                _ => out.push_str(&format!("{c}*{name}")),
+            }
+            first = false;
+        } else if c == 1 {
+            out.push_str(&format!(" + {name}"));
+        } else if c == -1 {
+            out.push_str(&format!(" - {name}"));
+        } else if c > 0 {
+            out.push_str(&format!(" + {c}*{name}"));
+        } else {
+            out.push_str(&format!(" - {}*{name}", -c));
+        }
+    }
+    let k = e.constant();
+    if first {
+        out.push_str(&k.to_string());
+    } else if k > 0 {
+        out.push_str(&format!(" + {k}"));
+    } else if k < 0 {
+        out.push_str(&format!(" - {}", -k));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+    use crate::program::ElemType;
+
+    #[test]
+    fn prints_nested_loops_and_accesses() {
+        let mut b = ProgramBuilder::new("me");
+        let cur = b.array("cur", &[16, 16], ElemType::U8);
+        let li = b.begin_loop("y", 0, 16, 1);
+        let lj = b.begin_loop("x", 0, 16, 2);
+        let (y, x) = (b.var(li), b.var(lj));
+        b.stmt("sad")
+            .read(cur, vec![y, x + 4])
+            .compute_cycles(2)
+            .finish();
+        b.end_loop();
+        b.end_loop();
+        let text = b.finish().to_string();
+        assert!(text.contains("program me {"), "{text}");
+        assert!(text.contains("u8 cur[16][16];"), "{text}");
+        assert!(text.contains("for (y = 0; y < 16; y += 1) {"), "{text}");
+        assert!(text.contains("for (x = 0; x < 16; x += 2) {"), "{text}");
+        assert!(text.contains("sad: R:cur[y][x + 4] // 2 cycle(s)"), "{text}");
+    }
+
+    #[test]
+    fn prints_negative_and_scaled_terms() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[64], ElemType::U8);
+        let li = b.begin_loop("i", 0, 4, 1);
+        let lj = b.begin_loop("j", 0, 4, 1);
+        let (i, j) = (b.var(li), b.var(lj));
+        b.stmt("s").read(a, vec![i * 16 - j + 3]).finish();
+        b.end_loop();
+        b.end_loop();
+        let text = b.finish().to_string();
+        assert!(text.contains("a[16*i - j + 3]"), "{text}");
+    }
+}

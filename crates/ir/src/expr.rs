@@ -1,0 +1,392 @@
+//! Affine index expressions over loop iterators.
+//!
+//! An [`AffineExpr`] is a function `c0 + Σ aᵢ·iᵢ` of the iterator values of
+//! enclosing loops. Affine subscripts are the only subscripts MHLA's
+//! geometric analyses (footprints, reuse, transfers) can reason about, and
+//! the only ones this IR admits.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::ids::LoopId;
+
+/// An affine expression `constant + Σ coeffᵢ · iterᵢ` over loop iterators.
+///
+/// Terms with zero coefficients are never stored, so two expressions are
+/// `==` exactly when they denote the same affine function.
+///
+/// # Example
+///
+/// ```
+/// use mhla_ir::{AffineExpr, LoopId};
+///
+/// let i = AffineExpr::var(LoopId::from_index(0));
+/// let j = AffineExpr::var(LoopId::from_index(1));
+/// let e = i * 16 + j.clone() + 8;
+/// assert_eq!(e.coeff(LoopId::from_index(0)), 16);
+/// assert_eq!(e.coeff(LoopId::from_index(1)), 1);
+/// assert_eq!(e.constant(), 8);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct AffineExpr {
+    /// Map from iterator to coefficient; invariant: no zero coefficients.
+    terms: BTreeMap<LoopId, i64>,
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn constant_expr(value: i64) -> Self {
+        Self {
+            terms: BTreeMap::new(),
+            constant: value,
+        }
+    }
+
+    /// The expression consisting of a single iterator with coefficient 1.
+    pub fn var(iter: LoopId) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(iter, 1);
+        Self { terms, constant: 0 }
+    }
+
+    /// Builds `coeff · iter`.
+    pub fn scaled_var(iter: LoopId, coeff: i64) -> Self {
+        let mut terms = BTreeMap::new();
+        if coeff != 0 {
+            terms.insert(iter, coeff);
+        }
+        Self { terms, constant: 0 }
+    }
+
+    /// Returns the constant term.
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// Returns the coefficient of `iter` (zero when absent).
+    pub fn coeff(&self, iter: LoopId) -> i64 {
+        self.terms.get(&iter).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` when the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over the `(iterator, coefficient)` terms in iterator order.
+    ///
+    /// Coefficients are guaranteed non-zero.
+    pub fn terms(&self) -> impl Iterator<Item = (LoopId, i64)> + '_ {
+        self.terms.iter().map(|(l, c)| (*l, *c))
+    }
+
+    /// Returns the iterators with non-zero coefficient.
+    pub fn iterators(&self) -> impl Iterator<Item = LoopId> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// Evaluates the expression under an iterator valuation.
+    ///
+    /// Iterators missing from the valuation evaluate as zero, which matches
+    /// the convention that un-entered loops contribute their lower bound of
+    /// a normalized (zero-based) nest.
+    pub fn eval(&self, env: impl Fn(LoopId) -> i64) -> i64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(l, c)| c * env(*l))
+                .sum::<i64>()
+    }
+
+    /// Returns the minimum and maximum value of the expression when each
+    /// iterator `l` ranges over `range(l) = Some((min, max))` (inclusive) and
+    /// iterators with `range(l) = None` are pinned to zero.
+    ///
+    /// Because the expression is affine, extremes occur at interval
+    /// endpoints; the result is exact (no relaxation).
+    pub fn value_range(
+        &self,
+        range: impl Fn(LoopId) -> Option<(i64, i64)>,
+    ) -> (i64, i64) {
+        let mut lo = self.constant;
+        let mut hi = self.constant;
+        for (&l, &c) in &self.terms {
+            if let Some((rmin, rmax)) = range(l) {
+                debug_assert!(rmin <= rmax, "empty iterator range for {l}");
+                if c >= 0 {
+                    lo += c * rmin;
+                    hi += c * rmax;
+                } else {
+                    lo += c * rmax;
+                    hi += c * rmin;
+                }
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Width of the value range (`max - min + 1`) when each *free* iterator
+    /// spans `span(l) = Some(extent)` positions scaled by its coefficient,
+    /// and all other iterators are fixed.
+    ///
+    /// `span(l)` must be `last_value(l) - first_value(l)` (i.e. `(trip-1) ·
+    /// step`) for free iterators and `None` for fixed ones. Fixed iterators
+    /// shift the range but do not change its width, so the result is
+    /// independent of their values.
+    pub fn width_over(&self, span: impl Fn(LoopId) -> Option<i64>) -> i64 {
+        let mut width = 1;
+        for (&l, &c) in &self.terms {
+            if let Some(extent) = span(l) {
+                debug_assert!(extent >= 0, "negative iterator extent for {l}");
+                width += c.abs() * extent;
+            }
+        }
+        width
+    }
+
+    /// Substitutes a fixed value for an iterator, folding it into the
+    /// constant.
+    pub fn substitute(&self, iter: LoopId, value: i64) -> Self {
+        let mut out = self.clone();
+        if let Some(c) = out.terms.remove(&iter) {
+            out.constant += c * value;
+        }
+        out
+    }
+
+    fn insert_term(&mut self, iter: LoopId, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        let entry = self.terms.entry(iter).or_insert(0);
+        *entry += coeff;
+        if *entry == 0 {
+            self.terms.remove(&iter);
+        }
+    }
+}
+
+impl From<i64> for AffineExpr {
+    fn from(value: i64) -> Self {
+        AffineExpr::constant_expr(value)
+    }
+}
+
+impl Add for AffineExpr {
+    type Output = AffineExpr;
+    fn add(mut self, rhs: AffineExpr) -> AffineExpr {
+        self.constant += rhs.constant;
+        for (l, c) in rhs.terms {
+            self.insert_term(l, c);
+        }
+        self
+    }
+}
+
+impl Add<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn add(mut self, rhs: i64) -> AffineExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Sub for AffineExpr {
+    type Output = AffineExpr;
+    fn sub(self, rhs: AffineExpr) -> AffineExpr {
+        self + (-rhs)
+    }
+}
+
+impl Sub<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn sub(mut self, rhs: i64) -> AffineExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Neg for AffineExpr {
+    type Output = AffineExpr;
+    fn neg(mut self) -> AffineExpr {
+        self.constant = -self.constant;
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self
+    }
+}
+
+impl Mul<i64> for AffineExpr {
+    type Output = AffineExpr;
+    fn mul(mut self, rhs: i64) -> AffineExpr {
+        if rhs == 0 {
+            return AffineExpr::zero();
+        }
+        self.constant *= rhs;
+        for c in self.terms.values_mut() {
+            *c *= rhs;
+        }
+        self
+    }
+}
+
+impl fmt::Debug for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (l, c) in &self.terms {
+            if first {
+                if *c == 1 {
+                    write!(f, "{l}")?;
+                } else if *c == -1 {
+                    write!(f, "-{l}")?;
+                } else {
+                    write!(f, "{c}*{l}")?;
+                }
+                first = false;
+            } else if *c == 1 {
+                write!(f, " + {l}")?;
+            } else if *c == -1 {
+                write!(f, " - {l}")?;
+            } else if *c > 0 {
+                write!(f, " + {c}*{l}")?;
+            } else {
+                write!(f, " - {}*{l}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: usize) -> LoopId {
+        LoopId::from_index(i)
+    }
+
+    #[test]
+    fn zero_and_constant() {
+        assert!(AffineExpr::zero().is_constant());
+        assert_eq!(AffineExpr::zero().constant(), 0);
+        assert_eq!(AffineExpr::constant_expr(5).constant(), 5);
+        assert_eq!(AffineExpr::from(-3).constant(), -3);
+    }
+
+    #[test]
+    fn arithmetic_normalizes_zero_coefficients() {
+        let i = AffineExpr::var(l(0));
+        let e = i.clone() - i;
+        assert!(e.is_constant());
+        assert_eq!(e, AffineExpr::zero());
+    }
+
+    #[test]
+    fn add_merges_terms() {
+        let e = AffineExpr::var(l(0)) * 2 + AffineExpr::var(l(0)) + 7;
+        assert_eq!(e.coeff(l(0)), 3);
+        assert_eq!(e.constant(), 7);
+    }
+
+    #[test]
+    fn scale_by_zero_is_zero() {
+        let e = (AffineExpr::var(l(0)) + 4) * 0;
+        assert_eq!(e, AffineExpr::zero());
+    }
+
+    #[test]
+    fn eval_uses_environment() {
+        let e = AffineExpr::var(l(0)) * 16 + AffineExpr::var(l(1)) + 3;
+        let v = e.eval(|it| if it == l(0) { 2 } else { 5 });
+        assert_eq!(v, 16 * 2 + 5 + 3);
+    }
+
+    #[test]
+    fn eval_missing_iterators_are_zero() {
+        let e = AffineExpr::var(l(0)) * 10 + 1;
+        assert_eq!(e.eval(|_| 0), 1);
+    }
+
+    #[test]
+    fn value_range_handles_signs() {
+        // e = 2i - 3j + 1, i in [0,4], j in [1,2]
+        let e = AffineExpr::scaled_var(l(0), 2) + AffineExpr::scaled_var(l(1), -3) + 1;
+        let (lo, hi) = e.value_range(|it| {
+            if it == l(0) {
+                Some((0, 4))
+            } else {
+                Some((1, 2))
+            }
+        });
+        assert_eq!(lo, 0 - 6 + 1);
+        assert_eq!(hi, 8 - 3 + 1);
+    }
+
+    #[test]
+    fn value_range_pins_missing_iterators() {
+        let e = AffineExpr::var(l(0)) + AffineExpr::var(l(1));
+        let (lo, hi) = e.value_range(|it| if it == l(0) { Some((0, 3)) } else { None });
+        assert_eq!((lo, hi), (0, 3));
+    }
+
+    #[test]
+    fn width_is_independent_of_fixed_iterators() {
+        // e = i + 16*mb ; i free over 16 positions, mb fixed.
+        let e = AffineExpr::var(l(0)) + AffineExpr::scaled_var(l(1), 16);
+        let w = e.width_over(|it| if it == l(0) { Some(15) } else { None });
+        assert_eq!(w, 16);
+    }
+
+    #[test]
+    fn width_accumulates_absolute_coefficients() {
+        let e = AffineExpr::scaled_var(l(0), -2) + AffineExpr::var(l(1));
+        let w = e.width_over(|it| if it == l(0) { Some(3) } else { Some(4) });
+        assert_eq!(w, 1 + 2 * 3 + 4);
+    }
+
+    #[test]
+    fn substitute_folds_into_constant() {
+        let e = AffineExpr::var(l(0)) * 4 + AffineExpr::var(l(1)) + 1;
+        let s = e.substitute(l(0), 3);
+        assert_eq!(s.coeff(l(0)), 0);
+        assert_eq!(s.constant(), 13);
+        assert_eq!(s.coeff(l(1)), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = AffineExpr::var(l(0)) * 16 + AffineExpr::scaled_var(l(1), -1) + 8;
+        assert_eq!(e.to_string(), "16*L0 - L1 + 8");
+        assert_eq!(AffineExpr::zero().to_string(), "0");
+        assert_eq!(AffineExpr::constant_expr(-2).to_string(), "-2");
+    }
+
+    #[test]
+    fn equality_is_semantic() {
+        let a = AffineExpr::var(l(0)) + 1 - 1;
+        let b = AffineExpr::var(l(0));
+        assert_eq!(a, b);
+    }
+}

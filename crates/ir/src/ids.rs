@@ -1,0 +1,150 @@
+//! Typed arena indices for the program representation.
+//!
+//! Every entity of a [`Program`](crate::Program) lives in an arena and is
+//! referred to by a small copyable id. Newtypes keep the different index
+//! spaces apart at compile time ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+macro_rules! arena_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Returns the raw arena index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw arena index.
+            ///
+            /// Only meaningful for indices handed out by the owning
+            /// [`Program`](crate::Program); mainly useful for serialization
+            /// layers and tests.
+            pub fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+arena_id!(
+    /// Identifies an [`ArrayDecl`](crate::ArrayDecl) within a program.
+    ArrayId,
+    "A"
+);
+arena_id!(
+    /// Identifies a [`Loop`](crate::Loop) within a program.
+    ///
+    /// A `LoopId` doubles as the loop's *iterator variable* inside
+    /// [`AffineExpr`](crate::AffineExpr) index expressions.
+    LoopId,
+    "L"
+);
+arena_id!(
+    /// Identifies a [`Statement`](crate::Statement) within a program.
+    StmtId,
+    "S"
+);
+
+/// A node of the program tree: either a loop or a statement.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum NodeId {
+    /// A loop node.
+    Loop(LoopId),
+    /// A statement node.
+    Stmt(StmtId),
+}
+
+impl NodeId {
+    /// Returns the loop id if this node is a loop.
+    pub fn as_loop(self) -> Option<LoopId> {
+        match self {
+            NodeId::Loop(l) => Some(l),
+            NodeId::Stmt(_) => None,
+        }
+    }
+
+    /// Returns the statement id if this node is a statement.
+    pub fn as_stmt(self) -> Option<StmtId> {
+        match self {
+            NodeId::Loop(_) => None,
+            NodeId::Stmt(s) => Some(s),
+        }
+    }
+}
+
+impl From<LoopId> for NodeId {
+    fn from(value: LoopId) -> Self {
+        NodeId::Loop(value)
+    }
+}
+
+impl From<StmtId> for NodeId {
+    fn from(value: StmtId) -> Self {
+        NodeId::Stmt(value)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Loop(l) => write!(f, "{l}"),
+            NodeId::Stmt(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_raw_indices() {
+        let a = ArrayId::from_index(7);
+        assert_eq!(a.index(), 7);
+        let l = LoopId::from_index(3);
+        assert_eq!(l.index(), 3);
+        let s = StmtId::from_index(11);
+        assert_eq!(s.index(), 11);
+    }
+
+    #[test]
+    fn display_uses_kind_prefix() {
+        assert_eq!(ArrayId::from_index(1).to_string(), "A1");
+        assert_eq!(LoopId::from_index(2).to_string(), "L2");
+        assert_eq!(StmtId::from_index(3).to_string(), "S3");
+        assert_eq!(NodeId::from(LoopId::from_index(2)).to_string(), "L2");
+    }
+
+    #[test]
+    fn node_id_projections() {
+        let l: NodeId = LoopId::from_index(0).into();
+        assert_eq!(l.as_loop(), Some(LoopId::from_index(0)));
+        assert_eq!(l.as_stmt(), None);
+        let s: NodeId = StmtId::from_index(0).into();
+        assert_eq!(s.as_stmt(), Some(StmtId::from_index(0)));
+        assert_eq!(s.as_loop(), None);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(LoopId::from_index(1) < LoopId::from_index(2));
+    }
+}

@@ -1,0 +1,68 @@
+//! # mhla-ir — loop-nest intermediate representation
+//!
+//! The MHLA technique (Memory Hierarchical Layer Assignment, DATE 2003/2005)
+//! reasons about *geometric* program information only: which arrays exist,
+//! which loop nests access them, with which affine index expressions, and how
+//! often. This crate provides exactly that information as an explicit,
+//! self-contained intermediate representation:
+//!
+//! * [`AffineExpr`] — affine functions of loop iterators used as array
+//!   subscripts,
+//! * [`Program`] — an arena-based tree of [`Loop`]s and [`Statement`]s over a
+//!   set of [`ArrayDecl`]s,
+//! * [`ProgramBuilder`] — an ergonomic way to construct programs,
+//! * [`ProgramInfo`] — derived structural facts (parents, depths, trip
+//!   counts, execution counts, access counts),
+//! * [`Timeline`] — a sequentialized logical timeline used by lifetime
+//!   analysis and in-place optimization,
+//! * [`Program::validate`] — structural well-formedness checking.
+//!
+//! # Example
+//!
+//! A 2-D sum-of-absolute-differences kernel (the inner loop of motion
+//! estimation):
+//!
+//! ```
+//! use mhla_ir::{ProgramBuilder, ElemType, AccessKind};
+//!
+//! let mut b = ProgramBuilder::new("sad");
+//! let cur = b.array("cur", &[16, 16], ElemType::U8);
+//! let ref_ = b.array("ref", &[32, 32], ElemType::U8);
+//! let y = b.begin_loop("y", 0, 16, 1);
+//! let x = b.begin_loop("x", 0, 16, 1);
+//! let (iy, ix) = (b.var(y), b.var(x));
+//! b.stmt("acc")
+//!     .read(cur, vec![iy.clone(), ix.clone()])
+//!     .read(ref_, vec![iy + 8, ix + 8])
+//!     .compute_cycles(2)
+//!     .finish();
+//! b.end_loop();
+//! b.end_loop();
+//! let program = b.finish();
+//!
+//! let info = program.info();
+//! assert_eq!(info.access_count(cur, AccessKind::Read), 256);
+//! assert_eq!(info.access_count(ref_, AccessKind::Read), 256);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod builder;
+mod display;
+mod expr;
+mod ids;
+mod program;
+mod timeline;
+mod validate;
+
+pub use analysis::{AccessCounts, ProgramInfo};
+pub use builder::{ProgramBuilder, StmtBuilder};
+pub use expr::AffineExpr;
+pub use ids::{ArrayId, LoopId, NodeId, StmtId};
+pub use program::{
+    Access, AccessKind, ArrayDecl, ElemType, Loop, Node, Program, Statement,
+};
+pub use timeline::{TimeInterval, Timeline};
+pub use validate::ValidateError;

@@ -1,0 +1,409 @@
+//! Program structure: arrays, loops, statements, accesses.
+
+use std::fmt;
+
+use crate::analysis::ProgramInfo;
+use crate::expr::AffineExpr;
+use crate::ids::{ArrayId, LoopId, NodeId, StmtId};
+use crate::timeline::Timeline;
+use crate::validate::ValidateError;
+
+/// Scalar element type of an array.
+///
+/// Only the storage width matters to MHLA; the enum exists so workloads can
+/// document their data layout precisely.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ElemType {
+    /// 8-bit integer (pixels).
+    #[default]
+    U8,
+    /// 16-bit integer (audio samples, SAD accumulators).
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 32-bit IEEE float (filter coefficients).
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl ElemType {
+    /// Storage size of one element in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            ElemType::U8 => 1,
+            ElemType::I16 => 2,
+            ElemType::I32 | ElemType::F32 => 4,
+            ElemType::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ElemType::U8 => "u8",
+            ElemType::I16 => "i16",
+            ElemType::I32 => "i32",
+            ElemType::F32 => "f32",
+            ElemType::F64 => "f64",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Declaration of a multi-dimensional array.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArrayDecl {
+    /// Human-readable array name (unique within a program).
+    pub name: String,
+    /// Extent of each dimension, in elements. Row-major, outermost first.
+    pub dims: Vec<u64>,
+    /// Element type.
+    pub elem: ElemType,
+}
+
+impl ArrayDecl {
+    /// Total number of elements.
+    pub fn elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Total storage footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.elements() * self.elem.bytes()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// Whether an access reads or writes its array.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// The statement reads one element per execution.
+    Read,
+    /// The statement writes one element per execution.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// One array reference inside a statement.
+///
+/// Each execution of the owning statement touches exactly one element,
+/// addressed by evaluating `index` under the current iterator values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// The referenced array.
+    pub array: ArrayId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// One affine subscript per array dimension.
+    pub index: Vec<AffineExpr>,
+}
+
+/// A straight-line statement with a fixed set of array accesses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Statement {
+    /// Human-readable label.
+    pub name: String,
+    /// Array accesses performed by one execution.
+    pub accesses: Vec<Access>,
+    /// Pure datapath cycles per execution, *excluding* memory access time
+    /// (the platform model adds per-access latencies on top).
+    pub compute_cycles: u64,
+}
+
+/// A `for` loop with constant, statically known bounds.
+///
+/// Iteration values are `lower, lower+step, …` strictly below `upper`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Loop {
+    /// Iterator name, e.g. `"y"`.
+    pub name: String,
+    /// Inclusive lower bound.
+    pub lower: i64,
+    /// Exclusive upper bound.
+    pub upper: i64,
+    /// Positive step.
+    pub step: i64,
+    /// Body in program order.
+    pub body: Vec<Node>,
+}
+
+impl Loop {
+    /// Number of iterations executed per entry of the loop.
+    pub fn trip_count(&self) -> u64 {
+        if self.upper <= self.lower || self.step <= 0 {
+            0
+        } else {
+            ((self.upper - self.lower + self.step - 1) / self.step) as u64
+        }
+    }
+
+    /// Value of the iterator in the last executed iteration, if any.
+    pub fn last_value(&self) -> Option<i64> {
+        let trips = self.trip_count();
+        if trips == 0 {
+            None
+        } else {
+            Some(self.lower + (trips as i64 - 1) * self.step)
+        }
+    }
+
+    /// Distance between the first and last iterator value
+    /// (`(trip_count - 1) · step`), or 0 for empty loops.
+    pub fn span(&self) -> i64 {
+        self.last_value().map_or(0, |last| last - self.lower)
+    }
+}
+
+/// A node of the program tree.
+pub type Node = NodeId;
+
+/// A complete application kernel: arrays plus a tree of loops/statements.
+///
+/// `Program` is an immutable arena; construct one with
+/// [`ProgramBuilder`](crate::ProgramBuilder) and query derived facts through
+/// [`Program::info`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) arrays: Vec<ArrayDecl>,
+    pub(crate) loops: Vec<Loop>,
+    pub(crate) stmts: Vec<Statement>,
+    pub(crate) roots: Vec<Node>,
+}
+
+impl Program {
+    /// The program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All declared arrays.
+    pub fn arrays(&self) -> impl Iterator<Item = (ArrayId, &ArrayDecl)> {
+        self.arrays
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ArrayId::from_index(i), a))
+    }
+
+    /// Looks up an array declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.index()]
+    }
+
+    /// Looks up a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn loop_(&self, id: LoopId) -> &Loop {
+        &self.loops[id.index()]
+    }
+
+    /// Looks up a statement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program.
+    pub fn stmt(&self, id: StmtId) -> &Statement {
+        &self.stmts[id.index()]
+    }
+
+    /// All loops.
+    pub fn loops(&self) -> impl Iterator<Item = (LoopId, &Loop)> {
+        self.loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LoopId::from_index(i), l))
+    }
+
+    /// All statements.
+    pub fn stmts(&self) -> impl Iterator<Item = (StmtId, &Statement)> {
+        self.stmts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StmtId::from_index(i), s))
+    }
+
+    /// Top-level nodes in program order.
+    pub fn roots(&self) -> &[Node] {
+        &self.roots
+    }
+
+    /// Number of arrays.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Number of loops.
+    pub fn loop_count(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Number of statements.
+    pub fn stmt_count(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Finds an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(ArrayId::from_index)
+    }
+
+    /// Computes derived structural information (parents, trip counts,
+    /// access counts). The result borrows the program.
+    pub fn info(&self) -> ProgramInfo<'_> {
+        ProgramInfo::new(self)
+    }
+
+    /// Builds the sequential logical timeline of the program.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::new(self)
+    }
+
+    /// Checks structural well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; see [`ValidateError`] for the
+    /// possible failure classes.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        crate::validate::validate(self)
+    }
+
+    /// Walks the tree depth-first in program order, invoking `visit` for
+    /// every node. The second argument is the nesting depth (0 at roots).
+    pub fn walk(&self, mut visit: impl FnMut(NodeId, usize)) {
+        fn go(p: &Program, nodes: &[Node], depth: usize, visit: &mut impl FnMut(NodeId, usize)) {
+            for &n in nodes {
+                visit(n, depth);
+                if let NodeId::Loop(l) = n {
+                    go(p, &p.loops[l.index()].body, depth + 1, visit);
+                }
+            }
+        }
+        go(self, &self.roots, 0, &mut visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn elem_type_bytes() {
+        assert_eq!(ElemType::U8.bytes(), 1);
+        assert_eq!(ElemType::I16.bytes(), 2);
+        assert_eq!(ElemType::I32.bytes(), 4);
+        assert_eq!(ElemType::F32.bytes(), 4);
+        assert_eq!(ElemType::F64.bytes(), 8);
+    }
+
+    #[test]
+    fn array_decl_footprint() {
+        let a = ArrayDecl {
+            name: "frame".into(),
+            dims: vec![144, 176],
+            elem: ElemType::U8,
+        };
+        assert_eq!(a.elements(), 144 * 176);
+        assert_eq!(a.bytes(), 144 * 176);
+        assert_eq!(a.rank(), 2);
+    }
+
+    #[test]
+    fn trip_count_rounding() {
+        let mk = |lower, upper, step| Loop {
+            name: "i".into(),
+            lower,
+            upper,
+            step,
+            body: vec![],
+        };
+        assert_eq!(mk(0, 10, 1).trip_count(), 10);
+        assert_eq!(mk(0, 10, 3).trip_count(), 4);
+        assert_eq!(mk(0, 10, 16).trip_count(), 1);
+        assert_eq!(mk(5, 5, 1).trip_count(), 0);
+        assert_eq!(mk(8, 5, 1).trip_count(), 0);
+        assert_eq!(mk(-4, 4, 2).trip_count(), 4);
+    }
+
+    #[test]
+    fn loop_span_and_last_value() {
+        let l = Loop {
+            name: "i".into(),
+            lower: 0,
+            upper: 10,
+            step: 3,
+            body: vec![],
+        };
+        assert_eq!(l.last_value(), Some(9));
+        assert_eq!(l.span(), 9);
+        let empty = Loop {
+            name: "i".into(),
+            lower: 3,
+            upper: 3,
+            step: 1,
+            body: vec![],
+        };
+        assert_eq!(empty.last_value(), None);
+        assert_eq!(empty.span(), 0);
+    }
+
+    #[test]
+    fn walk_visits_in_program_order() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[8], ElemType::U8);
+        let l0 = b.begin_loop("i", 0, 4, 1);
+        let i = b.var(l0);
+        b.stmt("s0").read(a, vec![i.clone()]).finish();
+        let l1 = b.begin_loop("j", 0, 2, 1);
+        b.stmt("s1").read(a, vec![i]).finish();
+        b.end_loop();
+        b.end_loop();
+        let p = b.finish();
+
+        let mut order = Vec::new();
+        p.walk(|n, d| order.push((n.to_string(), d)));
+        assert_eq!(
+            order,
+            vec![
+                ("L0".to_string(), 0),
+                ("S0".to_string(), 1),
+                ("L1".to_string(), 1),
+                ("S1".to_string(), 2),
+            ]
+        );
+        let _ = l1;
+    }
+
+    #[test]
+    fn array_by_name_lookup() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("alpha", &[4], ElemType::U8);
+        let p = b.finish();
+        assert_eq!(p.array_by_name("alpha"), Some(a));
+        assert_eq!(p.array_by_name("beta"), None);
+    }
+}

@@ -1,0 +1,304 @@
+//! Sequential logical timeline of a program.
+//!
+//! Lifetime analysis and in-place optimization need a total order of all
+//! dynamic statement instances. The [`Timeline`] assigns every node a
+//! half-open interval on a *logical clock* that advances by one tick per
+//! statement execution. Logical ticks are not cycles — they order events
+//! without depending on the (assignment-dependent) memory latencies.
+
+use std::fmt;
+
+use crate::ids::{ArrayId, LoopId, NodeId, StmtId};
+use crate::program::Program;
+
+/// Half-open interval `[start, end)` on the logical clock.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimeInterval {
+    /// First tick covered.
+    pub start: u64,
+    /// First tick *not* covered.
+    pub end: u64,
+}
+
+impl TimeInterval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start <= end, "interval start {start} > end {end}");
+        Self { start, end }
+    }
+
+    /// Interval length in ticks.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the interval covers no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether two intervals share at least one tick.
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, other: &TimeInterval) -> TimeInterval {
+        TimeInterval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Grows the interval to start earlier by `ticks`, saturating at zero.
+    pub fn extended_earlier(&self, ticks: u64) -> TimeInterval {
+        TimeInterval {
+            start: self.start.saturating_sub(ticks),
+            end: self.end,
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Logical-clock intervals for every node of a program.
+///
+/// Obtained from [`Program::timeline`].
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// Duration of ONE dynamic instance of each loop.
+    loop_duration: Vec<u64>,
+    /// Span from first instance start to last instance end.
+    loop_span: Vec<TimeInterval>,
+    stmt_span: Vec<TimeInterval>,
+    total: u64,
+    array_span: Vec<Option<TimeInterval>>,
+}
+
+impl Timeline {
+    pub(crate) fn new(program: &Program) -> Self {
+        let mut tl = Timeline {
+            loop_duration: vec![0; program.loop_count()],
+            loop_span: vec![TimeInterval::new(0, 0); program.loop_count()],
+            stmt_span: vec![TimeInterval::new(0, 0); program.stmt_count()],
+            total: 0,
+            array_span: vec![None; program.array_count()],
+        };
+        // Pass 1: instance durations bottom-up.
+        fn duration(p: &Program, tl: &mut Timeline, node: NodeId) -> u64 {
+            match node {
+                NodeId::Stmt(_) => 1,
+                NodeId::Loop(l) => {
+                    let body: u64 = p
+                        .loop_(l)
+                        .body
+                        .iter()
+                        .map(|&n| duration(p, tl, n))
+                        .sum();
+                    let d = p.loop_(l).trip_count() * body;
+                    tl.loop_duration[l.index()] = d;
+                    d
+                }
+            }
+        }
+        let mut offset = 0;
+        let roots = program.roots().to_vec();
+        for &r in &roots {
+            offset += duration(program, &mut tl, r);
+        }
+        tl.total = offset;
+
+        // Pass 2: spans top-down. `first` / `last` are the start times of the
+        // first and last dynamic instance of the current sequence position.
+        fn spans(p: &Program, tl: &mut Timeline, nodes: &[NodeId], first: u64, last: u64) {
+            let mut off = 0;
+            for &n in nodes {
+                let (dur, node_first, node_last) = match n {
+                    NodeId::Stmt(s) => {
+                        let f = first + off;
+                        let l = last + off;
+                        tl.stmt_span[s.index()] = TimeInterval::new(f, l + 1);
+                        (1, f, l)
+                    }
+                    NodeId::Loop(l) => {
+                        let d = tl.loop_duration[l.index()];
+                        let f = first + off;
+                        let la = last + off;
+                        tl.loop_span[l.index()] = TimeInterval::new(f, la + d);
+                        let trips = p.loop_(l).trip_count();
+                        if trips > 0 {
+                            let body_dur = d / trips;
+                            let body = p.loop_(l).body.clone();
+                            spans(
+                                p,
+                                tl,
+                                &body,
+                                f,
+                                la + (trips - 1) * body_dur,
+                            );
+                        }
+                        (d, f, la)
+                    }
+                };
+                let _ = (node_first, node_last);
+                off += dur;
+            }
+        }
+        spans(program, &mut tl, &roots, 0, 0);
+
+        // Array spans: hull over accessing statements.
+        for (sid, stmt) in program.stmts() {
+            let span = tl.stmt_span[sid.index()];
+            for acc in &stmt.accesses {
+                let slot = &mut tl.array_span[acc.array.index()];
+                *slot = Some(match slot {
+                    Some(cur) => cur.hull(&span),
+                    None => span,
+                });
+            }
+        }
+        tl
+    }
+
+    /// Total logical duration of one program execution.
+    pub fn total_ticks(&self) -> u64 {
+        self.total
+    }
+
+    /// Duration of ONE dynamic instance of the loop (all its iterations).
+    pub fn loop_instance_ticks(&self, l: LoopId) -> u64 {
+        self.loop_duration[l.index()]
+    }
+
+    /// Span from the loop's first instance start to its last instance end.
+    pub fn loop_span(&self, l: LoopId) -> TimeInterval {
+        self.loop_span[l.index()]
+    }
+
+    /// Span from a statement's first execution to its last.
+    pub fn stmt_span(&self, s: StmtId) -> TimeInterval {
+        self.stmt_span[s.index()]
+    }
+
+    /// Span of a node.
+    pub fn node_span(&self, n: NodeId) -> TimeInterval {
+        match n {
+            NodeId::Loop(l) => self.loop_span(l),
+            NodeId::Stmt(s) => self.stmt_span(s),
+        }
+    }
+
+    /// Hull of the spans of all statements accessing the array, or `None`
+    /// when the array is never accessed.
+    pub fn array_span(&self, a: ArrayId) -> Option<TimeInterval> {
+        self.array_span[a.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::ElemType;
+
+    #[test]
+    fn interval_basics() {
+        let a = TimeInterval::new(2, 5);
+        let b = TimeInterval::new(5, 7);
+        let c = TimeInterval::new(4, 6);
+        assert_eq!(a.len(), 3);
+        assert!(!a.overlaps(&b), "half-open: touching is not overlap");
+        assert!(a.overlaps(&c));
+        assert_eq!(a.hull(&b), TimeInterval::new(2, 7));
+        assert_eq!(a.extended_earlier(10), TimeInterval::new(0, 5));
+        assert!(TimeInterval::new(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "start")]
+    fn interval_rejects_inverted_bounds() {
+        let _ = TimeInterval::new(5, 2);
+    }
+
+    /// ```text
+    /// for i in 0..2:       // L0
+    ///   S0
+    ///   for j in 0..3:     // L1
+    ///     S1
+    /// S2
+    /// ```
+    /// Ticks: i=0: S0@0, S1@1,2,3 ; i=1: S0@4, S1@5,6,7 ; S2@8.
+    #[test]
+    fn spans_of_nested_program() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[8], ElemType::U8);
+        let li = b.begin_loop("i", 0, 2, 1);
+        let iv = b.var(li);
+        let s0 = b.stmt("s0").read(a, vec![iv.clone()]).finish();
+        let lj = b.begin_loop("j", 0, 3, 1);
+        let s1 = b.stmt("s1").read(a, vec![iv]).finish();
+        b.end_loop();
+        b.end_loop();
+        let s2 = b
+            .stmt("s2")
+            .read(a, vec![crate::AffineExpr::zero()])
+            .finish();
+        let p = b.finish();
+        let tl = p.timeline();
+
+        assert_eq!(tl.total_ticks(), 9);
+        assert_eq!(tl.loop_instance_ticks(li), 8);
+        assert_eq!(tl.loop_instance_ticks(lj), 3);
+        assert_eq!(tl.loop_span(li), TimeInterval::new(0, 8));
+        // First j-loop instance starts at tick 1; last ends at tick 8.
+        assert_eq!(tl.loop_span(lj), TimeInterval::new(1, 8));
+        assert_eq!(tl.stmt_span(s0), TimeInterval::new(0, 5));
+        assert_eq!(tl.stmt_span(s1), TimeInterval::new(1, 8));
+        assert_eq!(tl.stmt_span(s2), TimeInterval::new(8, 9));
+        assert_eq!(tl.array_span(a), Some(TimeInterval::new(0, 9)));
+    }
+
+    #[test]
+    fn unaccessed_array_has_no_span() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[8], ElemType::U8);
+        let unused = b.array("unused", &[8], ElemType::U8);
+        b.loop_scope("i", 0, 2, 1, |b, li| {
+            let iv = b.var(li);
+            b.stmt("s").read(a, vec![iv]).finish();
+        });
+        let p = b.finish();
+        let tl = p.timeline();
+        assert!(tl.array_span(a).is_some());
+        assert_eq!(tl.array_span(unused), None);
+    }
+
+    #[test]
+    fn sequential_loops_do_not_overlap() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[8], ElemType::U8);
+        let l0 = b.loop_scope("i", 0, 4, 1, |b, li| {
+            let iv = b.var(li);
+            b.stmt("s0").write(a, vec![iv]).finish();
+            li
+        });
+        let l1 = b.loop_scope("j", 0, 4, 1, |b, lj| {
+            let jv = b.var(lj);
+            b.stmt("s1").read(a, vec![jv]).finish();
+            lj
+        });
+        let p = b.finish();
+        let tl = p.timeline();
+        assert_eq!(tl.loop_span(l0), TimeInterval::new(0, 4));
+        assert_eq!(tl.loop_span(l1), TimeInterval::new(4, 8));
+        assert!(!tl.loop_span(l0).overlaps(&tl.loop_span(l1)));
+    }
+}

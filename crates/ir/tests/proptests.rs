@@ -1,0 +1,177 @@
+//! Property-based tests for the IR crate: affine-expression algebra,
+//! range/width exactness against brute-force enumeration, and timeline
+//! consistency on randomly generated loop nests.
+
+use mhla_ir::{AffineExpr, ElemType, LoopId, NodeId, ProgramBuilder};
+use proptest::prelude::*;
+
+fn lid(i: usize) -> LoopId {
+    LoopId::from_index(i)
+}
+
+/// Strategy: an affine expression over up to 4 iterators with small
+/// coefficients, paired with concrete (min, max) ranges for each iterator.
+fn expr_and_ranges() -> impl Strategy<Value = (AffineExpr, Vec<(i64, i64)>)> {
+    let coeffs = prop::collection::vec(-5i64..=5, 4);
+    let constant = -20i64..=20;
+    let ranges = prop::collection::vec((-6i64..=6, 0i64..=6), 4);
+    (coeffs, constant, ranges).prop_map(|(cs, k, rs)| {
+        let mut e = AffineExpr::constant_expr(k);
+        for (i, c) in cs.iter().enumerate() {
+            e = e + AffineExpr::scaled_var(lid(i), *c);
+        }
+        let ranges = rs.iter().map(|(lo, len)| (*lo, lo + len)).collect();
+        (e, ranges)
+    })
+}
+
+proptest! {
+    /// `value_range` is exact: matches brute-force enumeration of all
+    /// iterator valuations.
+    #[test]
+    fn value_range_matches_enumeration((e, ranges) in expr_and_ranges()) {
+        let (lo, hi) = e.value_range(|l| ranges.get(l.index()).copied());
+        let mut seen_lo = i64::MAX;
+        let mut seen_hi = i64::MIN;
+        for v0 in ranges[0].0..=ranges[0].1 {
+            for v1 in ranges[1].0..=ranges[1].1 {
+                for v2 in ranges[2].0..=ranges[2].1 {
+                    for v3 in ranges[3].0..=ranges[3].1 {
+                        let vals = [v0, v1, v2, v3];
+                        let v = e.eval(|l| vals[l.index()]);
+                        seen_lo = seen_lo.min(v);
+                        seen_hi = seen_hi.max(v);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(lo, seen_lo);
+        prop_assert_eq!(hi, seen_hi);
+    }
+
+    /// Width over free iterators equals the enumerated footprint width and
+    /// is independent of the fixed iterators' values.
+    #[test]
+    fn width_matches_enumeration(
+        (e, ranges) in expr_and_ranges(),
+        fixed2 in -4i64..=4,
+        fixed3 in -4i64..=4,
+    ) {
+        // Iterators 0,1 free; 2,3 fixed.
+        let w = e.width_over(|l| {
+            let i = l.index();
+            (i < 2).then(|| ranges[i].1 - ranges[i].0)
+        });
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for v0 in ranges[0].0..=ranges[0].1 {
+            for v1 in ranges[1].0..=ranges[1].1 {
+                let vals = [v0, v1, fixed2, fixed3];
+                let v = e.eval(|l| vals[l.index()]);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        prop_assert_eq!(w, hi - lo + 1);
+    }
+
+    /// Algebra: (a + b) - b == a for arbitrary expressions.
+    #[test]
+    fn add_sub_round_trip((a, _) in expr_and_ranges(), (b, _) in expr_and_ranges()) {
+        let r = (a.clone() + b.clone()) - b;
+        prop_assert_eq!(r, a);
+    }
+
+    /// eval is linear: eval(a*k) == k*eval(a).
+    #[test]
+    fn eval_is_linear((a, ranges) in expr_and_ranges(), k in -4i64..=4) {
+        let at = |l: LoopId| ranges[l.index()].0;
+        prop_assert_eq!((a.clone() * k).eval(at), k * a.eval(at));
+    }
+
+    /// substitute(l, v) agrees with eval when the remaining iterators are
+    /// evaluated identically.
+    #[test]
+    fn substitute_agrees_with_eval((a, ranges) in expr_and_ranges(), v in -4i64..=4) {
+        let s = a.substitute(lid(0), v);
+        let env = |l: LoopId| if l.index() == 0 { v } else { ranges[l.index()].1 };
+        prop_assert_eq!(s.eval(env), a.eval(env));
+    }
+}
+
+/// Strategy: shape of a random loop nest — a sequence of (depth-delta, trips)
+/// instructions interpreted by a builder walk.
+fn nest_shape() -> impl Strategy<Value = Vec<(i8, u8)>> {
+    prop::collection::vec((-1i8..=1, 1u8..=4), 1..12)
+}
+
+proptest! {
+    /// On arbitrary nests: total timeline ticks equal the total number of
+    /// statement executions, and every node span nests within its parent's.
+    #[test]
+    fn timeline_is_consistent(shape in nest_shape()) {
+        let mut b = ProgramBuilder::new("random");
+        let a = b.array("a", &[1024], ElemType::U8);
+        let mut loop_count = 0usize;
+        let mut stmt_in_current_scope = false;
+        for (delta, trips) in &shape {
+            match delta {
+                1 if b.open_depth() < 5 => {
+                    b.begin_loop(format!("l{loop_count}"), 0, *trips as i64, 1);
+                    loop_count += 1;
+                    stmt_in_current_scope = false;
+                }
+                -1 if b.open_depth() > 0 => {
+                    if !stmt_in_current_scope {
+                        // ensure no empty loop bodies (they are legal but
+                        // make the "every loop reachable" invariant vacuous)
+                        b.stmt("pad").read(a, vec![AffineExpr::zero()]).finish();
+                    }
+                    b.end_loop();
+                    stmt_in_current_scope = true;
+                }
+                _ => {
+                    b.stmt("s").read(a, vec![AffineExpr::zero()]).finish();
+                    stmt_in_current_scope = true;
+                }
+            }
+        }
+        while b.open_depth() > 0 {
+            if !stmt_in_current_scope {
+                b.stmt("pad").read(a, vec![AffineExpr::zero()]).finish();
+            }
+            b.end_loop();
+            stmt_in_current_scope = true;
+        }
+        if loop_count == 0 && !stmt_in_current_scope {
+            b.stmt("s").read(a, vec![AffineExpr::zero()]).finish();
+        }
+        let p = b.finish();
+        prop_assert!(p.validate().is_ok());
+
+        let info = p.info();
+        let tl = p.timeline();
+        let total_exec: u64 = p.stmts().map(|(s, _)| info.stmt_executions(s)).sum();
+        prop_assert_eq!(tl.total_ticks(), total_exec);
+
+        // Span nesting: each node's span lies within its parent loop's span.
+        p.walk(|n, _| {
+            if let Some(parent) = info.parent(n) {
+                let ps = tl.loop_span(parent);
+                let ns = tl.node_span(n);
+                assert!(ps.start <= ns.start && ns.end <= ps.end,
+                    "child span {ns} escapes parent span {ps}");
+            }
+        });
+
+        // Executions of a statement equal the product of enclosing trip counts.
+        for (s, _) in p.stmts() {
+            let prod: u64 = info
+                .enclosing_loops(NodeId::Stmt(s))
+                .iter()
+                .map(|&l| p.loop_(l).trip_count())
+                .product();
+            prop_assert_eq!(info.stmt_executions(s), prod);
+        }
+    }
+}

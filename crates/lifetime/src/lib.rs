@@ -1,0 +1,42 @@
+//! # mhla-lifetime — lifetimes and in-place storage optimization
+//!
+//! MHLA's on-chip layers are scarce; the technique therefore exploits the
+//! *limited lifetime* of arrays and copies: residents whose live intervals
+//! do not overlap can share the same scratchpad bytes ("in-place
+//! optimization" in the DATE 2003/2005 papers). The required capacity of a
+//! layer is then not the *sum* of its residents' sizes but the *peak* of
+//! their concurrent live sizes.
+//!
+//! This crate provides:
+//!
+//! * [`Resident`] — one array or copy buffer with its live interval and
+//!   size (double-buffered copies count twice, which is how Time
+//!   Extensions' `fits_size` check prices prefetching),
+//! * [`peak_occupancy`] — the in-place lower bound (max concurrent bytes),
+//! * [`assign_addresses`] — a concrete greedy first-fit address assignment
+//!   whose span is a real, achievable layer size (`peak ≤ span ≤ sum`).
+//!
+//! # Example
+//!
+//! ```
+//! use mhla_ir::TimeInterval;
+//! use mhla_lifetime::{assign_addresses, peak_occupancy, Resident, ResidentKind};
+//!
+//! // Two buffers with disjoint lifetimes share space.
+//! let residents = vec![
+//!     Resident::new(ResidentKind::Other(0), TimeInterval::new(0, 10), 256),
+//!     Resident::new(ResidentKind::Other(1), TimeInterval::new(10, 20), 256),
+//! ];
+//! assert_eq!(peak_occupancy(&residents), 256);
+//! let map = assign_addresses(&residents);
+//! assert_eq!(map.span(), 256); // first-fit achieves the bound here
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod occupancy;
+mod resident;
+
+pub use occupancy::{assign_addresses, occupancy_at, peak_occupancy, AddressMap};
+pub use resident::{Resident, ResidentKind};

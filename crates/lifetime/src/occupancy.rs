@@ -1,0 +1,215 @@
+//! Capacity requirements: peak occupancy and concrete address assignment.
+
+use std::fmt;
+
+use crate::resident::Resident;
+
+/// Maximum concurrent live bytes over time — the in-place lower bound on
+/// the layer capacity needed to host `residents`.
+///
+/// Computed with a sweep line over interval endpoints; empty intervals
+/// contribute nothing.
+pub fn peak_occupancy(residents: &[Resident]) -> u64 {
+    let mut events: Vec<(u64, i64)> = Vec::with_capacity(residents.len() * 2);
+    for r in residents {
+        if r.interval.is_empty() || r.bytes == 0 {
+            continue;
+        }
+        events.push((r.interval.start, r.bytes as i64));
+        events.push((r.interval.end, -(r.bytes as i64)));
+    }
+    // Process releases before acquisitions at equal time: half-open
+    // intervals [a,b) and [b,c) do not overlap.
+    events.sort_by_key(|&(t, d)| (t, d));
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for (_, d) in events {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak as u64
+}
+
+/// Live bytes at one instant `t`.
+pub fn occupancy_at(residents: &[Resident], t: u64) -> u64 {
+    residents
+        .iter()
+        .filter(|r| r.interval.start <= t && t < r.interval.end)
+        .map(|r| r.bytes)
+        .sum()
+}
+
+/// A concrete base-address assignment for a set of residents.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AddressMap {
+    /// Byte offset per resident, parallel to the input slice.
+    offsets: Vec<u64>,
+    span: u64,
+}
+
+impl AddressMap {
+    /// Base offset of resident `i` (input order of [`assign_addresses`]).
+    pub fn offset(&self, i: usize) -> u64 {
+        self.offsets[i]
+    }
+
+    /// Total bytes spanned by the assignment — a capacity that provably
+    /// suffices.
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// Number of residents mapped.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+impl fmt::Display for AddressMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AddressMap(span {} B, {} residents)", self.span, self.offsets.len())
+    }
+}
+
+/// Greedy first-fit address assignment exploiting lifetime disjointness.
+///
+/// Residents are placed in decreasing size order (classic first-fit
+/// decreasing); each is given the lowest offset where it fits without
+/// address-AND-time overlap with already placed residents. The resulting
+/// [`AddressMap::span`] is an *achievable* layer size:
+/// `peak_occupancy ≤ span ≤ Σ bytes`.
+pub fn assign_addresses(residents: &[Resident]) -> AddressMap {
+    let mut order: Vec<usize> = (0..residents.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(residents[i].bytes));
+
+    let mut offsets = vec![0u64; residents.len()];
+    let mut placed: Vec<usize> = Vec::new();
+    let mut span = 0u64;
+
+    for &i in &order {
+        let r = &residents[i];
+        if r.bytes == 0 || r.interval.is_empty() {
+            offsets[i] = 0;
+            continue;
+        }
+        // Collect address ranges blocked by time-overlapping residents.
+        let mut blocked: Vec<(u64, u64)> = placed
+            .iter()
+            .filter(|&&j| residents[j].interval.overlaps(&r.interval))
+            .map(|&j| (offsets[j], offsets[j] + residents[j].bytes))
+            .collect();
+        blocked.sort_unstable();
+        // First fit into the gaps.
+        let mut candidate = 0u64;
+        for (lo, hi) in blocked {
+            if candidate + r.bytes <= lo {
+                break;
+            }
+            candidate = candidate.max(hi);
+        }
+        offsets[i] = candidate;
+        span = span.max(candidate + r.bytes);
+        placed.push(i);
+    }
+    AddressMap { offsets, span }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resident::ResidentKind;
+    use mhla_ir::TimeInterval;
+
+    fn r(start: u64, end: u64, bytes: u64) -> Resident {
+        Resident::new(ResidentKind::Other(start), TimeInterval::new(start, end), bytes)
+    }
+
+    #[test]
+    fn peak_of_disjoint_lifetimes_is_max() {
+        let rs = vec![r(0, 10, 100), r(10, 20, 300), r(20, 30, 200)];
+        assert_eq!(peak_occupancy(&rs), 300);
+    }
+
+    #[test]
+    fn peak_of_overlapping_lifetimes_is_sum() {
+        let rs = vec![r(0, 10, 100), r(5, 15, 300)];
+        assert_eq!(peak_occupancy(&rs), 400);
+    }
+
+    #[test]
+    fn touching_intervals_do_not_overlap() {
+        let rs = vec![r(0, 10, 100), r(10, 20, 100)];
+        assert_eq!(peak_occupancy(&rs), 100);
+    }
+
+    #[test]
+    fn empty_and_zero_byte_residents_are_free() {
+        let rs = vec![
+            r(5, 5, 100),
+            Resident::new(ResidentKind::Other(9), TimeInterval::new(0, 10), 0),
+        ];
+        assert_eq!(peak_occupancy(&rs), 0);
+        assert_eq!(peak_occupancy(&[]), 0);
+    }
+
+    #[test]
+    fn occupancy_at_instants() {
+        let rs = vec![r(0, 10, 100), r(5, 15, 300)];
+        assert_eq!(occupancy_at(&rs, 0), 100);
+        assert_eq!(occupancy_at(&rs, 5), 400);
+        assert_eq!(occupancy_at(&rs, 10), 300, "half-open end");
+        assert_eq!(occupancy_at(&rs, 15), 0);
+    }
+
+    #[test]
+    fn first_fit_shares_space_across_disjoint_lifetimes() {
+        let rs = vec![r(0, 10, 256), r(10, 20, 256)];
+        let map = assign_addresses(&rs);
+        assert_eq!(map.span(), 256);
+        assert_eq!(map.offset(0), 0);
+        assert_eq!(map.offset(1), 0);
+    }
+
+    #[test]
+    fn first_fit_separates_overlapping_lifetimes() {
+        let rs = vec![r(0, 10, 256), r(5, 20, 128), r(8, 30, 64)];
+        let map = assign_addresses(&rs);
+        // All three overlap pairwise around t=8..10.
+        assert_eq!(map.span(), 256 + 128 + 64);
+        // No address overlap among time-overlapping residents.
+        for i in 0..rs.len() {
+            for j in (i + 1)..rs.len() {
+                if rs[i].interval.overlaps(&rs[j].interval) {
+                    let (a0, a1) = (map.offset(i), map.offset(i) + rs[i].bytes);
+                    let (b0, b1) = (map.offset(j), map.offset(j) + rs[j].bytes);
+                    assert!(a1 <= b0 || b1 <= a0, "{i} and {j} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_fit_fills_gaps() {
+        // Big lives [0,30); two small with disjoint lifetimes fit above it
+        // in the same slot.
+        let rs = vec![r(0, 30, 512), r(0, 15, 64), r(15, 30, 64)];
+        let map = assign_addresses(&rs);
+        assert_eq!(map.span(), 576);
+        assert_eq!(map.offset(1), map.offset(2), "small ones share the slot");
+    }
+
+    #[test]
+    fn span_is_between_peak_and_sum() {
+        let rs = vec![r(0, 12, 100), r(4, 20, 50), r(16, 40, 200), r(0, 40, 30)];
+        let peak = peak_occupancy(&rs);
+        let span = assign_addresses(&rs).span();
+        let sum: u64 = rs.iter().map(|x| x.bytes).sum();
+        assert!(peak <= span, "peak {peak} > span {span}");
+        assert!(span <= sum, "span {span} > sum {sum}");
+    }
+}

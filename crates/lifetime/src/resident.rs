@@ -1,0 +1,186 @@
+//! Residents: buffers competing for on-chip capacity.
+
+use std::fmt;
+
+use mhla_ir::{ArrayId, Program, TimeInterval, Timeline};
+use mhla_reuse::{CandidateId, CopyCandidate};
+
+/// What a resident buffer holds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ResidentKind {
+    /// A whole array homed in this layer.
+    Array(ArrayId),
+    /// A copy buffer for a copy candidate.
+    Copy(CandidateId),
+    /// Anything else (tests, external users).
+    Other(u64),
+}
+
+impl fmt::Display for ResidentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResidentKind::Array(a) => write!(f, "array {a}"),
+            ResidentKind::Copy(c) => write!(f, "copy {c}"),
+            ResidentKind::Other(i) => write!(f, "other {i}"),
+        }
+    }
+}
+
+/// One buffer occupying bytes of a layer during a live interval.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Resident {
+    /// What the buffer holds.
+    pub kind: ResidentKind,
+    /// Live interval on the program's logical timeline.
+    pub interval: TimeInterval,
+    /// Buffer size in bytes (already doubled for double-buffered copies).
+    pub bytes: u64,
+}
+
+impl Resident {
+    /// Creates a resident.
+    pub fn new(kind: ResidentKind, interval: TimeInterval, bytes: u64) -> Self {
+        Resident {
+            kind,
+            interval,
+            bytes,
+        }
+    }
+
+    /// Resident for an array homed on-chip: live from its first to its last
+    /// access. Returns `None` for arrays that are never accessed.
+    pub fn for_array(program: &Program, timeline: &Timeline, array: ArrayId) -> Option<Self> {
+        let interval = timeline.array_span(array)?;
+        Some(Resident {
+            kind: ResidentKind::Array(array),
+            interval,
+            bytes: program.array(array).bytes(),
+        })
+    }
+
+    /// Resident for a copy candidate's buffer.
+    ///
+    /// The buffer is allocated for the whole execution span of its owning
+    /// loop (it is refilled, not re-allocated, across iterations); the
+    /// whole-array candidate is allocated for the array's access span.
+    /// `double_buffered` doubles the size, which is how a Time Extension
+    /// crossing the owning loop's back-edge is priced.
+    pub fn for_candidate(
+        program: &Program,
+        timeline: &Timeline,
+        id: CandidateId,
+        candidate: &CopyCandidate,
+        double_buffered: bool,
+    ) -> Option<Self> {
+        let interval = match candidate.at_loop {
+            Some(l) => timeline.loop_span(l),
+            None => timeline.array_span(candidate.array)?,
+        };
+        let _ = program;
+        Some(Resident {
+            kind: ResidentKind::Copy(id),
+            interval,
+            bytes: candidate.bytes * if double_buffered { 2 } else { 1 },
+        })
+    }
+
+    /// Returns a copy of this resident with the live interval extended
+    /// earlier by `ticks` (prefetching starts the lifetime earlier).
+    pub fn extended_earlier(&self, ticks: u64) -> Self {
+        Resident {
+            interval: self.interval.extended_earlier(ticks),
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for Resident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} B live {}", self.kind, self.bytes, self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhla_ir::{ElemType, ProgramBuilder};
+    use mhla_reuse::ReuseAnalysis;
+
+    fn two_phase() -> (Program, ArrayId, ArrayId) {
+        // Phase 1 writes tmp, phase 2 reads tmp and writes out.
+        let mut b = ProgramBuilder::new("p");
+        let tmp = b.array("tmp", &[32], ElemType::U8);
+        let out = b.array("out", &[32], ElemType::U8);
+        b.loop_scope("i", 0, 32, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("w").write(tmp, vec![i]).finish();
+        });
+        b.loop_scope("j", 0, 32, 1, |b, lj| {
+            let j = b.var(lj);
+            b.stmt("r")
+                .read(tmp, vec![j.clone()])
+                .write(out, vec![j])
+                .finish();
+        });
+        (b.finish(), tmp, out)
+    }
+
+    #[test]
+    fn array_resident_spans_first_to_last_access() {
+        let (p, tmp, out) = two_phase();
+        let tl = p.timeline();
+        let r_tmp = Resident::for_array(&p, &tl, tmp).unwrap();
+        assert_eq!(r_tmp.interval, TimeInterval::new(0, 64));
+        assert_eq!(r_tmp.bytes, 32);
+        let r_out = Resident::for_array(&p, &tl, out).unwrap();
+        assert_eq!(r_out.interval, TimeInterval::new(32, 64));
+    }
+
+    #[test]
+    fn unaccessed_array_is_not_resident() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[4], ElemType::U8);
+        let dead = b.array("dead", &[4], ElemType::U8);
+        b.loop_scope("i", 0, 4, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("s").read(a, vec![i]).finish();
+        });
+        let p = b.finish();
+        let tl = p.timeline();
+        assert!(Resident::for_array(&p, &tl, dead).is_none());
+    }
+
+    #[test]
+    fn candidate_resident_covers_owning_loop_and_doubles() {
+        let (p, tmp, _) = two_phase();
+        let tl = p.timeline();
+        let reuse = ReuseAnalysis::analyze(&p);
+        let ar = reuse.array(tmp);
+        // Candidate at the reading loop (index of that candidate in list).
+        let (idx, cc) = ar
+            .candidates()
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.at_loop.is_some())
+            .unwrap();
+        let id = CandidateId {
+            array: tmp,
+            index: idx,
+        };
+        let single = Resident::for_candidate(&p, &tl, id, cc, false).unwrap();
+        let double = Resident::for_candidate(&p, &tl, id, cc, true).unwrap();
+        assert_eq!(double.bytes, 2 * single.bytes);
+        assert_eq!(single.interval, tl.loop_span(cc.at_loop.unwrap()));
+    }
+
+    #[test]
+    fn extended_earlier_moves_only_the_start() {
+        let r = Resident::new(ResidentKind::Other(0), TimeInterval::new(10, 20), 8);
+        let e = r.extended_earlier(4);
+        assert_eq!(e.interval, TimeInterval::new(6, 20));
+        let clamped = r.extended_earlier(100);
+        assert_eq!(clamped.interval, TimeInterval::new(0, 20));
+    }
+
+    use mhla_ir::Program;
+}

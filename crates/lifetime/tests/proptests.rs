@@ -1,0 +1,73 @@
+//! Property tests for in-place packing: first-fit address maps are always
+//! collision-free and their span is sandwiched between the occupancy peak
+//! and the no-sharing sum.
+
+use mhla_ir::TimeInterval;
+use mhla_lifetime::{assign_addresses, occupancy_at, peak_occupancy, Resident, ResidentKind};
+use proptest::prelude::*;
+
+fn residents() -> impl Strategy<Value = Vec<Resident>> {
+    prop::collection::vec((0u64..50, 1u64..30, 1u64..512), 0..24).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (start, len, bytes))| {
+                Resident::new(
+                    ResidentKind::Other(i as u64),
+                    TimeInterval::new(start, start + len),
+                    bytes,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// peak ≤ first-fit span ≤ sum of sizes.
+    #[test]
+    fn span_is_sandwiched(rs in residents()) {
+        let peak = peak_occupancy(&rs);
+        let span = assign_addresses(&rs).span();
+        let sum: u64 = rs.iter().map(|r| r.bytes).sum();
+        prop_assert!(peak <= span);
+        prop_assert!(span <= sum);
+    }
+
+    /// No two residents with overlapping lifetimes get overlapping
+    /// address ranges.
+    #[test]
+    fn assignment_is_collision_free(rs in residents()) {
+        let map = assign_addresses(&rs);
+        for i in 0..rs.len() {
+            for j in (i + 1)..rs.len() {
+                if rs[i].interval.overlaps(&rs[j].interval) {
+                    let (a0, a1) = (map.offset(i), map.offset(i) + rs[i].bytes);
+                    let (b0, b1) = (map.offset(j), map.offset(j) + rs[j].bytes);
+                    prop_assert!(a1 <= b0 || b1 <= a0,
+                        "residents {i} and {j} overlap in time and address");
+                }
+            }
+        }
+    }
+
+    /// The sweep-line peak matches pointwise sampling of occupancy.
+    #[test]
+    fn peak_matches_pointwise_maximum(rs in residents()) {
+        let peak = peak_occupancy(&rs);
+        let sampled = (0..=100)
+            .map(|t| occupancy_at(&rs, t))
+            .max()
+            .unwrap_or(0);
+        // All endpoints lie in 0..=80 < 100, so sampling every tick is exact.
+        prop_assert_eq!(peak, sampled);
+    }
+
+    /// Extending a resident's lifetime earlier can only increase the peak.
+    #[test]
+    fn earlier_extension_is_monotone(rs in residents(), pick in any::<prop::sample::Index>(), ticks in 0u64..40) {
+        prop_assume!(!rs.is_empty());
+        let i = pick.index(rs.len());
+        let mut extended = rs.clone();
+        extended[i] = extended[i].extended_earlier(ticks);
+        prop_assert!(peak_occupancy(&extended) >= peak_occupancy(&rs));
+    }
+}

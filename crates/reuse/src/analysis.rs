@@ -1,0 +1,493 @@
+//! Whole-program reuse analysis: candidate sets and chains.
+
+use mhla_ir::{AccessKind, AffineExpr, ArrayId, LoopId, NodeId, Program};
+
+use crate::candidate::{CandidateId, CopyCandidate};
+use crate::footprint::Footprint;
+
+/// All copy candidates of one array.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ArrayReuse {
+    /// The analysed array.
+    pub array: ArrayId,
+    candidates: Vec<CopyCandidate>,
+    /// Loop path (enclosing loops, outermost first, including the owning
+    /// loop itself) per candidate; empty for the whole-array candidate.
+    paths: Vec<Vec<LoopId>>,
+}
+
+impl ArrayReuse {
+    /// Candidates, whole-array first, then by loop in program (DFS) order.
+    pub fn candidates(&self) -> &[CopyCandidate] {
+        &self.candidates
+    }
+
+    /// The whole-array candidate, if the array is read at all.
+    pub fn whole_array(&self) -> Option<&CopyCandidate> {
+        self.candidates.first().filter(|c| c.is_whole_array())
+    }
+
+    /// The candidate owned by `loop_id`, if any.
+    pub fn at(&self, loop_id: LoopId) -> Option<&CopyCandidate> {
+        self.candidates
+            .iter()
+            .find(|c| c.at_loop == Some(loop_id))
+    }
+
+    /// Loop path of candidate `index` (empty for whole-array).
+    pub fn path(&self, index: usize) -> &[LoopId] {
+        &self.paths[index]
+    }
+
+    /// Whether candidate `outer` may feed candidate `inner` in a chain:
+    /// `inner` must be strictly deeper on the same loop path and not larger.
+    pub fn can_chain(&self, outer: usize, inner: usize) -> bool {
+        if outer == inner {
+            return false;
+        }
+        let po = &self.paths[outer];
+        let pi = &self.paths[inner];
+        pi.len() > po.len()
+            && pi.starts_with(po)
+            && self.candidates[inner].elements <= self.candidates[outer].elements
+    }
+}
+
+/// Result of [`ReuseAnalysis::analyze`]: copy candidates for every array.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ReuseAnalysis {
+    per_array: Vec<ArrayReuse>,
+}
+
+impl ReuseAnalysis {
+    /// Computes copy candidates for every array of `program`.
+    ///
+    /// For each array, a candidate is created per loop whose subtree reads
+    /// the array (footprint of one loop iteration) plus one whole-array
+    /// candidate. Write-only arrays get no candidates (copies serve reads;
+    /// writes are handled by write-back accounting on read/write regions).
+    pub fn analyze(program: &Program) -> Self {
+        let info = program.info();
+        let mut per_array = Vec::with_capacity(program.array_count());
+
+        for (aid, decl) in program.arrays() {
+            let mut candidates = Vec::new();
+            let mut paths = Vec::new();
+
+            // Gather per-statement access lists once.
+            let collect = |node: NodeId, kind: AccessKind| -> Vec<(mhla_ir::StmtId, Vec<&[AffineExpr]>)> {
+                info.subtree_stmts(node)
+                    .into_iter()
+                    .filter_map(|s| {
+                        let idx: Vec<&[AffineExpr]> = program
+                            .stmt(s)
+                            .accesses
+                            .iter()
+                            .filter(|a| a.array == aid && a.kind == kind)
+                            .map(|a| a.index.as_slice())
+                            .collect();
+                        (!idx.is_empty()).then_some((s, idx))
+                    })
+                    .collect()
+            };
+
+            let total_reads = info.access_counts(aid).reads;
+            if total_reads > 0 {
+                // Whole-array candidate: all reads, every iterator free.
+                let mut all_reads: Vec<&[AffineExpr]> = Vec::new();
+                let mut roots_reads = Vec::new();
+                for &root in program.roots() {
+                    roots_reads.extend(collect(root, AccessKind::Read));
+                }
+                for (_, idx) in &roots_reads {
+                    all_reads.extend(idx.iter().copied());
+                }
+                if let Some(fp) = Footprint::of_accesses(
+                    program,
+                    decl,
+                    &all_reads,
+                    |l| Some(program.loop_(l).span()),
+                    None,
+                ) {
+                    let elements = fp.elements();
+                    let (writes_served, wb) =
+                        write_stats(program, &info, aid, decl, None, 1);
+                    candidates.push(CopyCandidate {
+                        array: aid,
+                        at_loop: None,
+                        elements,
+                        bytes: elements * decl.elem.bytes(),
+                        entries: 1,
+                        accesses_served: total_reads,
+                        writes_served,
+                        transfers_full: elements,
+                        transfers_delta: elements,
+                        writebacks: wb,
+                        footprint: fp,
+                    });
+                    paths.push(Vec::new());
+                }
+            }
+
+            // Per-loop candidates, program order.
+            program.walk(|node, _| {
+                let NodeId::Loop(l) = node else { return };
+                let reads = collect(node, AccessKind::Read);
+                if reads.is_empty() {
+                    return;
+                }
+                let mut accs: Vec<&[AffineExpr]> = Vec::new();
+                let mut served = 0u64;
+                for (s, idx) in &reads {
+                    served += info.stmt_executions(*s) * idx.len() as u64;
+                    accs.extend(idx.iter().copied());
+                }
+                let lp = program.loop_(l);
+                let Some(fp) = Footprint::of_accesses(
+                    program,
+                    decl,
+                    &accs,
+                    |it| {
+                        info.encloses(l, NodeId::Loop(it))
+                            .then(|| program.loop_(it).span())
+                    },
+                    Some((l, lp.step)),
+                ) else {
+                    return;
+                };
+                let elements = fp.elements();
+                let entries = info.loop_iterations(l);
+                let loop_entries = info.loop_entries(l);
+                let trips = lp.trip_count();
+                let transfers_full = entries * elements;
+                let transfers_delta = if fp.exact && trips > 0 {
+                    loop_entries * (elements + (trips - 1) * fp.delta_elements())
+                } else {
+                    transfers_full
+                };
+                let (writes_served, writebacks) =
+                    write_stats(program, &info, aid, decl, Some(l), entries);
+                let mut path = info.enclosing_loops(NodeId::Loop(l));
+                path.push(l);
+                candidates.push(CopyCandidate {
+                    array: aid,
+                    at_loop: Some(l),
+                    elements,
+                    bytes: elements * decl.elem.bytes(),
+                    entries,
+                    accesses_served: served,
+                    writes_served,
+                    transfers_full,
+                    transfers_delta: transfers_delta.min(transfers_full),
+                    writebacks,
+                    footprint: fp,
+                });
+                paths.push(path);
+            });
+
+            per_array.push(ArrayReuse {
+                array: aid,
+                candidates,
+                paths,
+            });
+        }
+        ReuseAnalysis { per_array }
+    }
+
+    /// Candidates of one array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array` does not belong to the analysed program.
+    pub fn array(&self, array: ArrayId) -> &ArrayReuse {
+        &self.per_array[array.index()]
+    }
+
+    /// Iterates over all arrays' candidate sets.
+    pub fn arrays(&self) -> impl Iterator<Item = &ArrayReuse> {
+        self.per_array.iter()
+    }
+
+    /// Looks up one candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn candidate(&self, id: CandidateId) -> &CopyCandidate {
+        &self.per_array[id.array.index()].candidates[id.index]
+    }
+
+    /// Enumerates the valid candidate chains of an array: every non-empty
+    /// sequence of nested candidates of length at most `max_len`, outermost
+    /// first.
+    pub fn chains(&self, array: ArrayId, max_len: usize) -> Vec<Vec<CandidateId>> {
+        let ar = self.array(array);
+        let n = ar.candidates().len();
+        let mut out = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        fn extend(
+            ar: &ArrayReuse,
+            n: usize,
+            max_len: usize,
+            stack: &mut Vec<usize>,
+            out: &mut Vec<Vec<CandidateId>>,
+        ) {
+            if !stack.is_empty() {
+                out.push(
+                    stack
+                        .iter()
+                        .map(|&i| CandidateId {
+                            array: ar.array,
+                            index: i,
+                        })
+                        .collect(),
+                );
+            }
+            if stack.len() == max_len {
+                return;
+            }
+            let start = stack.last().map_or(0, |&last| last + 1);
+            for next in start..n {
+                let ok = match stack.last() {
+                    None => true,
+                    Some(&last) => ar.can_chain(last, next),
+                };
+                if ok {
+                    stack.push(next);
+                    extend(ar, n, max_len, stack, out);
+                    stack.pop();
+                }
+            }
+        }
+        extend(ar, n, max_len, &mut stack, &mut out);
+        out
+    }
+}
+
+/// Write statistics for the region of `array` covered by the candidate at
+/// `at` (or the whole program for `None`): total writes served and the
+/// write-back volume (dirty footprint × entries).
+fn write_stats(
+    program: &Program,
+    info: &mhla_ir::ProgramInfo<'_>,
+    array: ArrayId,
+    decl: &mhla_ir::ArrayDecl,
+    at: Option<LoopId>,
+    entries: u64,
+) -> (u64, u64) {
+    let nodes: Vec<NodeId> = match at {
+        Some(l) => vec![NodeId::Loop(l)],
+        None => program.roots().to_vec(),
+    };
+    let mut writes = 0u64;
+    let mut idx_all: Vec<Vec<AffineExpr>> = Vec::new();
+    for node in nodes {
+        for s in info.subtree_stmts(node) {
+            for a in &program.stmt(s).accesses {
+                if a.array == array && a.kind == AccessKind::Write {
+                    writes += info.stmt_executions(s);
+                    idx_all.push(a.index.clone());
+                }
+            }
+        }
+    }
+    if writes == 0 {
+        return (0, 0);
+    }
+    let refs: Vec<&[AffineExpr]> = idx_all.iter().map(|v| v.as_slice()).collect();
+    let fp = Footprint::of_accesses(
+        program,
+        decl,
+        &refs,
+        |it| match at {
+            Some(l) => info
+                .encloses(l, NodeId::Loop(it))
+                .then(|| program.loop_(it).span()),
+            None => Some(program.loop_(it).span()),
+        },
+        at.map(|l| (l, program.loop_(l).step)),
+    );
+    let wb = fp.map_or(0, |f| f.elements() * entries);
+    (writes, wb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhla_ir::{ElemType, ProgramBuilder};
+
+    /// Motion-estimation-like program:
+    /// ```text
+    /// for mb in 0..9 {             // macroblocks
+    ///   for dy in 0..8 {           // search
+    ///     for y in 0..16 { for x in 0..16 {
+    ///       read cur[y][16*mb+x], read prev[dy+y][16*mb+x]
+    /// }}}}
+    /// ```
+    fn me_like() -> (Program, ArrayId, ArrayId, LoopId, LoopId, LoopId) {
+        let mut b = ProgramBuilder::new("me");
+        let cur = b.array("cur", &[16, 144], ElemType::U8);
+        let prev = b.array("prev", &[24, 144], ElemType::U8);
+        let lmb = b.begin_loop("mb", 0, 9, 1);
+        let ldy = b.begin_loop("dy", 0, 8, 1);
+        let ly = b.begin_loop("y", 0, 16, 1);
+        let lx = b.begin_loop("x", 0, 16, 1);
+        let (mb, dy, y, x) = (b.var(lmb), b.var(ldy), b.var(ly), b.var(lx));
+        b.stmt("sad")
+            .read(cur, vec![y.clone(), mb.clone() * 16 + x.clone()])
+            .read(prev, vec![dy + y, mb * 16 + x])
+            .compute_cycles(2)
+            .finish();
+        b.end_loop();
+        b.end_loop();
+        b.end_loop();
+        b.end_loop();
+        (b.finish(), cur, prev, lmb, ldy, ly)
+    }
+
+    use mhla_ir::Program;
+
+    #[test]
+    fn candidate_sizes_follow_loop_nesting() {
+        let (p, cur, _, lmb, ldy, ly) = me_like();
+        let r = ReuseAnalysis::analyze(&p);
+        let ar = r.array(cur);
+        // Whole array: 16 x 144.
+        assert_eq!(ar.whole_array().unwrap().elements, 16 * 144);
+        // One mb iteration reads a 16x16 tile of cur.
+        assert_eq!(ar.at(lmb).unwrap().elements, 16 * 16);
+        // One dy iteration also reads the 16x16 tile (cur ignores dy).
+        assert_eq!(ar.at(ldy).unwrap().elements, 16 * 16);
+        // One y iteration reads a 1x16 row.
+        assert_eq!(ar.at(ly).unwrap().elements, 16);
+    }
+
+    #[test]
+    fn accesses_and_transfers_scale_with_entries() {
+        let (p, cur, _, lmb, ldy, _) = me_like();
+        let r = ReuseAnalysis::analyze(&p);
+        let ar = r.array(cur);
+        let total_reads = 9 * 8 * 16 * 16;
+
+        let at_mb = ar.at(lmb).unwrap();
+        assert_eq!(at_mb.entries, 9);
+        assert_eq!(at_mb.accesses_served, total_reads);
+        assert_eq!(at_mb.transfers_full, 9 * 256);
+        assert_eq!(at_mb.reuse_factor(), total_reads as f64 / (9.0 * 256.0));
+
+        let at_dy = ar.at(ldy).unwrap();
+        assert_eq!(at_dy.entries, 72);
+        assert_eq!(at_dy.accesses_served, total_reads);
+        assert_eq!(at_dy.transfers_full, 72 * 256);
+        // Staging at mb is strictly better than at dy for cur: same size,
+        // same serves, fewer transfers.
+        assert!(at_mb.transfers_full < at_dy.transfers_full);
+    }
+
+    #[test]
+    fn search_window_candidate_for_prev() {
+        let (p, _, prev, lmb, ldy, _) = me_like();
+        let r = ReuseAnalysis::analyze(&p);
+        let ar = r.array(prev);
+        // One mb iteration reads rows dy+y ∈ [0,22], cols 16mb+x (16 wide).
+        assert_eq!(ar.at(lmb).unwrap().footprint.widths, vec![23, 16]);
+        // One dy iteration reads a 16x16 block.
+        assert_eq!(ar.at(ldy).unwrap().footprint.widths, vec![16, 16]);
+        // dy candidate slides by 1 row per dy step: delta = one 16-wide row.
+        assert_eq!(ar.at(ldy).unwrap().footprint.delta_elements(), 16);
+        // Sliding-window transfers are far below full refresh.
+        let c = ar.at(ldy).unwrap();
+        assert!(c.transfers_delta < c.transfers_full);
+        // Per mb entry: 256 + 7*16 = 368; 9 entries.
+        assert_eq!(c.transfers_delta, 9 * (256 + 7 * 16));
+    }
+
+    #[test]
+    fn chains_are_nested_and_bounded() {
+        let (p, _, prev, lmb, ldy, _) = me_like();
+        let r = ReuseAnalysis::analyze(&p);
+        let chains = r.chains(prev, 2);
+        // Singletons for every candidate plus nested pairs.
+        assert!(chains.iter().any(|c| c.len() == 1));
+        let pairs: Vec<_> = chains.iter().filter(|c| c.len() == 2).collect();
+        assert!(!pairs.is_empty());
+        for pair in &pairs {
+            let outer = r.candidate(pair[0]);
+            let inner = r.candidate(pair[1]);
+            assert!(inner.elements <= outer.elements, "chains must shrink");
+        }
+        // A whole-array → mb-window → dy-block chain exists.
+        let ar = r.array(prev);
+        let mb_idx = ar
+            .candidates()
+            .iter()
+            .position(|c| c.at_loop == Some(lmb))
+            .unwrap();
+        let dy_idx = ar
+            .candidates()
+            .iter()
+            .position(|c| c.at_loop == Some(ldy))
+            .unwrap();
+        assert!(ar.can_chain(mb_idx, dy_idx));
+        assert!(!ar.can_chain(dy_idx, mb_idx), "chains cannot go outward");
+        let l3 = r.chains(prev, 3);
+        assert!(l3.iter().all(|c| c.len() <= 3));
+        assert!(l3.len() > chains.len());
+    }
+
+    #[test]
+    fn write_only_arrays_have_no_candidates() {
+        let mut b = ProgramBuilder::new("p");
+        let out = b.array("out", &[64], ElemType::U8);
+        b.loop_scope("i", 0, 64, 1, |b, li| {
+            let i = b.var(li);
+            b.stmt("s").write(out, vec![i]).finish();
+        });
+        let p = b.finish();
+        let r = ReuseAnalysis::analyze(&p);
+        assert!(r.array(out).candidates().is_empty());
+        assert!(r.chains(out, 2).is_empty());
+    }
+
+    #[test]
+    fn written_regions_account_writebacks() {
+        // Read-modify-write of a tile per block iteration.
+        let mut b = ProgramBuilder::new("p");
+        let acc = b.array("acc", &[8, 64], ElemType::I32);
+        let lb = b.begin_loop("blk", 0, 8, 1);
+        let li = b.begin_loop("i", 0, 8, 1);
+        let (blk, i) = (b.var(lb), b.var(li));
+        b.stmt("rmw")
+            .read(acc, vec![i.clone(), blk.clone() * 8])
+            .write(acc, vec![i, blk * 8])
+            .finish();
+        b.end_loop();
+        b.end_loop();
+        let p = b.finish();
+        let r = ReuseAnalysis::analyze(&p);
+        let c = r.array(acc).at(lb).unwrap();
+        assert_eq!(c.writes_served, 64);
+        assert!(c.has_writes());
+        // 8 entries × 8-element dirty column.
+        assert_eq!(c.writebacks, 64);
+    }
+
+    #[test]
+    fn whole_array_candidate_serves_multiple_nests() {
+        // Two sequential nests both reading `tab`.
+        let mut b = ProgramBuilder::new("p");
+        let tab = b.array("tab", &[32], ElemType::U8);
+        for pass in 0..2 {
+            b.loop_scope(format!("i{pass}"), 0, 32, 1, |b, li| {
+                let i = b.var(li);
+                b.stmt(format!("s{pass}")).read(tab, vec![i]).finish();
+            });
+        }
+        let p = b.finish();
+        let r = ReuseAnalysis::analyze(&p);
+        let whole = r.array(tab).whole_array().unwrap();
+        assert_eq!(whole.accesses_served, 64, "both nests served");
+        assert_eq!(whole.transfers_full, 32, "fetched once");
+        assert_eq!(whole.reuse_factor(), 2.0);
+    }
+}

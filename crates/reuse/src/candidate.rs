@@ -1,0 +1,153 @@
+//! Copy candidates: stageable array regions with their cost-model counts.
+
+use std::fmt;
+
+use mhla_ir::{ArrayId, LoopId};
+
+use crate::footprint::Footprint;
+
+/// Identifies one [`CopyCandidate`] inside a
+/// [`ReuseAnalysis`](crate::ReuseAnalysis).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CandidateId {
+    /// Array the candidate copies from.
+    pub array: ArrayId,
+    /// Index within the array's candidate list.
+    pub index: usize,
+}
+
+impl fmt::Display for CandidateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.array, self.index)
+    }
+}
+
+/// A candidate copy of (part of) an array, staged one layer closer to the
+/// CPU.
+///
+/// A candidate "at loop L" is refreshed once per iteration of `L` and holds
+/// the bounding box of everything the subtree below `L` reads from the
+/// array during that iteration. The special *whole-array* candidate
+/// (`at_loop == None`) is fetched exactly once per program run and serves
+/// every read of the array.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CopyCandidate {
+    /// Source array.
+    pub array: ArrayId,
+    /// Owning loop; `None` for the whole-array candidate.
+    pub at_loop: Option<LoopId>,
+    /// Geometric footprint (widths, per-step shift, exactness).
+    pub footprint: Footprint,
+    /// Buffer size in elements.
+    pub elements: u64,
+    /// Buffer size in bytes.
+    pub bytes: u64,
+    /// Block-transfer instances per program run (iterations of `at_loop`,
+    /// or 1 for the whole-array candidate).
+    pub entries: u64,
+    /// CPU reads served by this copy per program run.
+    pub accesses_served: u64,
+    /// CPU writes landing in this copy per program run (0 for read-only
+    /// regions; written copies need write-back transfers).
+    pub writes_served: u64,
+    /// Elements transferred per program run when each entry refreshes the
+    /// full buffer.
+    pub transfers_full: u64,
+    /// Elements transferred per program run with sliding-window updates
+    /// (first entry full, subsequent entries only the delta). Equals
+    /// `transfers_full` when the footprint is inexact or does not slide.
+    pub transfers_delta: u64,
+    /// Elements written back to the parent per program run (0 when
+    /// `writes_served == 0`).
+    pub writebacks: u64,
+}
+
+impl CopyCandidate {
+    /// Served reads per transferred element under full refresh.
+    ///
+    /// Values above 1 indicate genuine reuse: staging the copy reduces the
+    /// number of expensive parent-layer accesses.
+    pub fn reuse_factor(&self) -> f64 {
+        if self.transfers_full == 0 {
+            0.0
+        } else {
+            self.accesses_served as f64 / self.transfers_full as f64
+        }
+    }
+
+    /// Whether this is the whole-array candidate.
+    pub fn is_whole_array(&self) -> bool {
+        self.at_loop.is_none()
+    }
+
+    /// Whether writes land in this copy (requiring write-back).
+    pub fn has_writes(&self) -> bool {
+        self.writes_served > 0
+    }
+}
+
+impl fmt::Display for CopyCandidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let loc = match self.at_loop {
+            Some(l) => format!("@{l}"),
+            None => "@whole".to_string(),
+        };
+        write!(
+            f,
+            "CC({}{loc}: {} el, {} B, {} entr, {} rd, rf {:.2})",
+            self.array,
+            self.elements,
+            self.bytes,
+            self.entries,
+            self.accesses_served,
+            self.reuse_factor()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc(accesses: u64, transfers: u64) -> CopyCandidate {
+        CopyCandidate {
+            array: ArrayId::from_index(0),
+            at_loop: None,
+            footprint: Footprint {
+                widths: vec![8],
+                shifts: vec![0],
+                exact: true,
+            },
+            elements: 8,
+            bytes: 8,
+            entries: 1,
+            accesses_served: accesses,
+            writes_served: 0,
+            transfers_full: transfers,
+            transfers_delta: transfers,
+            writebacks: 0,
+        }
+    }
+
+    #[test]
+    fn reuse_factor_is_accesses_per_transfer() {
+        assert_eq!(cc(64, 8).reuse_factor(), 8.0);
+        assert_eq!(cc(4, 8).reuse_factor(), 0.5);
+        assert_eq!(cc(4, 0).reuse_factor(), 0.0);
+    }
+
+    #[test]
+    fn whole_array_flag() {
+        let mut c = cc(1, 1);
+        assert!(c.is_whole_array());
+        c.at_loop = Some(LoopId::from_index(0));
+        assert!(!c.is_whole_array());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = cc(64, 8).to_string();
+        assert!(s.contains("@whole"), "{s}");
+        assert!(s.contains("rf 8.00"), "{s}");
+    }
+}

@@ -1,0 +1,322 @@
+//! Rectangular footprints of access sets.
+//!
+//! The footprint of a set of accesses under a loop prefix is the bounding
+//! box, per array dimension, of the elements touched while the *fixed*
+//! (outer) iterators stay constant and the *free* (inner) iterators sweep
+//! their full ranges.
+//!
+//! For uniformly generated references (same linear part, different
+//! constants — the overwhelmingly common pattern in multimedia kernels) the
+//! box is computed exactly and its per-step *shift* (how far it slides when
+//! the owning loop advances) is known, enabling the sliding-window
+//! (delta) transfer count. Non-uniform access sets fall back to a
+//! conservative whole-range box and are marked inexact.
+
+use mhla_ir::{AffineExpr, ArrayDecl, LoopId, Program};
+
+/// Bounding-box footprint of a set of accesses to one array.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Footprint {
+    /// Box width per array dimension (elements), capped at the dimension.
+    pub widths: Vec<u64>,
+    /// Absolute shift of the box per step of the owning loop, per dimension
+    /// (elements). Zero for the whole-array footprint.
+    pub shifts: Vec<u64>,
+    /// Whether the box is exact (uniform references) or a conservative
+    /// over-approximation.
+    pub exact: bool,
+}
+
+impl Footprint {
+    /// Total elements covered by the box.
+    pub fn elements(&self) -> u64 {
+        self.widths.iter().product()
+    }
+
+    /// Elements *newly entering* the box when the owning loop advances one
+    /// step (the sliding-window update volume).
+    ///
+    /// Equal to `elements - overlap` where the overlap shrinks each
+    /// dimension by its shift.
+    pub fn delta_elements(&self) -> u64 {
+        let total = self.elements();
+        let overlap: u64 = self
+            .widths
+            .iter()
+            .zip(&self.shifts)
+            .map(|(&w, &s)| w.saturating_sub(s))
+            .product();
+        total - overlap
+    }
+
+    /// Computes the footprint of `accesses` (expressions per dimension) to
+    /// `array`, where iterators for which `free_span` returns `Some(span)`
+    /// are free (span = last value − first value) and all others are fixed.
+    ///
+    /// `owner_step` gives, for the owning loop, `(loop, step)` so the
+    /// per-step shift can be derived; pass `None` for whole-array
+    /// footprints.
+    ///
+    /// Returns `None` when `accesses` is empty.
+    pub fn of_accesses(
+        program: &Program,
+        array: &ArrayDecl,
+        accesses: &[&[AffineExpr]],
+        free_span: impl Fn(LoopId) -> Option<i64>,
+        owner_step: Option<(LoopId, i64)>,
+    ) -> Option<Footprint> {
+        if accesses.is_empty() {
+            return None;
+        }
+        let rank = array.rank();
+        let mut widths = Vec::with_capacity(rank);
+        let mut shifts = Vec::with_capacity(rank);
+        let mut exact = true;
+
+        for d in 0..rank {
+            let dim_extent = array.dims[d];
+            // Uniformity check: all accesses must share the fixed-iterator
+            // linear part in this dimension.
+            let uniform = {
+                let reference = fixed_part(&accesses[0][d], &free_span);
+                accesses
+                    .iter()
+                    .all(|a| fixed_part(&a[d], &free_span) == reference)
+            };
+            if uniform {
+                // Exact union box: extremes of (free part + constant) per
+                // access; fixed parts cancel since they are identical.
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                for a in accesses {
+                    let (alo, ahi) = free_range(&a[d], &free_span);
+                    lo = lo.min(alo);
+                    hi = hi.max(ahi);
+                }
+                let width = (hi - lo + 1).max(0) as u64;
+                widths.push(width.min(dim_extent));
+                let shift = owner_step
+                    .map(|(l, step)| (accesses[0][d].coeff(l).abs() * step) as u64)
+                    .unwrap_or(0);
+                shifts.push(shift);
+            } else {
+                // Conservative: full value range over every iterator that
+                // is in scope, free or fixed, capped at the dimension.
+                exact = false;
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                for a in accesses {
+                    let (alo, ahi) = a[d].value_range(|l| {
+                        let lp = program.loop_(l);
+                        Some((lp.lower, lp.last_value().unwrap_or(lp.lower)))
+                    });
+                    lo = lo.min(alo);
+                    hi = hi.max(ahi);
+                }
+                let width = (hi - lo + 1).max(0) as u64;
+                widths.push(width.min(dim_extent));
+                shifts.push(widths[d].min(dim_extent)); // full refresh
+            }
+        }
+        Some(Footprint {
+            widths,
+            shifts,
+            exact,
+        })
+    }
+}
+
+/// The linear part of `e` restricted to fixed (non-free) iterators.
+fn fixed_part(
+    e: &AffineExpr,
+    free_span: &impl Fn(LoopId) -> Option<i64>,
+) -> Vec<(LoopId, i64)> {
+    e.terms().filter(|(l, _)| free_span(*l).is_none()).collect()
+}
+
+/// Min/max of the free part of `e` (free iterators at their extremes, fixed
+/// iterators contributing zero) plus the constant.
+fn free_range(e: &AffineExpr, free_span: &impl Fn(LoopId) -> Option<i64>) -> (i64, i64) {
+    let mut lo = e.constant();
+    let mut hi = e.constant();
+    for (l, c) in e.terms() {
+        if let Some(span) = free_span(l) {
+            // Free iterators are normalized to start at 0 relative to the
+            // box origin; span = (trip-1)·step ≥ 0.
+            if c >= 0 {
+                hi += c * span;
+            } else {
+                lo += c * span;
+            }
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhla_ir::{ElemType, ProgramBuilder};
+
+    /// Program:
+    /// ```text
+    /// for mb in 0..9 { for y in 0..16 { for x in 0..16 {
+    ///     read img[y][16*mb + x]
+    /// }}}
+    /// ```
+    #[test]
+    fn one_mb_iteration_footprint_is_a_16x16_tile() {
+        let mut b = ProgramBuilder::new("p");
+        let img = b.array("img", &[16, 144], ElemType::U8);
+        let lmb = b.begin_loop("mb", 0, 9, 1);
+        let ly = b.begin_loop("y", 0, 16, 1);
+        let lx = b.begin_loop("x", 0, 16, 1);
+        let (mb, y, x) = (b.var(lmb), b.var(ly), b.var(lx));
+        b.stmt("s").read(img, vec![y, mb * 16 + x]).finish();
+        b.end_loop();
+        b.end_loop();
+        b.end_loop();
+        let p = b.finish();
+
+        let array = p.array(mhla_ir::ArrayId::from_index(0)).clone();
+        let idx = p.stmt(mhla_ir::StmtId::from_index(0)).accesses[0]
+            .index
+            .clone();
+        let fp = Footprint::of_accesses(
+            &p,
+            &array,
+            &[&idx],
+            |l| (l == ly || l == lx).then(|| p.loop_(l).span()),
+            Some((lmb, 1)),
+        )
+        .unwrap();
+        assert_eq!(fp.widths, vec![16, 16]);
+        assert_eq!(fp.elements(), 256);
+        assert!(fp.exact);
+        // mb advances by 1 → column index moves 16 → non-overlapping tiles.
+        assert_eq!(fp.shifts, vec![0, 16]);
+        assert_eq!(fp.delta_elements(), 256);
+    }
+
+    #[test]
+    fn sliding_window_has_small_delta() {
+        // for i in 0..100 { for k in 0..8 { read sig[i + k] } }
+        let mut b = ProgramBuilder::new("fir");
+        let sig = b.array("sig", &[107], ElemType::I16);
+        let li = b.begin_loop("i", 0, 100, 1);
+        let lk = b.begin_loop("k", 0, 8, 1);
+        let (i, k) = (b.var(li), b.var(lk));
+        b.stmt("s").read(sig, vec![i + k]).finish();
+        b.end_loop();
+        b.end_loop();
+        let p = b.finish();
+        let array = p.array(mhla_ir::ArrayId::from_index(0)).clone();
+        let idx = p.stmt(mhla_ir::StmtId::from_index(0)).accesses[0]
+            .index
+            .clone();
+        let fp = Footprint::of_accesses(
+            &p,
+            &array,
+            &[&idx],
+            |l| (l == lk).then(|| p.loop_(lk).span()),
+            Some((li, 1)),
+        )
+        .unwrap();
+        assert_eq!(fp.widths, vec![8]);
+        assert_eq!(fp.shifts, vec![1]);
+        assert_eq!(fp.delta_elements(), 1, "window slides by one element");
+    }
+
+    #[test]
+    fn union_of_uniform_references() {
+        // read a[i-1], a[i], a[i+1] with i fixed → box width 3.
+        let mut b = ProgramBuilder::new("stencil");
+        let a = b.array("a", &[64], ElemType::U8);
+        let li = b.begin_loop("i", 1, 63, 1);
+        let i = b.var(li);
+        b.stmt("s")
+            .read(a, vec![i.clone() - 1])
+            .read(a, vec![i.clone()])
+            .read(a, vec![i + 1])
+            .finish();
+        b.end_loop();
+        let p = b.finish();
+        let array = p.array(mhla_ir::ArrayId::from_index(0)).clone();
+        let accs: Vec<&[AffineExpr]> = p
+            .stmt(mhla_ir::StmtId::from_index(0))
+            .accesses
+            .iter()
+            .map(|a| a.index.as_slice())
+            .collect();
+        // No free iterators: footprint of ONE i-iteration.
+        let fp = Footprint::of_accesses(&p, &array, &accs, |_| None, Some((li, 1))).unwrap();
+        assert_eq!(fp.widths, vec![3]);
+        assert!(fp.exact);
+        assert_eq!(fp.shifts, vec![1]);
+        assert_eq!(fp.delta_elements(), 1);
+    }
+
+    #[test]
+    fn non_uniform_references_fall_back_conservatively() {
+        // read a[i] and a[2*i]: different fixed parts → inexact full box.
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[64], ElemType::U8);
+        let li = b.begin_loop("i", 0, 16, 1);
+        let i = b.var(li);
+        b.stmt("s")
+            .read(a, vec![i.clone()])
+            .read(a, vec![i * 2])
+            .finish();
+        b.end_loop();
+        let p = b.finish();
+        let array = p.array(mhla_ir::ArrayId::from_index(0)).clone();
+        let accs: Vec<&[AffineExpr]> = p
+            .stmt(mhla_ir::StmtId::from_index(0))
+            .accesses
+            .iter()
+            .map(|a| a.index.as_slice())
+            .collect();
+        let fp = Footprint::of_accesses(&p, &array, &accs, |_| None, Some((li, 1))).unwrap();
+        assert!(!fp.exact);
+        // i in 0..16 → a[i] spans [0,15], a[2i] spans [0,30] → box 31 wide.
+        assert_eq!(fp.widths, vec![31]);
+        // Inexact boxes refresh fully.
+        assert_eq!(fp.delta_elements(), fp.elements());
+    }
+
+    #[test]
+    fn widths_are_capped_at_array_dims() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[10], ElemType::U8);
+        let li = b.begin_loop("i", 0, 10, 1);
+        let i = b.var(li);
+        b.stmt("s").read(a, vec![i * 3]).finish(); // reaches index 27 > dim
+        b.end_loop();
+        let p = b.finish();
+        let array = p.array(mhla_ir::ArrayId::from_index(0)).clone();
+        let idx = p.stmt(mhla_ir::StmtId::from_index(0)).accesses[0]
+            .index
+            .clone();
+        let fp = Footprint::of_accesses(
+            &p,
+            &array,
+            &[&idx],
+            |l| (l == li).then(|| p.loop_(li).span()),
+            None,
+        )
+        .unwrap();
+        assert_eq!(fp.widths, vec![10], "cap at declared dimension");
+    }
+
+    #[test]
+    fn empty_access_set_has_no_footprint() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.array("a", &[10], ElemType::U8);
+        b.stmt("s")
+            .read(a, vec![AffineExpr::zero()])
+            .finish();
+        let p = b.finish();
+        let array = p.array(mhla_ir::ArrayId::from_index(0)).clone();
+        assert!(Footprint::of_accesses(&p, &array, &[], |_| None, None).is_none());
+    }
+}

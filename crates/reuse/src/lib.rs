@@ -1,0 +1,59 @@
+//! # mhla-reuse — data-reuse and copy-candidate analysis
+//!
+//! MHLA exploits *data reuse*: when a loop nest re-reads the same array
+//! region across iterations of an outer loop, a copy of that region can be
+//! staged in a smaller on-chip layer, so that most accesses hit the cheap
+//! copy instead of the expensive big memory.
+//!
+//! For every array and every enclosing loop level this crate computes a
+//! [`CopyCandidate`]: the rectangular (bounding-box) footprint of the data
+//! the subtree below that loop accesses during **one iteration** of it,
+//! together with the counts the cost model needs:
+//!
+//! * `elements` / `bytes` — size of the copy buffer,
+//! * `accesses_served` — CPU reads redirected to the copy,
+//! * `transfers_full` / `transfers_delta` — elements moved per program run
+//!   under full-refresh vs. sliding-window update,
+//! * [`reuse_factor`](CopyCandidate::reuse_factor) — served accesses per
+//!   transferred element (> 1 means the copy pays off in access count).
+//!
+//! [`ReuseAnalysis::analyze`] computes candidate sets for all arrays;
+//! [`ReuseAnalysis::chains`] enumerates the candidate chains (array → copy →
+//! sub-copy …) the assignment step selects from.
+//!
+//! # Example
+//!
+//! ```
+//! use mhla_ir::{ProgramBuilder, ElemType};
+//! use mhla_reuse::ReuseAnalysis;
+//!
+//! // for b in 0..8 { for i in 0..64 { read tab[i] } } — tab fully reused.
+//! let mut bld = ProgramBuilder::new("p");
+//! let tab = bld.array("tab", &[64], ElemType::U8);
+//! let lb = bld.begin_loop("b", 0, 8, 1);
+//! let li = bld.begin_loop("i", 0, 64, 1);
+//! let iv = bld.var(li);
+//! bld.stmt("s").read(tab, vec![iv]).finish();
+//! bld.end_loop();
+//! bld.end_loop();
+//! let p = bld.finish();
+//!
+//! let reuse = ReuseAnalysis::analyze(&p);
+//! // The whole-array candidate (fetched once) serves all 512 reads with
+//! // 64 transferred elements: reuse factor 8.
+//! let whole = reuse.array(tab).whole_array().unwrap();
+//! assert_eq!(whole.elements, 64);
+//! assert_eq!(whole.accesses_served, 8 * 64);
+//! assert_eq!(whole.reuse_factor(), 8.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod candidate;
+mod footprint;
+
+pub use analysis::{ArrayReuse, ReuseAnalysis};
+pub use candidate::{CandidateId, CopyCandidate};
+pub use footprint::Footprint;

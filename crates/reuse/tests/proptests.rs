@@ -1,0 +1,177 @@
+//! Property tests: copy-candidate footprints are sound (cover every element
+//! actually accessed) and exact for uniform references, validated against
+//! brute-force enumeration of the iteration space.
+
+use std::collections::HashSet;
+
+use mhla_ir::{AccessKind, ElemType, LoopId, ProgramBuilder, StmtId};
+use mhla_reuse::ReuseAnalysis;
+use proptest::prelude::*;
+
+/// A random 3-deep nest reading a 2-D array with affine subscripts.
+///
+/// Shape: `for a in 0..ta { for b in 0..tb { for c in 0..tc {
+///   read img[ca*a + cb*b + cc*c + k0][da*a + db*b + dc*c + k1] }}}`
+/// with coefficients chosen so that subscripts stay in bounds.
+#[derive(Clone, Debug)]
+struct Nest {
+    trips: [i64; 3],
+    row: [i64; 4], // ca, cb, cc, k0
+    col: [i64; 4],
+}
+
+fn nests() -> impl Strategy<Value = Nest> {
+    (
+        prop::array::uniform3(1i64..=5),
+        prop::array::uniform4(0i64..=3),
+        prop::array::uniform4(0i64..=3),
+    )
+        .prop_map(|(trips, row, col)| Nest { trips, row, col })
+}
+
+fn build(nest: &Nest) -> (mhla_ir::Program, mhla_ir::ArrayId, [LoopId; 3]) {
+    // Size the array to cover the maximal subscript.
+    let max_row: i64 = nest.row[0] * (nest.trips[0] - 1)
+        + nest.row[1] * (nest.trips[1] - 1)
+        + nest.row[2] * (nest.trips[2] - 1)
+        + nest.row[3];
+    let max_col: i64 = nest.col[0] * (nest.trips[0] - 1)
+        + nest.col[1] * (nest.trips[1] - 1)
+        + nest.col[2] * (nest.trips[2] - 1)
+        + nest.col[3];
+    let mut b = ProgramBuilder::new("rand");
+    let img = b.array(
+        "img",
+        &[(max_row + 1) as u64, (max_col + 1) as u64],
+        ElemType::U8,
+    );
+    let la = b.begin_loop("a", 0, nest.trips[0], 1);
+    let lb = b.begin_loop("b", 0, nest.trips[1], 1);
+    let lc = b.begin_loop("c", 0, nest.trips[2], 1);
+    let (a, bb, c) = (b.var(la), b.var(lb), b.var(lc));
+    let row = a.clone() * nest.row[0] + bb.clone() * nest.row[1] + c.clone() * nest.row[2]
+        + nest.row[3];
+    let col = a * nest.col[0] + bb * nest.col[1] + c * nest.col[2] + nest.col[3];
+    b.stmt("s").read(img, vec![row, col]).finish();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    (b.finish(), img, [la, lb, lc])
+}
+
+/// Enumerates the elements read during iteration `fixed` of the outermost
+/// loops (those not in `free_from..`).
+fn touched(
+    p: &mhla_ir::Program,
+    nest: &Nest,
+    fixed: &[i64],
+) -> HashSet<(i64, i64)> {
+    let stmt = p.stmt(StmtId::from_index(0));
+    let acc = &stmt.accesses[0];
+    assert_eq!(acc.kind, AccessKind::Read);
+    let free_from = fixed.len();
+    let mut out = HashSet::new();
+    // Iterate the free loops exhaustively.
+    let free_trips: Vec<i64> = (free_from..3).map(|i| nest.trips[i]).collect();
+    let mut counters = vec![0i64; free_trips.len()];
+    loop {
+        let env = |l: LoopId| {
+            let i = l.index();
+            if i < free_from {
+                fixed[i]
+            } else {
+                counters[i - free_from]
+            }
+        };
+        let r = acc.index[0].eval(env);
+        let c = acc.index[1].eval(env);
+        out.insert((r, c));
+        // increment odometer
+        let mut k = free_trips.len();
+        loop {
+            if k == 0 {
+                return out;
+            }
+            k -= 1;
+            counters[k] += 1;
+            if counters[k] < free_trips[k] {
+                break;
+            }
+            counters[k] = 0;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The candidate at the outermost loop covers exactly the elements read
+    /// during each of its iterations (uniform single reference → exact box),
+    /// and `accesses_served`/`transfers_full` match enumeration.
+    #[test]
+    fn outer_candidate_box_is_exact_and_sound(nest in nests()) {
+        let (p, img, [la, _, _]) = build(&nest);
+        let reuse = ReuseAnalysis::analyze(&p);
+        let Some(cc) = reuse.array(img).at(la) else {
+            // Loop with zero reads cannot happen here.
+            return Err(TestCaseError::fail("missing candidate"));
+        };
+        prop_assert!(cc.footprint.exact, "single reference is uniform");
+
+        for a_val in 0..nest.trips[0] {
+            let set = touched(&p, &nest, &[a_val]);
+            // Soundness: the box is at least as large as the touched set.
+            prop_assert!(cc.elements >= set.len() as u64,
+                "box {} smaller than touched {}", cc.elements, set.len());
+            // Exactness of the box *extent*: widths match the spans.
+            let rmin = set.iter().map(|e| e.0).min().unwrap();
+            let rmax = set.iter().map(|e| e.0).max().unwrap();
+            let cmin = set.iter().map(|e| e.1).min().unwrap();
+            let cmax = set.iter().map(|e| e.1).max().unwrap();
+            prop_assert_eq!(cc.footprint.widths[0] as i64, rmax - rmin + 1);
+            prop_assert_eq!(cc.footprint.widths[1] as i64, cmax - cmin + 1);
+        }
+
+        let total_reads = (nest.trips[0] * nest.trips[1] * nest.trips[2]) as u64;
+        prop_assert_eq!(cc.accesses_served, total_reads);
+        prop_assert_eq!(cc.transfers_full, nest.trips[0] as u64 * cc.elements);
+        prop_assert_eq!(cc.entries, nest.trips[0] as u64);
+    }
+
+    /// Whole-array candidate covers the union of everything ever read and
+    /// never exceeds the array size.
+    #[test]
+    fn whole_array_candidate_covers_program(nest in nests()) {
+        let (p, img, _) = build(&nest);
+        let reuse = ReuseAnalysis::analyze(&p);
+        let whole = reuse.array(img).whole_array().expect("array is read");
+        let set = touched(&p, &nest, &[]);
+        prop_assert!(whole.elements >= set.len() as u64);
+        prop_assert!(whole.elements <= p.array(img).elements());
+        prop_assert_eq!(whole.entries, 1);
+        prop_assert_eq!(whole.transfers_full, whole.elements);
+    }
+
+    /// Candidates shrink (or stay equal) with loop depth along each path,
+    /// and sliding-window transfers never exceed full-refresh transfers.
+    #[test]
+    fn candidates_shrink_inward(nest in nests()) {
+        let (p, img, [la, lb, lc]) = build(&nest);
+        let reuse = ReuseAnalysis::analyze(&p);
+        let ar = reuse.array(img);
+        let ea = ar.at(la).map(|c| c.elements);
+        let eb = ar.at(lb).map(|c| c.elements);
+        let ec = ar.at(lc).map(|c| c.elements);
+        if let (Some(ea), Some(eb)) = (ea, eb) {
+            prop_assert!(eb <= ea);
+        }
+        if let (Some(eb), Some(ec)) = (eb, ec) {
+            prop_assert!(ec <= eb);
+        }
+        for cc in ar.candidates() {
+            prop_assert!(cc.transfers_delta <= cc.transfers_full);
+            prop_assert!(cc.elements > 0);
+            prop_assert!(cc.reuse_factor() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Simulation statistics.
+
+use std::fmt;
+
+/// Outcome of one simulated program execution.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SimReport {
+    /// CPU busy cycles (compute + memory access latency).
+    pub busy_cycles: u64,
+    /// CPU cycles stalled waiting for block transfers.
+    pub stall_cycles: u64,
+    /// Cycles the DMA engine spent streaming (sum over channels).
+    pub dma_busy_cycles: u64,
+    /// Block-transfer instances executed.
+    pub transfers: u64,
+    /// Bytes moved by block transfers.
+    pub transfer_bytes: u64,
+    /// CPU accesses per layer (indexed by layer id).
+    pub accesses_per_layer: Vec<u64>,
+    /// Energy of CPU accesses, picojoule.
+    pub access_energy_pj: f64,
+    /// Energy of block transfers, picojoule.
+    pub transfer_energy_pj: f64,
+}
+
+impl SimReport {
+    /// Wall-clock cycles of the run (busy + stall).
+    pub fn total_cycles(&self) -> u64 {
+        self.busy_cycles + self.stall_cycles
+    }
+
+    /// Total memory energy, picojoule.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.access_energy_pj + self.transfer_energy_pj
+    }
+
+    /// Fraction of cycles lost to transfer waits (0 when idle-free).
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles ({} busy + {} stall, {:.1}% stalled), {} BTs / {} B, {:.2} uJ",
+            self.total_cycles(),
+            self.busy_cycles,
+            self.stall_cycles,
+            100.0 * self.stall_fraction(),
+            self.transfers,
+            self.transfer_bytes,
+            self.total_energy_pj() / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = SimReport {
+            busy_cycles: 700,
+            stall_cycles: 300,
+            access_energy_pj: 10.0,
+            transfer_energy_pj: 5.0,
+            ..SimReport::default()
+        };
+        assert_eq!(r.total_cycles(), 1000);
+        assert_eq!(r.total_energy_pj(), 15.0);
+        assert!((r.stall_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let r = SimReport::default();
+        assert_eq!(r.total_cycles(), 0);
+        assert_eq!(r.stall_fraction(), 0.0);
+        assert!(r.to_string().contains("0 cycles"));
+    }
+}

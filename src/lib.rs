@@ -1,0 +1,22 @@
+//! # mhla — Memory Hierarchical Layer Assignment with Time Extensions
+//!
+//! Facade crate re-exporting the full MHLA reproduction workspace. See the
+//! individual crates for details:
+//!
+//! * [`ir`] — loop-nest / affine-access intermediate representation,
+//! * [`hierarchy`] — memory-layer, energy and DMA models,
+//! * [`reuse`] — data-reuse copy-candidate analysis,
+//! * [`lifetime`] — lifetimes and in-place storage optimization,
+//! * [`core`] — the MHLA assignment and Time-Extension steps (the paper),
+//! * [`sim`] — the cycle-approximate CPU + DMA platform simulator,
+//! * [`apps`] — the nine evaluation workloads.
+
+#![forbid(unsafe_code)]
+
+pub use mhla_apps as apps;
+pub use mhla_core as core;
+pub use mhla_hierarchy as hierarchy;
+pub use mhla_ir as ir;
+pub use mhla_lifetime as lifetime;
+pub use mhla_reuse as reuse;
+pub use mhla_sim as sim;

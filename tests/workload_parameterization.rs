@@ -1,0 +1,153 @@
+//! The nine workloads are parameterizable (tests and studies shrink or
+//! grow them). These tests pin that the full flow stays correct across
+//! sizes: programs validate, reuse scales with the geometry, and the
+//! Figure-2 ordering survives at non-default sizes.
+
+use mhla::core::{Mhla, MhlaConfig};
+use mhla::hierarchy::Platform;
+use mhla::sim::Simulator;
+use mhla_apps::{cavity_detect, fir_bank, full_search_me, jpeg_enc, wavelet};
+
+fn flow_orders_bars(program: &mhla::ir::Program, spm: u64) {
+    let platform = Platform::embedded_default(spm);
+    let mhla = Mhla::new(program, &platform, MhlaConfig::default());
+    let model = mhla.cost_model();
+    let r = mhla.run();
+    let sim = Simulator::new(&model, &r.assignment, &r.te).run();
+    assert!(
+        r.baseline_cycles() >= r.mhla_cycles(),
+        "{}: baseline < mhla",
+        program.name()
+    );
+    assert!(
+        sim.total_cycles() <= r.mhla_cycles(),
+        "{}: sim above serial bound",
+        program.name()
+    );
+    assert!(
+        sim.total_cycles() >= r.ideal_cycles(),
+        "{}: sim beat the ideal bound",
+        program.name()
+    );
+}
+
+#[test]
+fn motion_estimation_scales_with_frame_and_search() {
+    for (w, h, search) in [(32u64, 32u64, 2u64), (64, 48, 4), (176, 144, 8)] {
+        let p = full_search_me::program(full_search_me::Params {
+            width: w,
+            height: h,
+            block: 16,
+            search,
+        });
+        p.validate().expect("valid at all sizes");
+        let info = p.info();
+        let window = 2 * search + 1;
+        let expected = (w / 16) * (h / 16) * window * window * 256;
+        let cur = p.array_by_name("cur").unwrap();
+        assert_eq!(
+            info.access_count(cur, mhla::ir::AccessKind::Read),
+            expected
+        );
+        flow_orders_bars(&p, 4 * 1024);
+    }
+}
+
+#[test]
+fn fir_bank_scales_with_taps_and_bands() {
+    for (bands, samples, taps) in [(2u64, 256u64, 8u64), (4, 1024, 32), (8, 4096, 64)] {
+        let p = fir_bank::program(fir_bank::Params {
+            bands,
+            samples,
+            taps,
+        });
+        p.validate().expect("valid");
+        let info = p.info();
+        let coef = p.array_by_name("coef").unwrap();
+        assert_eq!(
+            info.access_count(coef, mhla::ir::AccessKind::Read),
+            bands * samples * taps
+        );
+        flow_orders_bars(&p, 1024);
+    }
+}
+
+#[test]
+fn image_kernels_scale_with_resolution() {
+    let small = cavity_detect::program(cavity_detect::Params {
+        width: 64,
+        height: 48,
+    });
+    flow_orders_bars(&small, 2 * 1024);
+
+    let tiny_jpeg = jpeg_enc::program(jpeg_enc::Params {
+        width: 64,
+        height: 64,
+    });
+    flow_orders_bars(&tiny_jpeg, 2 * 1024);
+
+    let small_wavelet = wavelet::program(wavelet::Params {
+        width: 64,
+        height: 64,
+        taps: 3,
+    });
+    flow_orders_bars(&small_wavelet, 2 * 1024);
+}
+
+#[test]
+fn degenerate_sizes_are_rejected() {
+    assert!(std::panic::catch_unwind(|| {
+        full_search_me::program(full_search_me::Params {
+            width: 30, // not a whole number of blocks
+            height: 32,
+            block: 16,
+            search: 2,
+        })
+    })
+    .is_err());
+    assert!(std::panic::catch_unwind(|| {
+        wavelet::program(wavelet::Params {
+            width: 64,
+            height: 64,
+            taps: 4, // even filter
+        })
+    })
+    .is_err());
+    assert!(std::panic::catch_unwind(|| {
+        fir_bank::program(fir_bank::Params {
+            bands: 0,
+            samples: 16,
+            taps: 4,
+        })
+    })
+    .is_err());
+}
+
+#[test]
+fn larger_workloads_cost_proportionally_more() {
+    // Doubling the FIR frame roughly doubles the simulated cycles: the
+    // simulator's aggregation must not lose work.
+    let base = fir_bank::program(fir_bank::Params {
+        bands: 4,
+        samples: 1024,
+        taps: 32,
+    });
+    let doubled = fir_bank::program(fir_bank::Params {
+        bands: 4,
+        samples: 2048,
+        taps: 32,
+    });
+    let platform = Platform::embedded_default(1024);
+    let run = |p: &mhla::ir::Program| {
+        let mhla = Mhla::new(p, &platform, MhlaConfig::default());
+        let model = mhla.cost_model();
+        let r = mhla.run();
+        Simulator::new(&model, &r.assignment, &r.te).run().total_cycles()
+    };
+    let (a, b) = (run(&base), run(&doubled));
+    let ratio = b as f64 / a as f64;
+    assert!(
+        (1.8..=2.2).contains(&ratio),
+        "doubling samples changed cycles by {ratio:.2}x"
+    );
+}
