@@ -121,7 +121,11 @@ mod tests {
         let classes = mhla_core::classify_arrays(&prog, &[]);
         for name in ["gauss_h", "gauss", "edge"] {
             let a = prog.array_by_name(name).unwrap();
-            assert_eq!(classes[a.index()], mhla_core::ArrayClass::Internal, "{name}");
+            assert_eq!(
+                classes[a.index()],
+                mhla_core::ArrayClass::Internal,
+                "{name}"
+            );
         }
     }
 
@@ -152,6 +156,6 @@ mod tests {
         let tl = prog.timeline();
         // gauss is written (pass 2) before it is read (pass 3).
         let span = tl.array_span(gauss).unwrap();
-        assert!(span.len() > 0);
+        assert!(!span.is_empty());
     }
 }

@@ -46,7 +46,7 @@ impl Default for Params {
 /// Panics if the frame is not a whole number of blocks.
 pub fn program(p: Params) -> Program {
     assert!(
-        p.width % p.block == 0 && p.height % p.block == 0,
+        p.width.is_multiple_of(p.block) && p.height.is_multiple_of(p.block),
         "frame must be a whole number of blocks"
     );
     let mb_x = p.width / p.block;
@@ -80,15 +80,24 @@ pub fn program(p: Params) -> Program {
     );
     let blk = p.block as i64;
     b.stmt("sad")
-        .read(cur, vec![mby.clone() * blk + y.clone(), mbx.clone() * blk + x.clone()])
-        .read(prev, vec![mby.clone() * blk + dy + y, mbx.clone() * blk + dx + x])
+        .read(
+            cur,
+            vec![mby.clone() * blk + y.clone(), mbx.clone() * blk + x.clone()],
+        )
+        .read(
+            prev,
+            vec![mby.clone() * blk + dy + y, mbx.clone() * blk + dx + x],
+        )
         .compute_cycles(8) // abs-diff, compare, accumulate, addressing
         .finish();
     b.end_loop(); // x
     b.end_loop(); // y
     b.end_loop(); // dx
     b.end_loop(); // dy
-    let (zero, one) = (mhla_ir::AffineExpr::zero(), mhla_ir::AffineExpr::constant_expr(1));
+    let (zero, one) = (
+        mhla_ir::AffineExpr::zero(),
+        mhla_ir::AffineExpr::constant_expr(1),
+    );
     b.stmt("best")
         .write(mv, vec![mby.clone(), mbx.clone(), zero])
         .write(mv, vec![mby, mbx, one])

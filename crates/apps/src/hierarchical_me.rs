@@ -35,19 +35,27 @@ impl Default for Params {
 ///
 /// # Panics
 ///
-/// Panics unless width/height are multiples of `4·block`.
+/// Panics unless width and height are multiples of `block` and of 4
+/// (the frame must tile into blocks at full resolution and subsample
+/// cleanly to the 4:1 pyramid).
 pub fn program(p: Params) -> Program {
-    assert!(
-        p.width % (4 * p.block) == 0 || p.width % p.block == 0,
-        "frame must tile into blocks"
-    );
+    for dim in [p.width, p.height] {
+        assert!(
+            dim.is_multiple_of(p.block) && dim.is_multiple_of(4),
+            "frame must tile into blocks and subsample 4:1"
+        );
+    }
     let mut b = ProgramBuilder::new("hierarchical_me");
     let cur = b.array("cur", &[p.height, p.width], ElemType::U8);
     let prev = b.array("prev", &[p.height + 8, p.width + 8], ElemType::U8);
     // Subsampled pyramids (internal temporaries).
     let cur4 = b.array("cur4", &[p.height / 4, p.width / 4], ElemType::U8);
     let prev4 = b.array("prev4", &[p.height / 4 + 4, p.width / 4 + 4], ElemType::U8);
-    let mv = b.array("mv", &[p.height / p.block, p.width / p.block, 2], ElemType::I16);
+    let mv = b.array(
+        "mv",
+        &[p.height / p.block, p.width / p.block, 2],
+        ElemType::I16,
+    );
 
     // Pass 1: subsample both frames 4:1 (mean of 4x4 → one pixel).
     let lsy = b.begin_loop("sy", 0, (p.height / 4) as i64, 1);
@@ -56,7 +64,10 @@ pub fn program(p: Params) -> Program {
     let lkx = b.begin_loop("kx", 0, 4, 1);
     let (sy, sx, ky, kx) = (b.var(lsy), b.var(lsx), b.var(lky), b.var(lkx));
     b.stmt("sub_acc")
-        .read(cur, vec![sy.clone() * 4 + ky.clone(), sx.clone() * 4 + kx.clone()])
+        .read(
+            cur,
+            vec![sy.clone() * 4 + ky.clone(), sx.clone() * 4 + kx.clone()],
+        )
         .read(prev, vec![sy.clone() * 4 + ky, sx.clone() * 4 + kx])
         .compute_cycles(4)
         .finish();
@@ -87,8 +98,14 @@ pub fn program(p: Params) -> Program {
         b.var(lxx),
     );
     b.stmt("coarse_sad")
-        .read(cur4, vec![my.clone() * bq + y.clone(), mx.clone() * bq + x.clone()])
-        .read(prev4, vec![my.clone() * bq + dy + y, mx.clone() * bq + dx + x])
+        .read(
+            cur4,
+            vec![my.clone() * bq + y.clone(), mx.clone() * bq + x.clone()],
+        )
+        .read(
+            prev4,
+            vec![my.clone() * bq + dy + y, mx.clone() * bq + dx + x],
+        )
         .compute_cycles(8)
         .finish();
     b.end_loop();
@@ -119,8 +136,14 @@ pub fn program(p: Params) -> Program {
         b.var(lrx),
     );
     b.stmt("refine_sad")
-        .read(cur, vec![fy.clone() * blk + ry.clone(), fx.clone() * blk + rx.clone()])
-        .read(prev, vec![fy.clone() * blk + rdy + ry, fx.clone() * blk + rdx + rx])
+        .read(
+            cur,
+            vec![fy.clone() * blk + ry.clone(), fx.clone() * blk + rx.clone()],
+        )
+        .read(
+            prev,
+            vec![fy.clone() * blk + rdy + ry, fx.clone() * blk + rdx + rx],
+        )
         .compute_cycles(8)
         .finish();
     b.end_loop();
@@ -169,11 +192,7 @@ mod tests {
         // Three top-level nests (subsample, coarse, refine).
         assert_eq!(prog.roots().len(), 3);
         let tl = prog.timeline();
-        let spans: Vec<_> = prog
-            .roots()
-            .iter()
-            .map(|&r| tl.node_span(r))
-            .collect();
+        let spans: Vec<_> = prog.roots().iter().map(|&r| tl.node_span(r)).collect();
         assert!(spans[0].end <= spans[1].start);
         assert!(spans[1].end <= spans[2].start);
     }

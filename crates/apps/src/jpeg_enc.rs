@@ -35,7 +35,7 @@ impl Default for Params {
 /// Panics unless the image tiles into 8×8 blocks.
 pub fn program(p: Params) -> Program {
     assert!(
-        p.width % 8 == 0 && p.height % 8 == 0,
+        p.width.is_multiple_of(8) && p.height.is_multiple_of(8),
         "image must tile into 8x8 blocks"
     );
     let bx = (p.width / 8) as i64;
@@ -60,7 +60,10 @@ pub fn program(p: Params) -> Program {
     let l0x = b.begin_loop("lsx", 0, 8, 1);
     let (y, x) = (b.var(l0y), b.var(l0x));
     b.stmt("shift")
-        .read(img, vec![blky.clone() * 8 + y.clone(), blkx.clone() * 8 + x.clone()])
+        .read(
+            img,
+            vec![blky.clone() * 8 + y.clone(), blkx.clone() * 8 + x.clone()],
+        )
         .write(blkbuf, vec![y, x])
         .compute_cycles(2)
         .finish();

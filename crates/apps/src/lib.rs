@@ -140,10 +140,7 @@ mod tests {
             Domain::ImageProcessing,
             Domain::AudioProcessing,
         ] {
-            assert!(
-                apps.iter().any(|a| a.domain == d),
-                "domain {d} not covered"
-            );
+            assert!(apps.iter().any(|a| a.domain == d), "domain {d} not covered");
         }
     }
 

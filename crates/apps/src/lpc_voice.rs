@@ -37,7 +37,10 @@ impl Default for Params {
 ///
 /// Panics if the order reaches the frame length.
 pub fn program(p: Params) -> Program {
-    assert!(p.order < p.frame_len, "LPC order must be below frame length");
+    assert!(
+        p.order < p.frame_len,
+        "LPC order must be below frame length"
+    );
     let (frames, n, m) = (p.frames as i64, p.frame_len as i64, p.order as i64);
 
     let mut b = ProgramBuilder::new("lpc_voice");
@@ -143,7 +146,11 @@ mod tests {
         let classes = mhla_core::classify_arrays(&prog, &[]);
         for name in ["autoc", "refl"] {
             let a = prog.array_by_name(name).unwrap();
-            assert_eq!(classes[a.index()], mhla_core::ArrayClass::Internal, "{name}");
+            assert_eq!(
+                classes[a.index()],
+                mhla_core::ArrayClass::Internal,
+                "{name}"
+            );
         }
     }
 

@@ -47,7 +47,10 @@ pub fn program(p: Params) -> Program {
     let lkx = b.begin_loop("kx", 0, 3, 1);
     let (y, x, ky, kx) = (b.var(ly), b.var(lx), b.var(lky), b.var(lkx));
     b.stmt("mac")
-        .read(img, vec![y.clone() + ky.clone() - 1, x.clone() + kx.clone() - 1])
+        .read(
+            img,
+            vec![y.clone() + ky.clone() - 1, x.clone() + kx.clone() - 1],
+        )
         .read(gx, vec![ky.clone(), kx.clone()])
         .read(gy, vec![ky, kx])
         .compute_cycles(6)

@@ -37,7 +37,7 @@ impl Default for Params {
 /// Panics unless the frame tiles into 8×8 blocks.
 pub fn program(p: Params) -> Program {
     assert!(
-        p.width % 8 == 0 && p.height % 8 == 0,
+        p.width.is_multiple_of(8) && p.height.is_multiple_of(8),
         "frame must tile into 8x8 blocks"
     );
     let bx = (p.width / 8) as i64;
@@ -64,8 +64,17 @@ pub fn program(p: Params) -> Program {
     let l1x = b.begin_loop("mcx", 0, 8, 1);
     let (y, x) = (b.var(l1y), b.var(l1x));
     b.stmt("mc")
-        .read(cur, vec![blky.clone() * 8 + y.clone(), blkx.clone() * 8 + x.clone()])
-        .read(refr, vec![blky.clone() * 8 + y.clone() + 4, blkx.clone() * 8 + x.clone() + 4])
+        .read(
+            cur,
+            vec![blky.clone() * 8 + y.clone(), blkx.clone() * 8 + x.clone()],
+        )
+        .read(
+            refr,
+            vec![
+                blky.clone() * 8 + y.clone() + 4,
+                blkx.clone() * 8 + x.clone() + 4,
+            ],
+        )
         .write(diff, vec![y, x])
         .compute_cycles(4)
         .finish();

@@ -32,6 +32,7 @@ impl Default for Params {
 
 /// Builds one analysis level: `src` (h×w) → `tmp` (h×w) → `dst` (h/2 rows
 /// of w/2 low + w/2 high columns modeled as an h/2 × w array).
+#[allow(clippy::too_many_arguments)]
 fn level(
     b: &mut ProgramBuilder,
     name: &str,
@@ -79,10 +80,13 @@ fn level(
 /// is odd-length.
 pub fn program(p: Params) -> Program {
     assert!(
-        p.width % 4 == 0 && p.height % 4 == 0,
+        p.width.is_multiple_of(4) && p.height.is_multiple_of(4),
         "two levels need multiples of 4"
     );
-    assert!(p.taps % 2 == 1 && p.taps >= 3, "analysis filter must be odd");
+    assert!(
+        p.taps % 2 == 1 && p.taps >= 3,
+        "analysis filter must be odd"
+    );
     let (w, h, t) = (p.width as i64, p.height as i64, p.taps as i64);
 
     let mut b = ProgramBuilder::new("wavelet");
@@ -117,7 +121,11 @@ mod tests {
         let classes = mhla_core::classify_arrays(&prog, &[]);
         for name in ["tmp1", "ll1", "tmp2"] {
             let a = prog.array_by_name(name).unwrap();
-            assert_eq!(classes[a.index()], mhla_core::ArrayClass::Internal, "{name}");
+            assert_eq!(
+                classes[a.index()],
+                mhla_core::ArrayClass::Internal,
+                "{name}"
+            );
         }
         let img = prog.array_by_name("img").unwrap();
         assert_eq!(classes[img.index()], mhla_core::ArrayClass::External);

@@ -1,0 +1,48 @@
+//! Sweep performance tracker: measures the cold (pre-optimization
+//! reference) vs fast (incremental + warm-started + parallel) capacity
+//! sweep over the eight-application suite and writes the results to
+//! `BENCH_sweep.json` at the workspace root, so the perf trajectory is
+//! tracked from PR to PR.
+//!
+//! Run with `cargo run --release -p mhla-bench --bin bench`.
+
+use mhla_bench::{measure_sweep_perf, sweep_perf_json};
+
+fn main() {
+    let perfs = measure_sweep_perf(5);
+
+    println!("tradeoff sweep: cold (oracle, sequential) vs fast (incremental, warm, parallel)");
+    println!(
+        "{:<18} {:>7} {:>12} {:>12} {:>9} {:>8} {:>8}",
+        "application", "points", "cold [ms]", "fast [ms]", "speedup", "fronts", "points="
+    );
+    for p in &perfs {
+        println!(
+            "{:<18} {:>7} {:>12.3} {:>12.3} {:>8.2}x {:>8} {:>8}",
+            p.app,
+            p.points,
+            p.cold_seconds * 1e3,
+            p.fast_seconds * 1e3,
+            p.speedup(),
+            p.fronts_identical,
+            p.points_identical,
+        );
+    }
+    let cold: f64 = perfs.iter().map(|p| p.cold_seconds).sum();
+    let fast: f64 = perfs.iter().map(|p| p.fast_seconds).sum();
+    println!(
+        "suite: cold {:.1} ms, fast {:.1} ms, speedup {:.2}x",
+        cold * 1e3,
+        fast * 1e3,
+        cold / fast
+    );
+
+    let json = sweep_perf_json(&perfs);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sweep.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("note: could not write BENCH_sweep.json: {e}"),
+    }
+}

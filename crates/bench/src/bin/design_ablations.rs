@@ -40,7 +40,11 @@ fn transfer_policy() {
             let model = mhla.cost_model();
             let r = mhla.run();
             let sim = Simulator::new(&model, &r.assignment, &r.te).run();
-            (sim.transfer_bytes, sim.total_cycles(), sim.total_energy_pj())
+            (
+                sim.transfer_bytes,
+                sim.total_cycles(),
+                sim.total_energy_pj(),
+            )
         };
         let (fb, fc, fe) = run(TransferPolicy::FullRefresh);
         let (db, dc, de) = run(TransferPolicy::SlidingDelta);
@@ -145,8 +149,8 @@ fn search_strategy() {
         let model = mhla.cost_model();
         let g = assign::greedy(&model, &config);
         let e = assign::exhaustive(&model, &config, 2_000_000);
-        let gap = 100.0
-            * (Objective::Cycles.score(&g.cost) / Objective::Cycles.score(&e.cost) - 1.0);
+        let gap =
+            100.0 * (Objective::Cycles.score(&g.cost) / Objective::Cycles.score(&e.cost) - 1.0);
         println!(
             "{:<18} {:>14} {:>14} {:>7.2}% {:>10}",
             name,

@@ -29,7 +29,8 @@ fn main() {
         "{:<18} {:>7} {:>12} {:>12} {:>8} {:>8}",
         "application", "scale", "mhla", "mhla+te", "te%", "hide%"
     );
-    let mut csv = String::from("app,compute_scale,mhla_cycles,mhla_te_cycles,te_gain_pct,hiding_pct\n");
+    let mut csv =
+        String::from("app,compute_scale,mhla_cycles,mhla_te_cycles,te_gain_pct,hiding_pct\n");
     for app in &apps {
         for &(mul, div) in &scales {
             let f = te_ablation_point_frac(app, mul, div);

@@ -19,10 +19,7 @@ fn main() {
             "{:>10} {:>14} {:>14} {:>8}",
             "capacity", "cycles(te)", "energy [uJ]", "pareto"
         );
-        let points: Vec<_> = caps
-            .iter()
-            .map(|&c| (c, evaluate_app_at(app, c)))
-            .collect();
+        let points: Vec<_> = caps.iter().map(|&c| (c, evaluate_app_at(app, c))).collect();
         // Pareto on (capacity asc, cycles): strictly improving cycles.
         let mut best = u64::MAX;
         for (c, f) in &points {

@@ -84,8 +84,7 @@ pub fn evaluate_app_at(app: &Application, scratchpad: u64) -> AppFigures {
     // what the toolchain produces without the MHLA tool.
     let mhla = Mhla::new(&app.program, &platform, MhlaConfig::default());
     let model = mhla.cost_model();
-    let baseline =
-        mhla_core::assign::direct_placement(&model, Default::default()).assignment;
+    let baseline = mhla_core::assign::direct_placement(&model, Default::default()).assignment;
     let baseline_te = mhla_core::te::plan(&model, &baseline);
     let base_rep = Simulator::new(&model, &baseline, &baseline_te).run();
 
@@ -192,14 +191,144 @@ fn rebuild_with(program: &mhla_ir::Program, f: impl Fn(u64) -> u64) -> mhla_ir::
     b.finish()
 }
 
+/// The eight-application sweep benchmark suite: [`mhla_apps::all_apps`]
+/// minus the ninth (`lpc_voice`), mirroring the trade-off figures.
+pub fn sweep_suite() -> Vec<Application> {
+    let mut apps = mhla_apps::all_apps();
+    apps.retain(|a| a.name() != "lpc_voice");
+    assert_eq!(apps.len(), 8, "sweep suite must stay at eight apps");
+    apps
+}
+
+/// Cold-vs-fast sweep timings for one application.
+///
+/// *Cold* is the frozen pre-optimization path
+/// ([`mhla_core::explore::sweep_cold`]): sequential, re-analyzed per point,
+/// every candidate move priced by the full `evaluate` oracle. *Fast* is the
+/// production path ([`mhla_core::explore::sweep`]): shared analysis and
+/// move space, incremental move pricing, warm-started portfolio search,
+/// parallel chunks.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepPerf {
+    /// Application name.
+    pub app: String,
+    /// Best-of-`repeats` wall time of the cold sweep, seconds.
+    pub cold_seconds: f64,
+    /// Best-of-`repeats` wall time of the fast sweep, seconds.
+    pub fast_seconds: f64,
+    /// Capacity points evaluated per sweep.
+    pub points: usize,
+    /// Whether both paths produced identical Pareto fronts.
+    pub fronts_identical: bool,
+    /// Whether both paths produced identical (cycles, energy) per point.
+    pub points_identical: bool,
+}
+
+impl SweepPerf {
+    /// cold / fast wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.cold_seconds / self.fast_seconds.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measures cold vs fast capacity sweeps over [`sweep_suite`], taking the
+/// best of `repeats` runs per path (first run warms caches and the
+/// allocator).
+pub fn measure_sweep_perf(repeats: usize) -> Vec<SweepPerf> {
+    use mhla_core::explore::{default_capacities, sweep, sweep_cold};
+    use mhla_core::MhlaConfig;
+    use mhla_hierarchy::LayerId;
+
+    let caps = default_capacities();
+    let platform = Platform::embedded_default(1024);
+    let config = MhlaConfig::default();
+    sweep_suite()
+        .iter()
+        .map(|app| {
+            let mut cold_s = f64::INFINITY;
+            let mut fast_s = f64::INFINITY;
+            let mut cold = None;
+            let mut fast = None;
+            for _ in 0..repeats.max(1) {
+                let t = std::time::Instant::now();
+                cold = Some(sweep_cold(
+                    &app.program,
+                    &platform,
+                    LayerId(1),
+                    &caps,
+                    &config,
+                ));
+                cold_s = cold_s.min(t.elapsed().as_secs_f64());
+                let t = std::time::Instant::now();
+                fast = Some(sweep(&app.program, &platform, LayerId(1), &caps, &config));
+                fast_s = fast_s.min(t.elapsed().as_secs_f64());
+            }
+            let (cold, fast) = (cold.expect("ran"), fast.expect("ran"));
+            let fronts_identical = cold.pareto_cycles() == fast.pareto_cycles()
+                && cold.pareto_energy() == fast.pareto_energy();
+            let points_identical = cold.points.len() == fast.points.len()
+                && cold
+                    .points
+                    .iter()
+                    .zip(&fast.points)
+                    .all(|(a, b)| a.cycles() == b.cycles() && a.energy_pj() == b.energy_pj());
+            SweepPerf {
+                app: app.name().to_string(),
+                cold_seconds: cold_s,
+                fast_seconds: fast_s,
+                points: cold.points.len(),
+                fronts_identical,
+                points_identical,
+            }
+        })
+        .collect()
+}
+
+/// Renders [`SweepPerf`] rows as the `BENCH_sweep.json` document tracked
+/// at the workspace root: wall times, points/sec throughput, and the
+/// cold/fast equivalence verdict, per app and suite-wide.
+pub fn sweep_perf_json(perfs: &[SweepPerf]) -> String {
+    let cold: f64 = perfs.iter().map(|p| p.cold_seconds).sum();
+    let fast: f64 = perfs.iter().map(|p| p.fast_seconds).sum();
+    let points: usize = perfs.iter().map(|p| p.points).sum();
+    let all_identical = perfs
+        .iter()
+        .all(|p| p.fronts_identical && p.points_identical);
+    let mut out = String::from("{\n  \"bench\": \"tradeoff_sweep\",\n  \"apps\": [\n");
+    for (i, p) in perfs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"points\": {}, \"cold_seconds\": {:.6}, \
+             \"fast_seconds\": {:.6}, \"speedup\": {:.2}, \
+             \"fronts_identical\": {}, \"points_identical\": {}}}{}\n",
+            p.app,
+            p.points,
+            p.cold_seconds,
+            p.fast_seconds,
+            p.speedup(),
+            p.fronts_identical,
+            p.points_identical,
+            if i + 1 < perfs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"suite\": {{\"points\": {points}, \"cold_seconds\": {cold:.6}, \
+         \"fast_seconds\": {fast:.6}, \"speedup\": {:.2}, \
+         \"points_per_second_cold\": {:.0}, \"points_per_second_fast\": {:.0}, \
+         \"all_identical\": {all_identical}}}\n}}\n",
+        cold / fast.max(f64::MIN_POSITIVE),
+        points as f64 / cold.max(f64::MIN_POSITIVE),
+        points as f64 / fast.max(f64::MIN_POSITIVE),
+    ));
+    out
+}
+
 /// Writes `content` to `results/<name>` relative to the workspace root,
 /// creating the directory as needed. Best-effort: failures are printed,
 /// not fatal (benches may run in sandboxes).
 pub fn write_results(name: &str, content: &str) {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results");
-    if let Err(e) = std::fs::create_dir_all(&dir)
-        .and_then(|_| std::fs::write(dir.join(name), content))
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(dir.join(name), content))
     {
         eprintln!("note: could not write results/{name}: {e}");
     }

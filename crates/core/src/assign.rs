@@ -21,7 +21,7 @@ use mhla_hierarchy::LayerId;
 use mhla_ir::ArrayId;
 
 use crate::classify::ArrayClass;
-use crate::cost::{CostBreakdown, CostModel};
+use crate::cost::{CostBreakdown, CostModel, IncrementalCost};
 use crate::types::{Assignment, MhlaConfig, Objective, SelectedCopy, TransferPolicy};
 
 impl Objective {
@@ -33,10 +33,7 @@ impl Objective {
             Objective::Weighted {
                 energy_weight,
                 cycle_weight,
-            } => {
-                energy_weight * cost.total_energy_pj()
-                    + cycle_weight * cost.total_cycles() as f64
-            }
+            } => energy_weight * cost.total_energy_pj() + cycle_weight * cost.total_cycles() as f64,
         }
     }
 }
@@ -63,6 +60,22 @@ impl Move {
                 a.clear_copies_of(*array);
                 a.set_home(*array, *layer);
             }
+        }
+    }
+
+    /// The array this move touches.
+    fn array(&self) -> ArrayId {
+        match self {
+            Move::SetChain(a, _) | Move::Rehome(a, _) => *a,
+        }
+    }
+
+    /// The `(home, chain)` state this move puts its array in, given the
+    /// array's current home.
+    fn state(&self, current_home: LayerId) -> (LayerId, &[SelectedCopy]) {
+        match self {
+            Move::SetChain(_, chain) => (current_home, chain.as_slice()),
+            Move::Rehome(_, layer) => (*layer, &[]),
         }
     }
 }
@@ -109,7 +122,13 @@ fn array_options(model: &CostModel<'_>, config: &MhlaConfig, array: ArrayId) -> 
 fn layer_combinations(layers: &[LayerId], k: usize) -> Vec<Vec<LayerId>> {
     let mut out = Vec::new();
     let mut cur = Vec::with_capacity(k);
-    fn go(layers: &[LayerId], k: usize, start: usize, cur: &mut Vec<LayerId>, out: &mut Vec<Vec<LayerId>>) {
+    fn go(
+        layers: &[LayerId],
+        k: usize,
+        start: usize,
+        cur: &mut Vec<LayerId>,
+        out: &mut Vec<Vec<LayerId>>,
+    ) {
         if cur.len() == k {
             out.push(cur.clone());
             return;
@@ -143,10 +162,207 @@ pub struct SearchOutcome {
 /// size increase rank highest). Stops when no feasible option improves the
 /// objective.
 pub fn greedy(model: &CostModel<'_>, config: &MhlaConfig) -> SearchOutcome {
+    greedy_portfolio(model, config, None)
+}
+
+/// [`greedy`] from an arbitrary feasible starting assignment.
+pub fn greedy_from(model: &CostModel<'_>, config: &MhlaConfig, start: Assignment) -> SearchOutcome {
+    let options = enumerate_options(model, config);
+    let mut cache: Vec<Option<CachedTrial>> = (0..options.len()).map(|_| None).collect();
+    greedy_search(model, config, start, &options, &mut cache)
+}
+
+/// Greedy search portfolio: always runs the cold (baseline-started)
+/// search; when `warm` is given, additionally continues from that
+/// assignment and returns whichever result scores better (ties prefer the
+/// cold result, so a warm-started sweep point is bit-for-bit identical to
+/// a cold one unless the warm start strictly improves on it).
+///
+/// The capacity sweep passes the previous point's assignment as `warm`:
+/// at a larger capacity every previously selected move stays feasible, so
+/// the warm search starts near a fixed point and converges in a step or
+/// two, while the per-move caches below make both searches cheap.
+pub fn greedy_portfolio(
+    model: &CostModel<'_>,
+    config: &MhlaConfig,
+    warm: Option<&Assignment>,
+) -> SearchOutcome {
+    let moves = enumerate_moves(model, config);
+    greedy_portfolio_with(model, config, warm, &moves)
+}
+
+/// The enumerated candidate-move space of one (program, reuse, config).
+///
+/// Depends on the program structure, the reuse analysis and the *shape* of
+/// the platform (which layers are on-chip) — not on layer capacities — so
+/// a capacity sweep enumerates it once and shares it across every point.
+pub struct MoveSet {
+    moves: Vec<Move>,
+}
+
+impl MoveSet {
+    /// Number of candidate moves.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether the move space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Enumerates the candidate-move space (see [`MoveSet`]).
+pub fn enumerate_moves(model: &CostModel<'_>, config: &MhlaConfig) -> MoveSet {
+    MoveSet {
+        moves: enumerate_options(model, config),
+    }
+}
+
+/// [`greedy_portfolio`] over a pre-enumerated move space.
+pub fn greedy_portfolio_with(
+    model: &CostModel<'_>,
+    config: &MhlaConfig,
+    warm: Option<&Assignment>,
+    moves: &MoveSet,
+) -> SearchOutcome {
+    let options = &moves.moves;
+    let mut cache: Vec<Option<CachedTrial>> = (0..options.len()).map(|_| None).collect();
+    let baseline = Assignment::baseline(model.program().array_count(), config.policy);
+    let cold = greedy_search(model, config, baseline, options, &mut cache);
+    let Some(start) = warm else {
+        return cold;
+    };
+    // A greedy result is a fixed point: searching from it goes nowhere. If
+    // the warm start coincides with the cold solution (the common case in
+    // a capacity sweep — adjacent points often share the optimum), the
+    // warm search provably returns it unchanged, so skip it.
+    if *start == cold.assignment {
+        return cold;
+    }
+    let warmed = greedy_search(model, config, start.clone(), options, &mut cache);
+    if config.objective.score(&warmed.cost) < config.objective.score(&cold.cost) {
+        warmed
+    } else {
+        cold
+    }
+}
+
+/// The option space depends only on the model and config — enumerated
+/// once per search (or once per sweep point for the portfolio), not once
+/// per greedy step.
+fn enumerate_options(model: &CostModel<'_>, config: &MhlaConfig) -> Vec<Move> {
+    model
+        .program()
+        .arrays()
+        .flat_map(|(aid, _)| array_options(model, config, aid))
+        .collect()
+}
+
+/// Cached trial data of one candidate move: its array's cost contribution
+/// and layer residents under the move's `(home, chain)` state. Both depend
+/// only on that one array's state, so they stay valid across greedy steps
+/// (and across the portfolio's two searches) as long as the array's home
+/// is unchanged — `home` records the home the entry was computed under.
+struct CachedTrial {
+    home: LayerId,
+    contrib: crate::cost::ArrayContribution,
+    residents: Vec<(LayerId, mhla_lifetime::Resident)>,
+}
+
+/// One greedy run over a fixed option list with a per-move trial cache.
+///
+/// Candidate moves are priced through [`IncrementalCost`]: re-evaluating a
+/// move costs `O(arrays)` additions plus an `O(residents)` capacity probe —
+/// the full [`CostModel::evaluate`] is never called inside the loop, and
+/// neither is the assignment cloned per candidate.
+fn greedy_search(
+    model: &CostModel<'_>,
+    config: &MhlaConfig,
+    start: Assignment,
+    options: &[Move],
+    cache: &mut [Option<CachedTrial>],
+) -> SearchOutcome {
+    let mut inc = IncrementalCost::new(model, start);
+    let mut current_score = config.objective.score(inc.cost());
+    let mut current_size = inc.onchip_required();
+    let mut steps = 0u64;
+    let mut scratch = CostBreakdown::default();
+
+    loop {
+        let mut best: Option<(f64, usize, u64)> = None;
+        for (idx, mv) in options.iter().enumerate() {
+            let array = mv.array();
+            let (home, chain) = mv.state(inc.assignment().home(array));
+            if cache[idx].as_ref().is_none_or(|e| e.home != home) {
+                cache[idx] = Some(CachedTrial {
+                    home,
+                    contrib: model.array_contribution(
+                        array,
+                        home,
+                        chain,
+                        inc.assignment().policy(),
+                    ),
+                    residents: model.array_residents(array, home, chain),
+                });
+            }
+            let entry = cache[idx].as_ref().expect("just filled");
+            // Gain first, capacity second: both are pure filters, so the
+            // order cannot change the chosen move, and the cheap gain test
+            // rejects most moves without paying for a capacity probe.
+            inc.evaluate_with_contribution_into(array, &entry.contrib, &mut scratch);
+            let gain = current_score - config.objective.score(&scratch);
+            if gain <= 0.0 {
+                continue;
+            }
+            let Some(size) = inc.onchip_required_with_residents(array, &entry.residents) else {
+                continue; // some on-chip layer overflows
+            };
+            let extra = size.saturating_sub(current_size);
+            // Ratio steering: free wins (no extra bytes) dominate any
+            // sized move but are still ordered among themselves by gain.
+            let ratio = if extra == 0 {
+                gain * 1e12
+            } else {
+                gain / extra as f64
+            };
+            if best.as_ref().is_none_or(|(r, ..)| ratio > *r) {
+                best = Some((ratio, idx, size));
+            }
+        }
+        match best {
+            Some((_, idx, size)) => {
+                let mv = &options[idx];
+                let array = mv.array();
+                let (home, chain) = mv.state(inc.assignment().home(array));
+                let chain = chain.to_vec();
+                inc.commit_array_state(array, home, &chain);
+                current_score = config.objective.score(inc.cost());
+                current_size = size;
+                steps += 1;
+            }
+            None => break,
+        }
+    }
+    let cost = inc.cost().clone();
+    SearchOutcome {
+        assignment: inc.assignment().clone(),
+        cost,
+        steps,
+    }
+}
+
+/// The pre-incremental greedy: clones the assignment and runs the full
+/// [`CostModel::evaluate`] + capacity check for every candidate move.
+///
+/// Kept as the *oracle* implementation: [`greedy`] must produce the same
+/// outcome (see the equivalence tests), and the `tradeoff` bench uses this
+/// path to measure how much the incremental evaluator buys.
+pub fn greedy_oracle(model: &CostModel<'_>, config: &MhlaConfig) -> SearchOutcome {
     let no_buffers = HashMap::new();
     let mut current = Assignment::baseline(model.program().array_count(), config.policy);
     let mut current_cost = model.evaluate(&current);
-    let mut current_size = onchip_required(model, &current, &no_buffers);
+    let mut current_size = onchip_required_oracle(model, &current, &no_buffers);
     let mut steps = 0u64;
 
     loop {
@@ -163,16 +379,14 @@ pub fn greedy(model: &CostModel<'_>, config: &MhlaConfig) -> SearchOutcome {
                 if gain <= 0.0 {
                     continue;
                 }
-                let size = onchip_required(model, &trial, &no_buffers);
+                let size = onchip_required_oracle(model, &trial, &no_buffers);
                 let extra = size.saturating_sub(current_size);
-                // Ratio steering: free wins (no extra bytes) dominate any
-                // sized move but are still ordered among themselves by gain.
                 let ratio = if extra == 0 {
                     gain * 1e12
                 } else {
                     gain / extra as f64
                 };
-                if best.as_ref().map_or(true, |(r, ..)| ratio > *r) {
+                if best.as_ref().is_none_or(|(r, ..)| ratio > *r) {
                     best = Some((ratio, mv, cost, size));
                 }
             }
@@ -194,7 +408,7 @@ pub fn greedy(model: &CostModel<'_>, config: &MhlaConfig) -> SearchOutcome {
     }
 }
 
-fn onchip_required(
+fn onchip_required_oracle(
     model: &CostModel<'_>,
     a: &Assignment,
     buffers: &HashMap<mhla_reuse::CandidateId, u32>,
@@ -235,6 +449,7 @@ pub fn exhaustive(model: &CostModel<'_>, config: &MhlaConfig, node_limit: u64) -
     let mut best_score = config.objective.score(&best.cost);
     let mut visited = 0u64;
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         model: &CostModel<'_>,
         config: &MhlaConfig,
@@ -274,8 +489,16 @@ pub fn exhaustive(model: &CostModel<'_>, config: &MhlaConfig, node_limit: u64) -
             // cannot be fixed by later arrays (options only add residents).
             if model.check_capacity(current, no_buffers).is_ok() {
                 dfs(
-                    model, config, options, depth + 1, current, no_buffers, best, best_score,
-                    visited, node_limit,
+                    model,
+                    config,
+                    options,
+                    depth + 1,
+                    current,
+                    no_buffers,
+                    best,
+                    best_score,
+                    visited,
+                    node_limit,
                 );
             }
             *current = saved;
@@ -347,7 +570,11 @@ pub fn direct_placement(model: &CostModel<'_>, policy: TransferPolicy) -> Search
             if !internal || counts.total() == 0 {
                 return None;
             }
-            Some((aid, decl.bytes(), counts.total() as f64 / decl.bytes() as f64))
+            Some((
+                aid,
+                decl.bytes(),
+                counts.total() as f64 / decl.bytes() as f64,
+            ))
         })
         .collect();
     eligible.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap_or(std::cmp::Ordering::Equal));

@@ -28,10 +28,7 @@ pub enum ArrayClass {
 /// both [`External`](ArrayClass::External). Arrays that are written before
 /// being read are [`Internal`](ArrayClass::Internal) temporaries.
 /// `overrides` wins where present.
-pub fn classify_arrays(
-    program: &Program,
-    overrides: &[(ArrayId, ArrayClass)],
-) -> Vec<ArrayClass> {
+pub fn classify_arrays(program: &Program, overrides: &[(ArrayId, ArrayClass)]) -> Vec<ArrayClass> {
     let info = program.info();
     let mut first_access: Vec<Option<(u64, AccessKind)>> = vec![None; program.array_count()];
     let tl = program.timeline();

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use mhla_hierarchy::{LayerId, Platform};
-use mhla_ir::{AccessKind, ArrayId, LoopId, NodeId, Program, StmtId, Timeline};
+use mhla_ir::{AccessKind, ArrayId, LoopId, NodeId, Program, ProgramInfo, StmtId, Timeline};
 use mhla_lifetime::{peak_occupancy, Resident};
 use mhla_reuse::{CandidateId, ReuseAnalysis};
 
@@ -115,22 +115,78 @@ impl CostBreakdown {
     }
 }
 
+/// The cost contribution of one array under one (home, copy-chain) state:
+/// the CPU accesses it serves plus the block transfers of its chain.
+///
+/// [`CostModel::evaluate`] is the sum of these over all arrays (plus the
+/// constant compute cycles); [`IncrementalCost`] re-prices only the touched
+/// array's contribution per candidate move.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ArrayContribution {
+    /// CPU memory-access latency cycles of this array's accesses.
+    pub cpu_access_cycles: u64,
+    /// Energy of this array's CPU accesses, picojoule.
+    pub cpu_access_energy_pj: f64,
+    /// This array's CPU accesses per layer.
+    pub accesses_per_layer: Vec<u64>,
+    /// Block-transfer cycles of this array's chain.
+    pub transfer_cycles: u64,
+    /// Block-transfer energy of this array's chain, picojoule.
+    pub transfer_energy_pj: f64,
+    /// Block-transfer instances of this array's chain.
+    pub transfer_count: u64,
+}
+
+impl ArrayContribution {
+    fn with_layers(layers: usize) -> Self {
+        ArrayContribution {
+            accesses_per_layer: vec![0; layers],
+            ..ArrayContribution::default()
+        }
+    }
+}
+
+impl CostBreakdown {
+    /// Adds one array's contribution to the running totals.
+    ///
+    /// Summation order is canonical (ascending array index) in both
+    /// [`CostModel::evaluate`] and [`IncrementalCost`], so incremental
+    /// totals are bit-for-bit identical to the oracle's — including the
+    /// floating-point energy fields.
+    fn absorb(&mut self, c: &ArrayContribution) {
+        self.cpu_access_cycles += c.cpu_access_cycles;
+        self.cpu_access_energy_pj += c.cpu_access_energy_pj;
+        self.transfer_cycles += c.transfer_cycles;
+        self.transfer_energy_pj += c.transfer_energy_pj;
+        self.transfer_count += c.transfer_count;
+        for (total, &a) in self
+            .accesses_per_layer
+            .iter_mut()
+            .zip(&c.accesses_per_layer)
+        {
+            *total += a;
+        }
+    }
+}
+
 /// Static estimator for a fixed (program, platform) pair.
 ///
-/// Construction performs the reuse analysis reuse; [`evaluate`]
-/// (CostModel::evaluate) then prices any assignment in
-/// `O(statements + copies)`.
+/// Construction caches the derived program facts (`ProgramInfo`, timeline,
+/// per-array access lists); [`evaluate`](CostModel::evaluate) then prices
+/// any assignment in `O(accesses + copies)` with no re-analysis.
 #[derive(Debug)]
 pub struct CostModel<'a> {
     program: &'a Program,
     platform: &'a Platform,
     reuse: &'a ReuseAnalysis,
     timeline: Timeline,
+    info: ProgramInfo<'a>,
     classes: Vec<ArrayClass>,
     /// Per statement: executions (cached).
     stmt_execs: Vec<u64>,
-    /// Per candidate-owning loop: entries count.
-    loop_entries: HashMap<LoopId, u64>,
+    /// Per array: the (statement, access kind) pairs touching it, in
+    /// statement/access order.
+    array_accesses: Vec<Vec<(StmtId, AccessKind)>>,
     total_compute: u64,
 }
 
@@ -143,27 +199,30 @@ impl<'a> CostModel<'a> {
         classes: Vec<ArrayClass>,
     ) -> Self {
         let info = program.info();
-        let stmt_execs = program
+        let stmt_execs: Vec<u64> = program
             .stmts()
             .map(|(s, _)| info.stmt_executions(s))
-            .collect();
-        let loop_entries = program
-            .loops()
-            .map(|(l, _)| (l, info.loop_entries(l)))
             .collect();
         let total_compute = program
             .roots()
             .iter()
             .map(|&r| info.compute_cycles(r))
             .sum();
+        let mut array_accesses = vec![Vec::new(); program.array_count()];
+        for (sid, stmt) in program.stmts() {
+            for acc in &stmt.accesses {
+                array_accesses[acc.array.index()].push((sid, acc.kind));
+            }
+        }
         CostModel {
             program,
             platform,
             reuse,
             timeline: program.timeline(),
+            info,
             classes,
             stmt_execs,
-            loop_entries,
+            array_accesses,
             total_compute,
         }
     }
@@ -193,26 +252,74 @@ impl<'a> CostModel<'a> {
         &self.timeline
     }
 
+    /// The cached structural facts of the program.
+    pub fn info(&self) -> &ProgramInfo<'a> {
+        &self.info
+    }
+
     /// The layer serving a given access of a statement: the innermost
     /// selected copy whose region covers the statement, or the array home.
-    pub fn serving_layer(
-        &self,
-        assignment: &Assignment,
-        stmt: StmtId,
-        array: ArrayId,
-    ) -> LayerId {
-        let info = self.program.info();
+    pub fn serving_layer(&self, assignment: &Assignment, stmt: StmtId, array: ArrayId) -> LayerId {
         let mut layer = assignment.home(array);
-        for copy in assignment.copies_of(array) {
+        for copy in assignment.copies() {
+            if copy.candidate.array != array {
+                continue;
+            }
             let covers = match self.reuse.candidate(copy.candidate).at_loop {
                 None => true,
-                Some(l) => info.encloses(l, NodeId::Stmt(stmt)),
+                Some(l) => self.info.encloses(l, NodeId::Stmt(stmt)),
             };
             if covers {
                 layer = layer.max(copy.layer);
             }
         }
         layer
+    }
+
+    /// Appends the block-transfer streams of one array's copy chain
+    /// (`chain` outermost first, as [`Assignment::copies_of`] returns it).
+    fn chain_streams(
+        &self,
+        array: ArrayId,
+        home: LayerId,
+        chain: &[SelectedCopy],
+        policy: TransferPolicy,
+        out: &mut Vec<TransferStream>,
+    ) {
+        let elem = self.program.array(array).elem.bytes();
+        let mut src = home;
+        for &copy in chain {
+            let cc = self.reuse.candidate(copy.candidate);
+            let (entries, first_entries) = match cc.at_loop {
+                Some(l) => (cc.entries, self.info.loop_entries(l)),
+                None => (1, 1),
+            };
+            let full_bytes = cc.bytes;
+            let steady_bytes = match policy {
+                TransferPolicy::FullRefresh => full_bytes,
+                TransferPolicy::SlidingDelta => {
+                    if cc.footprint.exact {
+                        cc.footprint.delta_elements() * elem
+                    } else {
+                        full_bytes
+                    }
+                }
+            };
+            let writeback_bytes = (cc.writebacks * elem).checked_div(entries).unwrap_or(0);
+            out.push(TransferStream {
+                copy,
+                src,
+                dst: copy.layer,
+                owner: cc.at_loop,
+                buffer_bytes: cc.bytes,
+                entries,
+                first_entries: first_entries.min(entries),
+                full_bytes,
+                steady_bytes,
+                writeback_bytes,
+            });
+            src = copy.layer;
+        }
     }
 
     /// Derives the block-transfer streams of an assignment: one per
@@ -222,44 +329,13 @@ impl<'a> CostModel<'a> {
         for aid in 0..assignment.array_count() {
             let array = ArrayId::from_index(aid);
             let chain = assignment.copies_of(array);
-            let mut src = assignment.home(array);
-            for copy in chain {
-                let cc = self.reuse.candidate(copy.candidate);
-                let elem = self.program.array(array).elem.bytes();
-                let (entries, first_entries) = match cc.at_loop {
-                    Some(l) => (cc.entries, self.loop_entries[&l]),
-                    None => (1, 1),
-                };
-                let full_bytes = cc.bytes;
-                let steady_bytes = match assignment.policy() {
-                    TransferPolicy::FullRefresh => full_bytes,
-                    TransferPolicy::SlidingDelta => {
-                        if cc.footprint.exact {
-                            cc.footprint.delta_elements() * elem
-                        } else {
-                            full_bytes
-                        }
-                    }
-                };
-                let writeback_bytes = if entries > 0 {
-                    cc.writebacks * elem / entries
-                } else {
-                    0
-                };
-                out.push(TransferStream {
-                    copy,
-                    src,
-                    dst: copy.layer,
-                    owner: cc.at_loop,
-                    buffer_bytes: cc.bytes,
-                    entries,
-                    first_entries: first_entries.min(entries),
-                    full_bytes,
-                    steady_bytes,
-                    writeback_bytes,
-                });
-                src = copy.layer;
-            }
+            self.chain_streams(
+                array,
+                assignment.home(array),
+                &chain,
+                assignment.policy(),
+                &mut out,
+            );
         }
         out
     }
@@ -316,31 +392,66 @@ impl<'a> CostModel<'a> {
         (cycles, energy, count)
     }
 
+    /// Prices one array's (home, chain) state: its CPU accesses plus its
+    /// chain's block transfers. `chain` must be ordered outermost first
+    /// (ascending layer), as [`Assignment::copies_of`] returns it.
+    pub fn array_contribution(
+        &self,
+        array: ArrayId,
+        home: LayerId,
+        chain: &[SelectedCopy],
+        policy: TransferPolicy,
+    ) -> ArrayContribution {
+        let mut c = ArrayContribution::with_layers(self.platform.layer_count());
+        for &(sid, kind) in &self.array_accesses[array.index()] {
+            let execs = self.stmt_execs[sid.index()];
+            let mut layer = home;
+            for copy in chain {
+                let covers = match self.reuse.candidate(copy.candidate).at_loop {
+                    None => true,
+                    Some(l) => self.info.encloses(l, NodeId::Stmt(sid)),
+                };
+                if covers {
+                    layer = layer.max(copy.layer);
+                }
+            }
+            let l = self.platform.layer(layer);
+            c.cpu_access_cycles += execs * self.platform.access_cycles(layer);
+            c.cpu_access_energy_pj += execs as f64 * l.access_energy_pj(kind == AccessKind::Write);
+            c.accesses_per_layer[layer.index()] += execs;
+        }
+        let mut streams = Vec::new();
+        self.chain_streams(array, home, chain, policy, &mut streams);
+        for stream in &streams {
+            let (cycles, energy, count) = self.price_stream(stream);
+            c.transfer_cycles += cycles;
+            c.transfer_energy_pj += energy;
+            c.transfer_count += count;
+        }
+        c
+    }
+
     /// Prices an assignment under the static model.
+    ///
+    /// This is the oracle the incremental evaluator is validated against:
+    /// it sums [`array_contribution`](CostModel::array_contribution)s in
+    /// ascending array order, the same canonical order
+    /// [`IncrementalCost`] maintains.
     pub fn evaluate(&self, assignment: &Assignment) -> CostBreakdown {
         let mut b = CostBreakdown {
             compute_cycles: self.total_compute,
             accesses_per_layer: vec![0; self.platform.layer_count()],
             ..CostBreakdown::default()
         };
-        // CPU accesses.
-        for (sid, stmt) in self.program.stmts() {
-            let execs = self.stmt_execs[sid.index()];
-            for acc in &stmt.accesses {
-                let layer = self.serving_layer(assignment, sid, acc.array);
-                let l = self.platform.layer(layer);
-                b.cpu_access_cycles += execs * self.platform.access_cycles(layer);
-                b.cpu_access_energy_pj +=
-                    execs as f64 * l.access_energy_pj(acc.kind == AccessKind::Write);
-                b.accesses_per_layer[layer.index()] += execs;
-            }
-        }
-        // Block transfers.
-        for stream in self.transfer_streams(assignment) {
-            let (cycles, energy, count) = self.price_stream(&stream);
-            b.transfer_cycles += cycles;
-            b.transfer_energy_pj += energy;
-            b.transfer_count += count;
+        for aid in 0..assignment.array_count() {
+            let array = ArrayId::from_index(aid);
+            let chain = assignment.copies_of(array);
+            b.absorb(&self.array_contribution(
+                array,
+                assignment.home(array),
+                &chain,
+                assignment.policy(),
+            ));
         }
         b
     }
@@ -349,12 +460,8 @@ impl<'a> CostModel<'a> {
     /// compute plus access latencies of everything executed inside, with
     /// no block-transfer time (that is what Time Extensions hide the
     /// transfers *behind* — Figure 1's `compute_loop_cycles()`).
-    pub fn cycles_per_iteration(
-        &self,
-        assignment: &Assignment,
-        loop_id: LoopId,
-    ) -> u64 {
-        let info = self.program.info();
+    pub fn cycles_per_iteration(&self, assignment: &Assignment, loop_id: LoopId) -> u64 {
+        let info = &self.info;
         let iterations = info.loop_iterations(loop_id).max(1);
         let mut total = 0u64;
         for s in info.subtree_stmts(NodeId::Loop(loop_id)) {
@@ -395,13 +502,9 @@ impl<'a> CostModel<'a> {
             }
             let cc = self.reuse.candidate(copy.candidate);
             let mult = buffers.get(&copy.candidate).copied().unwrap_or(1).max(1);
-            if let Some(mut r) = Resident::for_candidate(
-                self.program,
-                &self.timeline,
-                copy.candidate,
-                cc,
-                false,
-            ) {
+            if let Some(mut r) =
+                Resident::for_candidate(self.program, &self.timeline, copy.candidate, cc, false)
+            {
                 r.bytes *= mult as u64;
                 out.push(r);
             }
@@ -452,6 +555,227 @@ impl<'a> CostModel<'a> {
         }
         Ok(())
     }
+
+    /// The residents one array's (home, chain) state places on each layer,
+    /// single-buffered (the step-1 search never double-buffers; Time
+    /// Extensions price extra buffers through the full path).
+    ///
+    /// Like [`array_contribution`](CostModel::array_contribution), this
+    /// depends only on the one array's state — the greedy search caches it
+    /// per candidate move.
+    pub fn array_residents(
+        &self,
+        array: ArrayId,
+        home: LayerId,
+        chain: &[SelectedCopy],
+    ) -> Vec<(LayerId, Resident)> {
+        let mut out = Vec::new();
+        if home.index() != 0 {
+            if let Some(r) = Resident::for_array(self.program, &self.timeline, array) {
+                out.push((home, r));
+            }
+        }
+        for copy in chain {
+            let cc = self.reuse.candidate(copy.candidate);
+            if let Some(r) =
+                Resident::for_candidate(self.program, &self.timeline, copy.candidate, cc, false)
+            {
+                out.push((copy.layer, r));
+            }
+        }
+        out
+    }
+}
+
+/// Incremental re-pricing of single-array moves over a working assignment.
+///
+/// The greedy search evaluates hundreds of candidate moves per step, each
+/// touching exactly one array. The full [`CostModel::evaluate`] re-prices
+/// every access of every array; this evaluator caches the per-array
+/// [`ArrayContribution`]s and layer residents, so a candidate move costs
+/// `O(accesses-of-that-array)` to price and a capacity probe costs
+/// `O(residents)` — no assignment clone, no timeline re-walk.
+///
+/// Totals are maintained by re-summing the cached contributions in
+/// ascending array order, the exact summation order of the oracle, so
+/// [`cost`](IncrementalCost::cost) is **bit-for-bit identical** to
+/// `model.evaluate(assignment)` at every point (see the equivalence
+/// proptests in `crates/core/tests/`).
+#[derive(Debug)]
+pub struct IncrementalCost<'m, 'a> {
+    model: &'m CostModel<'a>,
+    assignment: Assignment,
+    contribs: Vec<ArrayContribution>,
+    /// Per array: the residents its current state places, with their layer.
+    residents: Vec<Vec<(LayerId, Resident)>>,
+    current: CostBreakdown,
+}
+
+impl<'m, 'a> IncrementalCost<'m, 'a> {
+    /// Builds the evaluator, pricing `assignment` once in full.
+    pub fn new(model: &'m CostModel<'a>, assignment: Assignment) -> Self {
+        let policy = assignment.policy();
+        let mut contribs = Vec::with_capacity(assignment.array_count());
+        let mut residents = Vec::with_capacity(assignment.array_count());
+        for aid in 0..assignment.array_count() {
+            let array = ArrayId::from_index(aid);
+            let chain = assignment.copies_of(array);
+            let home = assignment.home(array);
+            contribs.push(model.array_contribution(array, home, &chain, policy));
+            residents.push(model.array_residents(array, home, &chain));
+        }
+        let mut inc = IncrementalCost {
+            model,
+            assignment,
+            contribs,
+            residents,
+            current: CostBreakdown::default(),
+        };
+        inc.current = inc.rebuild_total();
+        inc
+    }
+
+    fn rebuild_total(&self) -> CostBreakdown {
+        let mut b = CostBreakdown {
+            compute_cycles: self.model.total_compute,
+            accesses_per_layer: vec![0; self.model.platform.layer_count()],
+            ..CostBreakdown::default()
+        };
+        for c in &self.contribs {
+            b.absorb(c);
+        }
+        b
+    }
+
+    /// The working assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The cost of the working assignment (equals
+    /// `model.evaluate(self.assignment())` bit-for-bit).
+    pub fn cost(&self) -> &CostBreakdown {
+        &self.current
+    }
+
+    /// Prices the assignment with `array`'s state replaced by
+    /// `(home, chain)`, without mutating anything. `chain` must be ordered
+    /// outermost first (ascending layer).
+    pub fn evaluate_array_state(
+        &self,
+        array: ArrayId,
+        home: LayerId,
+        chain: &[SelectedCopy],
+    ) -> CostBreakdown {
+        let trial = self
+            .model
+            .array_contribution(array, home, chain, self.assignment.policy());
+        self.evaluate_with_contribution(array, &trial)
+    }
+
+    /// [`evaluate_array_state`](IncrementalCost::evaluate_array_state) with
+    /// the trial contribution already computed — the greedy search caches
+    /// contributions per candidate move (they depend only on the touched
+    /// array's state), so a re-evaluation costs `O(arrays)` additions.
+    pub fn evaluate_with_contribution(
+        &self,
+        array: ArrayId,
+        trial: &ArrayContribution,
+    ) -> CostBreakdown {
+        let mut b = CostBreakdown::default();
+        self.evaluate_with_contribution_into(array, trial, &mut b);
+        b
+    }
+
+    /// [`evaluate_with_contribution`](IncrementalCost::evaluate_with_contribution)
+    /// into a caller-owned scratch buffer — the greedy loop re-prices
+    /// hundreds of moves per step and reuses one allocation for all of
+    /// them.
+    pub fn evaluate_with_contribution_into(
+        &self,
+        array: ArrayId,
+        trial: &ArrayContribution,
+        out: &mut CostBreakdown,
+    ) {
+        *out = CostBreakdown {
+            compute_cycles: self.model.total_compute,
+            accesses_per_layer: std::mem::take(&mut out.accesses_per_layer),
+            ..CostBreakdown::default()
+        };
+        out.accesses_per_layer.clear();
+        out.accesses_per_layer
+            .resize(self.model.platform.layer_count(), 0);
+        for (i, c) in self.contribs.iter().enumerate() {
+            out.absorb(if i == array.index() { trial } else { c });
+        }
+    }
+
+    /// Capacity probe for the trial state: `None` when some on-chip layer
+    /// overflows (after in-place sharing), otherwise the total on-chip
+    /// bytes required — the denominator of the greedy gain/size ratio.
+    pub fn onchip_required_with(
+        &self,
+        array: ArrayId,
+        home: LayerId,
+        chain: &[SelectedCopy],
+    ) -> Option<u64> {
+        let trial = self.model.array_residents(array, home, chain);
+        self.onchip_required_with_residents(array, &trial)
+    }
+
+    /// [`onchip_required_with`](IncrementalCost::onchip_required_with) with
+    /// the trial residents already computed (cacheable per candidate move).
+    pub fn onchip_required_with_residents(
+        &self,
+        array: ArrayId,
+        trial: &[(LayerId, Resident)],
+    ) -> Option<u64> {
+        let mut total = 0u64;
+        let mut pool = Vec::new();
+        for (lid, layer) in self.model.platform.on_chip_layers() {
+            pool.clear();
+            for (aid, cached) in self.residents.iter().enumerate() {
+                let source: &[(LayerId, Resident)] =
+                    if aid == array.index() { trial } else { cached };
+                pool.extend(
+                    source
+                        .iter()
+                        .filter(|(l, _)| *l == lid)
+                        .map(|(_, r)| r.clone()),
+                );
+            }
+            let required = peak_occupancy(&pool);
+            if required > layer.capacity.unwrap_or(u64::MAX) {
+                return None;
+            }
+            total += required;
+        }
+        Some(total)
+    }
+
+    /// Total on-chip bytes required by the working assignment.
+    pub fn onchip_required(&self) -> u64 {
+        if self.assignment.array_count() == 0 {
+            return 0;
+        }
+        let array0 = ArrayId::from_index(0);
+        self.onchip_required_with_residents(array0, &self.residents[array0.index()])
+            .expect("working assignment must be feasible")
+    }
+
+    /// Commits `array`'s new state, updating the cached contribution,
+    /// residents and totals.
+    pub fn commit_array_state(&mut self, array: ArrayId, home: LayerId, chain: &[SelectedCopy]) {
+        self.assignment.clear_copies_of(array);
+        self.assignment.set_home(array, home);
+        for &c in chain {
+            self.assignment.add_copy(c);
+        }
+        let policy = self.assignment.policy();
+        self.contribs[array.index()] = self.model.array_contribution(array, home, chain, policy);
+        self.residents[array.index()] = self.model.array_residents(array, home, chain);
+        self.current = self.rebuild_total();
+    }
 }
 
 #[cfg(test)]
@@ -473,11 +797,7 @@ mod tests {
         (b.finish(), tab, lr)
     }
 
-    fn model<'a>(
-        p: &'a Program,
-        pf: &'a Platform,
-        reuse: &'a ReuseAnalysis,
-    ) -> CostModel<'a> {
+    fn model<'a>(p: &'a Program, pf: &'a Platform, reuse: &'a ReuseAnalysis) -> CostModel<'a> {
         CostModel::new(p, pf, reuse, classify_arrays(p, &[]))
     }
 
@@ -531,7 +851,10 @@ mod tests {
         assert!(cost.total_cycles() < base.total_cycles() / 2);
         assert!(cost.total_energy_pj() < base.total_energy_pj() / 2.0);
         // Ideal bound strips the transfer cycles.
-        assert_eq!(cost.ideal_cycles(), cost.total_cycles() - cost.transfer_cycles);
+        assert_eq!(
+            cost.ideal_cycles(),
+            cost.total_cycles() - cost.transfer_cycles
+        );
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use mhla_hierarchy::Platform;
 use mhla_ir::Program;
+use std::borrow::Cow;
+
 use mhla_reuse::ReuseAnalysis;
 
 use crate::assign;
@@ -71,18 +73,49 @@ pub struct Mhla<'a> {
     program: &'a Program,
     platform: &'a Platform,
     config: MhlaConfig,
-    reuse: ReuseAnalysis,
+    reuse: Cow<'a, ReuseAnalysis>,
 }
 
 impl<'a> Mhla<'a> {
     /// Prepares a run (performs the reuse analysis).
     pub fn new(program: &'a Program, platform: &'a Platform, config: MhlaConfig) -> Self {
         let reuse = ReuseAnalysis::analyze(program);
+        Mhla::with_reuse(program, platform, config, reuse)
+    }
+
+    /// Prepares a run from an already-computed reuse analysis.
+    ///
+    /// The analysis depends only on the program, so callers evaluating one
+    /// program against many platforms (the capacity sweep) compute it once
+    /// and clone it per point instead of re-deriving it.
+    pub fn with_reuse(
+        program: &'a Program,
+        platform: &'a Platform,
+        config: MhlaConfig,
+        reuse: ReuseAnalysis,
+    ) -> Self {
         Mhla {
             program,
             platform,
             config,
-            reuse,
+            reuse: Cow::Owned(reuse),
+        }
+    }
+
+    /// [`with_reuse`](Mhla::with_reuse) borrowing the analysis instead of
+    /// owning it — the capacity sweep shares one analysis across all its
+    /// points without cloning.
+    pub fn with_reuse_ref(
+        program: &'a Program,
+        platform: &'a Platform,
+        config: MhlaConfig,
+        reuse: &'a ReuseAnalysis,
+    ) -> Self {
+        Mhla {
+            program,
+            platform,
+            config,
+            reuse: Cow::Borrowed(reuse),
         }
     }
 
@@ -109,15 +142,75 @@ impl<'a> Mhla<'a> {
     /// prefetching, but data sections linked on-chip where they fit — what
     /// a 2005 toolchain produced without the MHLA tool.
     pub fn run(&self) -> MhlaResult {
+        self.run_from(None)
+    }
+
+    /// [`run`](Mhla::run), optionally warm-starting the greedy search from
+    /// a known-feasible assignment (the capacity sweep passes the previous
+    /// point's solution).
+    ///
+    /// The warm start is a *portfolio* entry, not a replacement: the
+    /// cold (baseline-started) search always runs too, and the
+    /// warm-started solution is kept only when it scores strictly better.
+    /// Greedy is a local search — continuing from a smaller capacity's
+    /// fixed point can get trapped above the cold solution (per-access
+    /// energy/latency rescale with capacity, so move gains shift between
+    /// points) — and this guarantee makes the warm-started sweep never
+    /// worse than, and in practice identical to, a cold sweep. Warm starts
+    /// apply only to the greedy strategy; exhaustive search ignores them.
+    pub fn run_from(&self, warm: Option<&Assignment>) -> MhlaResult {
+        self.run_with(warm, None)
+    }
+
+    /// [`run_from`](Mhla::run_from) over an optional pre-enumerated move
+    /// space. The move space is capacity-independent, so a capacity sweep
+    /// enumerates it once ([`assign::enumerate_moves`]) and shares it
+    /// across every point.
+    pub fn run_with(
+        &self,
+        warm: Option<&Assignment>,
+        moves: Option<&assign::MoveSet>,
+    ) -> MhlaResult {
         let model = self.cost_model();
-        let baseline = assign::direct_placement(&model, self.config.policy);
-        let mut outcome = assign::search(&model, &self.config);
+        let outcome = match (self.config.strategy, moves) {
+            (crate::types::SearchStrategy::Greedy, Some(m)) => {
+                assign::greedy_portfolio_with(&model, &self.config, warm, m)
+            }
+            (crate::types::SearchStrategy::Greedy, None) => {
+                assign::greedy_portfolio(&model, &self.config, warm)
+            }
+            _ => assign::search(&model, &self.config),
+        };
+        self.finish(&model, outcome)
+    }
+
+    /// The frozen pre-optimization flow: the greedy search re-prices every
+    /// candidate move with the full [`CostModel::evaluate`] oracle
+    /// ([`assign::greedy_oracle`]) instead of the incremental evaluator.
+    ///
+    /// Produces the same result as [`run`](Mhla::run) (asserted by the
+    /// equivalence tests); kept so the `tradeoff` bench can measure what
+    /// the incremental evaluator buys.
+    pub fn run_reference(&self) -> MhlaResult {
+        let model = self.cost_model();
+        let outcome = match self.config.strategy {
+            crate::types::SearchStrategy::Greedy => assign::greedy_oracle(&model, &self.config),
+            _ => assign::search(&model, &self.config),
+        };
+        self.finish(&model, outcome)
+    }
+
+    /// The shared tail of every flow: baseline fallback, Time Extensions,
+    /// result assembly. One implementation so the reference and production
+    /// paths can only differ in the search itself — which is exactly what
+    /// the cold/fast equivalence tests compare.
+    fn finish(&self, model: &CostModel<'_>, mut outcome: assign::SearchOutcome) -> MhlaResult {
+        let baseline = assign::direct_placement(model, self.config.policy);
         // The search is a heuristic and can, on rare corner cases, end in
         // a local optimum worse than the out-of-the-box placement. A real
         // tool never returns an assignment worse than its input: fall back
         // to the baseline when it scores better.
-        if self.config.objective.score(&baseline.cost)
-            < self.config.objective.score(&outcome.cost)
+        if self.config.objective.score(&baseline.cost) < self.config.objective.score(&outcome.cost)
         {
             outcome = baseline.clone();
         }
@@ -127,7 +220,7 @@ impl<'a> Mhla<'a> {
                 transfers: Vec::new(),
             }
         } else {
-            te::plan(&model, &outcome.assignment)
+            te::plan(model, &outcome.assignment)
         };
         MhlaResult {
             assignment: outcome.assignment,

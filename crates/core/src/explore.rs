@@ -5,9 +5,23 @@
 //! points" — maps to a capacity sweep: run both MHLA steps for every
 //! scratchpad size in a range, then keep the Pareto-optimal
 //! (capacity, cycles) and (capacity, energy) points.
+//!
+//! Two execution paths produce the same `Sweep`:
+//!
+//! * [`sweep`] — the production path: the reuse analysis is computed once
+//!   and shared, capacities are processed in fixed-size chunks scheduled
+//!   across threads with `rayon`, and within a chunk each point
+//!   warm-starts the greedy search from its predecessor's assignment.
+//! * [`sweep_cold`] — the reference path: strictly sequential, every point
+//!   re-analyzed and searched from scratch (the pre-optimization
+//!   behavior). The `tradeoff` bench and the equivalence tests compare
+//!   the two; their Pareto fronts must be identical.
+
+use rayon::prelude::*;
 
 use mhla_hierarchy::{LayerId, Platform};
 use mhla_ir::Program;
+use mhla_reuse::ReuseAnalysis;
 
 use crate::driver::{Mhla, MhlaResult};
 use crate::types::MhlaConfig;
@@ -54,9 +68,9 @@ impl Sweep {
 
     /// The point with the fewest cycles (ties: smallest capacity).
     pub fn best_cycles(&self) -> Option<&SweepPoint> {
-        self.points.iter().min_by(|a, b| {
-            (a.cycles(), a.capacity).cmp(&(b.cycles(), b.capacity))
-        })
+        self.points
+            .iter()
+            .min_by(|a, b| (a.cycles(), a.capacity).cmp(&(b.cycles(), b.capacity)))
     }
 
     /// The point with the least energy (ties: smallest capacity).
@@ -90,8 +104,39 @@ pub fn default_capacities() -> Vec<u64> {
     (7..=17).map(|e| 1u64 << e).collect()
 }
 
+/// How many consecutive capacity points one parallel task processes.
+///
+/// Within a chunk, points after the first warm-start from their
+/// predecessor; chunks are independent, so this is also the granularity of
+/// the `rayon` fan-out. Fixed (instead of `capacities / threads`) so sweep
+/// results never depend on the machine's core count.
+pub const SWEEP_CHUNK: usize = 4;
+
+/// Tuning knobs for [`sweep_with`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SweepOptions {
+    /// Warm-start each point (within a chunk) from its predecessor's
+    /// assignment. Applies to the greedy strategy only.
+    pub warm_start: bool,
+    /// Process chunks of capacities on a thread pool.
+    pub parallel: bool,
+    /// Points per sequential chunk (clamped to ≥ 1).
+    pub chunk: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            warm_start: true,
+            parallel: true,
+            chunk: SWEEP_CHUNK,
+        }
+    }
+}
+
 /// Sweeps scratchpad capacities, resizing `layer` of `platform` to each of
-/// `capacities` and running the full MHLA flow.
+/// `capacities` and running the full MHLA flow. Production path: shared
+/// reuse analysis, warm starts, parallel chunks (see [`SweepOptions`]).
 ///
 /// # Panics
 ///
@@ -103,18 +148,99 @@ pub fn sweep(
     capacities: &[u64],
     config: &MhlaConfig,
 ) -> Sweep {
-    let mut caps: Vec<u64> = capacities.to_vec();
-    caps.sort_unstable();
-    caps.dedup();
+    sweep_with(
+        program,
+        platform,
+        layer,
+        capacities,
+        config,
+        SweepOptions::default(),
+    )
+}
+
+/// The pre-optimization reference sweep: strictly sequential, the reuse
+/// analysis re-derived at every point, every candidate move re-priced with
+/// the full `evaluate` oracle, no warm starts — the seed implementation,
+/// frozen. Kept for validation and benchmarking; [`sweep`] must yield
+/// identical Pareto fronts (see the equivalence tests).
+pub fn sweep_cold(
+    program: &Program,
+    platform: &Platform,
+    layer: LayerId,
+    capacities: &[u64],
+    config: &MhlaConfig,
+) -> Sweep {
+    let caps = clean_capacities(capacities);
     let points = caps
         .into_iter()
         .map(|capacity| {
             let pf = platform.with_layer_capacity(layer, capacity);
-            let result = Mhla::new(program, &pf, config.clone()).run();
+            let result = Mhla::new(program, &pf, config.clone()).run_reference();
             SweepPoint { capacity, result }
         })
         .collect();
     Sweep { points }
+}
+
+/// [`sweep`] with explicit [`SweepOptions`].
+pub fn sweep_with(
+    program: &Program,
+    platform: &Platform,
+    layer: LayerId,
+    capacities: &[u64],
+    config: &MhlaConfig,
+    opts: SweepOptions,
+) -> Sweep {
+    let caps = clean_capacities(capacities);
+    if caps.is_empty() {
+        return Sweep { points: Vec::new() };
+    }
+    // The reuse analysis and the candidate-move space depend only on the
+    // program (and the platform's shape, not its capacities): compute once,
+    // share across every capacity point.
+    let reuse = ReuseAnalysis::analyze(program);
+    let moves = {
+        let classes = crate::classify::classify_arrays(program, &config.class_overrides);
+        let model = crate::cost::CostModel::new(program, platform, &reuse, classes);
+        crate::assign::enumerate_moves(&model, config)
+    };
+    let chunk = opts.chunk.max(1).min(caps.len());
+    let chunks: Vec<&[u64]> = caps.chunks(chunk).collect();
+
+    let run_chunk = |chunk: &&[u64]| -> Vec<SweepPoint> {
+        let mut warm: Option<crate::types::Assignment> = None;
+        chunk
+            .iter()
+            .map(|&capacity| {
+                let pf = platform.with_layer_capacity(layer, capacity);
+                let mhla = Mhla::with_reuse_ref(program, &pf, config.clone(), &reuse);
+                let result = mhla.run_with(
+                    if opts.warm_start { warm.as_ref() } else { None },
+                    Some(&moves),
+                );
+                if opts.warm_start {
+                    warm = Some(result.assignment.clone());
+                }
+                SweepPoint { capacity, result }
+            })
+            .collect()
+    };
+
+    let per_chunk: Vec<Vec<SweepPoint>> = if opts.parallel {
+        chunks.par_iter().map(run_chunk).collect()
+    } else {
+        chunks.iter().map(run_chunk).collect()
+    };
+    Sweep {
+        points: per_chunk.into_iter().flatten().collect(),
+    }
+}
+
+fn clean_capacities(capacities: &[u64]) -> Vec<u64> {
+    let mut caps: Vec<u64> = capacities.to_vec();
+    caps.sort_unstable();
+    caps.dedup();
+    caps
 }
 
 #[cfg(test)]

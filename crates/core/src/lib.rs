@@ -69,7 +69,7 @@ mod driver;
 mod types;
 
 pub use classify::{classify_arrays, ArrayClass};
-pub use cost::{CostBreakdown, CostModel, LayerUsage};
+pub use cost::{ArrayContribution, CostBreakdown, CostModel, IncrementalCost, LayerUsage};
 pub use driver::{Mhla, MhlaResult};
 pub use types::{
     Assignment, AssignmentError, MhlaConfig, Objective, SearchStrategy, SelectedCopy,

@@ -104,8 +104,8 @@ pub fn partition_scratchpad(
     let mut dp = vec![vec![f64::INFINITY; slots + 1]; n];
     let mut choice = vec![vec![0usize; slots + 1]; n];
     for c in 0..=slots {
-        for s in 0..=c {
-            let v = evaluated[0][s].0;
+        for (s, ev) in evaluated[0].iter().enumerate().take(c + 1) {
+            let v = ev.0;
             if v < dp[0][c] {
                 dp[0][c] = v;
                 choice[0][c] = s;
@@ -165,12 +165,7 @@ mod tests {
         let t1 = scan_task("hot", 512, 64);
         let t2 = scan_task("cold", 512, 2);
         let platform = Platform::embedded_default(1024);
-        let r = partition_scratchpad(
-            &[&t1, &t2],
-            &platform,
-            &MhlaConfig::default(),
-            256,
-        );
+        let r = partition_scratchpad(&[&t1, &t2], &platform, &MhlaConfig::default(), 256);
         assert_eq!(r.partitions.len(), 2);
         assert!(r.partitions.iter().sum::<u64>() <= 1024);
     }
@@ -182,12 +177,7 @@ mod tests {
         let hot = scan_task("hot", 512, 64);
         let cold = scan_task("cold", 512, 2);
         let platform = Platform::embedded_default(512);
-        let r = partition_scratchpad(
-            &[&cold, &hot],
-            &platform,
-            &MhlaConfig::default(),
-            512,
-        );
+        let r = partition_scratchpad(&[&cold, &hot], &platform, &MhlaConfig::default(), 512);
         assert_eq!(r.partitions, vec![0, 512], "hot task gets the space");
     }
 

@@ -58,7 +58,13 @@ pub fn describe(program: &Program, reuse: &ReuseAnalysis, r: &MhlaResult) -> Str
     let _ = writeln!(out, "assignment for `{}`:", program.name());
     for (aid, decl) in program.arrays() {
         let home = r.assignment.home(aid);
-        let _ = writeln!(out, "  {} `{}` ({} B) -> {home}", aid, decl.name, decl.bytes());
+        let _ = writeln!(
+            out,
+            "  {} `{}` ({} B) -> {home}",
+            aid,
+            decl.name,
+            decl.bytes()
+        );
         for copy in r.assignment.copies_of(aid) {
             let cc = reuse.candidate(copy.candidate);
             let _ = writeln!(out, "    copy {cc} -> {}", copy.layer);
@@ -67,7 +73,11 @@ pub fn describe(program: &Program, reuse: &ReuseAnalysis, r: &MhlaResult) -> Str
     let _ = writeln!(
         out,
         "time extensions: {} ({} of {} transfers extended)",
-        if r.te.applicable { "applicable" } else { "not applicable" },
+        if r.te.applicable {
+            "applicable"
+        } else {
+            "not applicable"
+        },
         r.te.extended_count(),
         r.te.transfers.len()
     );

@@ -100,10 +100,8 @@ impl TeSchedule {
         self.transfers
             .iter()
             .map(|t| {
-                let first = t.stream.first_entries
-                    * t.bt_time_full.saturating_sub(t.ext_cycles);
-                let steady = (t.stream.entries - t.stream.first_entries)
-                    * t.residual_stall();
+                let first = t.stream.first_entries * t.bt_time_full.saturating_sub(t.ext_cycles);
+                let steady = (t.stream.entries - t.stream.first_entries) * t.residual_stall();
                 first + steady
             })
             .sum()
@@ -315,10 +313,7 @@ mod tests {
             .unwrap();
         let mut a = Assignment::baseline(p.array_count(), TransferPolicy::FullRefresh);
         a.add_copy(SelectedCopy {
-            candidate: CandidateId {
-                array,
-                index: idx,
-            },
+            candidate: CandidateId { array, index: idx },
             layer: LayerId(1),
         });
         a
@@ -457,7 +452,10 @@ mod tests {
                 .position(|c| c.at_loop == Some(at))
                 .unwrap();
             a.add_copy(SelectedCopy {
-                candidate: CandidateId { array: arr, index: idx },
+                candidate: CandidateId {
+                    array: arr,
+                    index: idx,
+                },
                 layer: LayerId(1),
             });
         }

@@ -38,9 +38,10 @@ pub enum Objective {
 }
 
 /// Which search procedure the assignment step uses.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum SearchStrategy {
     /// The published greedy gain/size steering.
+    #[default]
     Greedy,
     /// Exhaustive branch-and-bound over per-array options; exact but only
     /// viable for small instances. Aborts (falling back to the incumbent)
@@ -49,12 +50,6 @@ pub enum SearchStrategy {
         /// Maximum number of search-tree nodes to expand.
         node_limit: u64,
     },
-}
-
-impl Default for SearchStrategy {
-    fn default() -> Self {
-        SearchStrategy::Greedy
-    }
 }
 
 /// Configuration of the whole MHLA run.
@@ -309,11 +304,17 @@ mod tests {
         let mut a = Assignment::baseline(1, TransferPolicy::default());
         let arr = ArrayId::from_index(0);
         a.add_copy(SelectedCopy {
-            candidate: CandidateId { array: arr, index: 2 },
+            candidate: CandidateId {
+                array: arr,
+                index: 2,
+            },
             layer: LayerId(2),
         });
         a.add_copy(SelectedCopy {
-            candidate: CandidateId { array: arr, index: 0 },
+            candidate: CandidateId {
+                array: arr,
+                index: 0,
+            },
             layer: LayerId(1),
         });
         let chain = a.copies_of(arr);

@@ -67,11 +67,7 @@ fn flow(
     program: &Program,
     spm: u64,
     objective: Objective,
-) -> (
-    ReuseAnalysis,
-    Platform,
-    MhlaConfig,
-) {
+) -> (ReuseAnalysis, Platform, MhlaConfig) {
     let _ = program;
     let platform = Platform::embedded_default(spm);
     let config = MhlaConfig {

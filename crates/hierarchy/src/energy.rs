@@ -119,6 +119,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn burst_is_cheaper_than_random_access() {
         assert!(SDRAM_BURST_PJ < SDRAM_ACCESS_PJ);
     }

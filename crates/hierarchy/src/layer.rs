@@ -105,7 +105,7 @@ impl MemoryLayer {
 
     /// Whether a block of `bytes` fits the layer capacity.
     pub fn fits(&self, bytes: u64) -> bool {
-        self.capacity.map_or(true, |c| bytes <= c)
+        self.capacity.is_none_or(|c| bytes <= c)
     }
 
     /// Energy of one element access of the given direction, picojoule.
@@ -125,9 +125,9 @@ impl MemoryLayer {
 }
 
 fn format_size(bytes: u64) -> String {
-    if bytes % (1024 * 1024) == 0 {
+    if bytes.is_multiple_of(1024 * 1024) {
         format!("{}M", bytes / (1024 * 1024))
-    } else if bytes % 1024 == 0 {
+    } else if bytes.is_multiple_of(1024) {
         format!("{}K", bytes / 1024)
     } else {
         format!("{bytes}B")
@@ -141,8 +141,7 @@ impl fmt::Display for MemoryLayer {
             "{} ({}, cap {}, {:.1}/{:.1} pJ r/w, {} cyc)",
             self.name,
             self.kind,
-            self.capacity
-                .map_or("inf".to_string(), |c| format_size(c)),
+            self.capacity.map_or("inf".to_string(), format_size),
             self.read_energy_pj,
             self.write_energy_pj,
             self.access_cycles

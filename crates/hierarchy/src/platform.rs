@@ -11,19 +11,11 @@ use crate::layer::{LayerId, LayerKind, MemoryLayer};
 /// Each statement costs its `compute_cycles` plus the access latency of
 /// every memory reference (single-issue, blocking accesses — representative
 /// of the embedded cores the paper targets).
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct CpuModel {
     /// Latency overhead added per memory access instruction on top of the
     /// layer latency (address generation etc.).
     pub access_overhead_cycles: u64,
-}
-
-impl Default for CpuModel {
-    fn default() -> Self {
-        CpuModel {
-            access_overhead_cycles: 0,
-        }
-    }
 }
 
 /// Errors constructing or modifying a [`Platform`].
@@ -172,10 +164,7 @@ impl Platform {
 
     /// The layers, furthest (off-chip) first.
     pub fn layers(&self) -> impl Iterator<Item = (LayerId, &MemoryLayer)> {
-        self.layers
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (LayerId(i), l))
+        self.layers.iter().enumerate().map(|(i, l)| (LayerId(i), l))
     }
 
     /// Looks up one layer.
@@ -312,10 +301,7 @@ mod tests {
         assert_eq!(
             Platform::new(
                 "x",
-                vec![
-                    MemoryLayer::scratchpad(1024),
-                    MemoryLayer::scratchpad(512)
-                ],
+                vec![MemoryLayer::scratchpad(1024), MemoryLayer::scratchpad(512)],
                 None,
                 cpu
             )

@@ -48,7 +48,7 @@ impl<'p> ProgramInfo<'p> {
             stmt_executions: vec![0; program.stmt_count()],
             access_counts: vec![AccessCounts::default(); program.array_count()],
         };
-        info.walk(&program.roots().to_vec(), None, 0, 1);
+        info.walk(program.roots(), None, 0, 1);
         for (sid, stmt) in program.stmts() {
             let execs = info.stmt_executions[sid.index()];
             for acc in &stmt.accesses {
@@ -174,11 +174,7 @@ impl<'p> ProgramInfo<'p> {
 
     /// Statements in the subtree of `node` that access `array`, with the
     /// per-execution count of matching accesses.
-    pub fn accessors_in_subtree(
-        &self,
-        node: NodeId,
-        array: ArrayId,
-    ) -> Vec<(StmtId, u64)> {
+    pub fn accessors_in_subtree(&self, node: NodeId, array: ArrayId) -> Vec<(StmtId, u64)> {
         self.subtree_stmts(node)
             .into_iter()
             .filter_map(|s| {
@@ -248,7 +244,16 @@ mod tests {
     ///     S1: read a[i], write b[j]  (1 cycle)
     /// S2: read b[0]
     /// ```
-    fn sample() -> (Program, ArrayId, ArrayId, LoopId, LoopId, StmtId, StmtId, StmtId) {
+    fn sample() -> (
+        Program,
+        ArrayId,
+        ArrayId,
+        LoopId,
+        LoopId,
+        StmtId,
+        StmtId,
+        StmtId,
+    ) {
         let mut b = ProgramBuilder::new("sample");
         let a = b.array("a", &[16], ElemType::U8);
         let bb = b.array("b", &[8], ElemType::U8);
@@ -261,11 +266,7 @@ mod tests {
             .finish();
         let lj = b.begin_loop("j", 0, 3, 1);
         let jv = b.var(lj);
-        let s1 = b
-            .stmt("s1")
-            .read(a, vec![iv])
-            .write(bb, vec![jv])
-            .finish();
+        let s1 = b.stmt("s1").read(a, vec![iv]).write(bb, vec![jv]).finish();
         b.end_loop();
         b.end_loop();
         let s2 = b

@@ -101,7 +101,9 @@ impl ProgramBuilder {
     ///
     /// Panics if no loop is open.
     pub fn end_loop(&mut self) {
-        self.open.pop().expect("end_loop without matching begin_loop");
+        self.open
+            .pop()
+            .expect("end_loop without matching begin_loop");
     }
 
     /// Convenience: opens a loop, runs `body`, closes the loop.
@@ -291,10 +293,7 @@ mod tests {
     fn statements_at_root_are_allowed() {
         let mut b = ProgramBuilder::new("p");
         let a = b.array("a", &[1], ElemType::U8);
-        let s = b
-            .stmt("init")
-            .write(a, vec![AffineExpr::zero()])
-            .finish();
+        let s = b.stmt("init").write(a, vec![AffineExpr::zero()]).finish();
         let p = b.finish();
         assert_eq!(p.roots(), &[NodeId::Stmt(s)]);
     }

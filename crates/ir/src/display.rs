@@ -137,7 +137,10 @@ mod tests {
         assert!(text.contains("u8 cur[16][16];"), "{text}");
         assert!(text.contains("for (y = 0; y < 16; y += 1) {"), "{text}");
         assert!(text.contains("for (x = 0; x < 16; x += 2) {"), "{text}");
-        assert!(text.contains("sad: R:cur[y][x + 4] // 2 cycle(s)"), "{text}");
+        assert!(
+            text.contains("sad: R:cur[y][x + 4] // 2 cycle(s)"),
+            "{text}"
+        );
     }
 
     #[test]

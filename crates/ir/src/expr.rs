@@ -98,12 +98,7 @@ impl AffineExpr {
     /// the convention that un-entered loops contribute their lower bound of
     /// a normalized (zero-based) nest.
     pub fn eval(&self, env: impl Fn(LoopId) -> i64) -> i64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(l, c)| c * env(*l))
-                .sum::<i64>()
+        self.constant + self.terms.iter().map(|(l, c)| c * env(*l)).sum::<i64>()
     }
 
     /// Returns the minimum and maximum value of the expression when each
@@ -112,10 +107,7 @@ impl AffineExpr {
     ///
     /// Because the expression is affine, extremes occur at interval
     /// endpoints; the result is exact (no relaxation).
-    pub fn value_range(
-        &self,
-        range: impl Fn(LoopId) -> Option<(i64, i64)>,
-    ) -> (i64, i64) {
+    pub fn value_range(&self, range: impl Fn(LoopId) -> Option<(i64, i64)>) -> (i64, i64) {
         let mut lo = self.constant;
         let mut hi = self.constant;
         for (&l, &c) in &self.terms {
@@ -311,6 +303,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)]
     fn scale_by_zero_is_zero() {
         let e = (AffineExpr::var(l(0)) + 4) * 0;
         assert_eq!(e, AffineExpr::zero());

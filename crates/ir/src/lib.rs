@@ -61,8 +61,6 @@ pub use analysis::{AccessCounts, ProgramInfo};
 pub use builder::{ProgramBuilder, StmtBuilder};
 pub use expr::AffineExpr;
 pub use ids::{ArrayId, LoopId, NodeId, StmtId};
-pub use program::{
-    Access, AccessKind, ArrayDecl, ElemType, Loop, Node, Program, Statement,
-};
+pub use program::{Access, AccessKind, ArrayDecl, ElemType, Loop, Node, Program, Statement};
 pub use timeline::{TimeInterval, Timeline};
 pub use validate::ValidateError;

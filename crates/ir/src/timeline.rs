@@ -97,12 +97,7 @@ impl Timeline {
             match node {
                 NodeId::Stmt(_) => 1,
                 NodeId::Loop(l) => {
-                    let body: u64 = p
-                        .loop_(l)
-                        .body
-                        .iter()
-                        .map(|&n| duration(p, tl, n))
-                        .sum();
+                    let body: u64 = p.loop_(l).body.iter().map(|&n| duration(p, tl, n)).sum();
                     let d = p.loop_(l).trip_count() * body;
                     tl.loop_duration[l.index()] = d;
                     d
@@ -134,16 +129,9 @@ impl Timeline {
                         let la = last + off;
                         tl.loop_span[l.index()] = TimeInterval::new(f, la + d);
                         let trips = p.loop_(l).trip_count();
-                        if trips > 0 {
-                            let body_dur = d / trips;
+                        if let Some(body_dur) = d.checked_div(trips) {
                             let body = p.loop_(l).body.clone();
-                            spans(
-                                p,
-                                tl,
-                                &body,
-                                f,
-                                la + (trips - 1) * body_dur,
-                            );
+                            spans(p, tl, &body, f, la + (trips - 1) * body_dur);
                         }
                         (d, f, la)
                     }

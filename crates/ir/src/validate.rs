@@ -164,8 +164,10 @@ pub(crate) fn validate(p: &Program) -> Result<(), ValidateError> {
     // Accesses: rank match, array ids valid, iterators in scope.
     let info = p.info();
     for (sid, stmt) in p.stmts() {
-        let enclosing: HashSet<LoopId> =
-            info.enclosing_loops(NodeId::Stmt(sid)).into_iter().collect();
+        let enclosing: HashSet<LoopId> = info
+            .enclosing_loops(NodeId::Stmt(sid))
+            .into_iter()
+            .collect();
         for acc in &stmt.accesses {
             if acc.array.index() >= p.array_count() {
                 return Err(ValidateError::DanglingId {
@@ -273,7 +275,10 @@ mod tests {
         // Duplicate the loop at the root.
         let dup = p.roots[0];
         p.roots.push(dup);
-        assert!(matches!(p.validate(), Err(ValidateError::SharedNode { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::SharedNode { .. })
+        ));
     }
 
     #[test]

@@ -72,7 +72,12 @@ impl AddressMap {
 
 impl fmt::Display for AddressMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AddressMap(span {} B, {} residents)", self.span, self.offsets.len())
+        write!(
+            f,
+            "AddressMap(span {} B, {} residents)",
+            self.span,
+            self.offsets.len()
+        )
     }
 }
 
@@ -126,7 +131,11 @@ mod tests {
     use mhla_ir::TimeInterval;
 
     fn r(start: u64, end: u64, bytes: u64) -> Resident {
-        Resident::new(ResidentKind::Other(start), TimeInterval::new(start, end), bytes)
+        Resident::new(
+            ResidentKind::Other(start),
+            TimeInterval::new(start, end),
+            bytes,
+        )
     }
 
     #[test]

@@ -29,9 +29,7 @@ impl ArrayReuse {
 
     /// The candidate owned by `loop_id`, if any.
     pub fn at(&self, loop_id: LoopId) -> Option<&CopyCandidate> {
-        self.candidates
-            .iter()
-            .find(|c| c.at_loop == Some(loop_id))
+        self.candidates.iter().find(|c| c.at_loop == Some(loop_id))
     }
 
     /// Loop path of candidate `index` (empty for whole-array).
@@ -75,21 +73,22 @@ impl ReuseAnalysis {
             let mut paths = Vec::new();
 
             // Gather per-statement access lists once.
-            let collect = |node: NodeId, kind: AccessKind| -> Vec<(mhla_ir::StmtId, Vec<&[AffineExpr]>)> {
-                info.subtree_stmts(node)
-                    .into_iter()
-                    .filter_map(|s| {
-                        let idx: Vec<&[AffineExpr]> = program
-                            .stmt(s)
-                            .accesses
-                            .iter()
-                            .filter(|a| a.array == aid && a.kind == kind)
-                            .map(|a| a.index.as_slice())
-                            .collect();
-                        (!idx.is_empty()).then_some((s, idx))
-                    })
-                    .collect()
-            };
+            let collect =
+                |node: NodeId, kind: AccessKind| -> Vec<(mhla_ir::StmtId, Vec<&[AffineExpr]>)> {
+                    info.subtree_stmts(node)
+                        .into_iter()
+                        .filter_map(|s| {
+                            let idx: Vec<&[AffineExpr]> = program
+                                .stmt(s)
+                                .accesses
+                                .iter()
+                                .filter(|a| a.array == aid && a.kind == kind)
+                                .map(|a| a.index.as_slice())
+                                .collect();
+                            (!idx.is_empty()).then_some((s, idx))
+                        })
+                        .collect()
+                };
 
             let total_reads = info.access_counts(aid).reads;
             if total_reads > 0 {
@@ -110,8 +109,7 @@ impl ReuseAnalysis {
                     None,
                 ) {
                     let elements = fp.elements();
-                    let (writes_served, wb) =
-                        write_stats(program, &info, aid, decl, None, 1);
+                    let (writes_served, wb) = write_stats(program, &info, aid, decl, None, 1);
                     candidates.push(CopyCandidate {
                         array: aid,
                         at_loop: None,

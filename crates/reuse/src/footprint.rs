@@ -127,10 +127,7 @@ impl Footprint {
 }
 
 /// The linear part of `e` restricted to fixed (non-free) iterators.
-fn fixed_part(
-    e: &AffineExpr,
-    free_span: &impl Fn(LoopId) -> Option<i64>,
-) -> Vec<(LoopId, i64)> {
+fn fixed_part(e: &AffineExpr, free_span: &impl Fn(LoopId) -> Option<i64>) -> Vec<(LoopId, i64)> {
     e.terms().filter(|(l, _)| free_span(*l).is_none()).collect()
 }
 
@@ -312,9 +309,7 @@ mod tests {
     fn empty_access_set_has_no_footprint() {
         let mut b = ProgramBuilder::new("p");
         let a = b.array("a", &[10], ElemType::U8);
-        b.stmt("s")
-            .read(a, vec![AffineExpr::zero()])
-            .finish();
+        b.stmt("s").read(a, vec![AffineExpr::zero()]).finish();
         let p = b.finish();
         let array = p.array(mhla_ir::ArrayId::from_index(0)).clone();
         assert!(Footprint::of_accesses(&p, &array, &[], |_| None, None).is_none());

@@ -49,8 +49,8 @@ fn build(nest: &Nest) -> (mhla_ir::Program, mhla_ir::ArrayId, [LoopId; 3]) {
     let lb = b.begin_loop("b", 0, nest.trips[1], 1);
     let lc = b.begin_loop("c", 0, nest.trips[2], 1);
     let (a, bb, c) = (b.var(la), b.var(lb), b.var(lc));
-    let row = a.clone() * nest.row[0] + bb.clone() * nest.row[1] + c.clone() * nest.row[2]
-        + nest.row[3];
+    let row =
+        a.clone() * nest.row[0] + bb.clone() * nest.row[1] + c.clone() * nest.row[2] + nest.row[3];
     let col = a * nest.col[0] + bb * nest.col[1] + c * nest.col[2] + nest.col[3];
     b.stmt("s").read(img, vec![row, col]).finish();
     b.end_loop();
@@ -61,11 +61,7 @@ fn build(nest: &Nest) -> (mhla_ir::Program, mhla_ir::ArrayId, [LoopId; 3]) {
 
 /// Enumerates the elements read during iteration `fixed` of the outermost
 /// loops (those not in `free_from..`).
-fn touched(
-    p: &mhla_ir::Program,
-    nest: &Nest,
-    fixed: &[i64],
-) -> HashSet<(i64, i64)> {
+fn touched(p: &mhla_ir::Program, nest: &Nest, fixed: &[i64]) -> HashSet<(i64, i64)> {
     let stmt = p.stmt(StmtId::from_index(0));
     let acc = &stmt.accesses[0];
     assert_eq!(acc.kind, AccessKind::Read);

@@ -1,6 +1,12 @@
 //! The trace-driven simulation engine.
+//!
+//! Hot-path lookups (owner streams, hot-loop membership, iteration start
+//! times, pure-subtree stats) are dense `Vec`s indexed by the arena
+//! indices of `LoopId`/`StmtId` — the simulator visits these tables once
+//! per loop iteration and per transfer event, where hashing dominated the
+//! profile before.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use mhla_core::te::TeSchedule;
 use mhla_core::{Assignment, CostModel};
@@ -63,11 +69,7 @@ pub struct Simulator<'a> {
 
 impl<'a> Simulator<'a> {
     /// Creates a simulator over an MHLA result.
-    pub fn new(
-        model: &'a CostModel<'a>,
-        assignment: &'a Assignment,
-        te: &'a TeSchedule,
-    ) -> Self {
+    pub fn new(model: &'a CostModel<'a>, assignment: &'a Assignment, te: &'a TeSchedule) -> Self {
         Simulator {
             model,
             assignment,
@@ -87,15 +89,19 @@ struct Runtime<'a> {
     /// DMA channel free-at times (empty = no engine).
     channels: Vec<u64>,
     streams: Vec<StreamRt>,
-    /// Streams owned by each loop, priority order.
-    owner_streams: HashMap<LoopId, Vec<usize>>,
+    /// Streams owned by each loop (indexed by loop index), priority order.
+    owner_streams: Vec<Vec<usize>>,
     /// Whole-array streams to wait for, per root-node index.
-    start_waits: HashMap<usize, Vec<usize>>,
-    /// Loops that contain transfer activity (cannot be aggregated).
-    hot: HashSet<LoopId>,
-    /// Start time of the current iteration of each in-progress loop.
-    iter_start: HashMap<LoopId, u64>,
-    pure_cache: HashMap<NodeId, PureStats>,
+    start_waits: Vec<Vec<usize>>,
+    /// Loops that contain transfer activity (cannot be aggregated),
+    /// indexed by loop index.
+    hot: Vec<bool>,
+    /// Start time of the current iteration of each in-progress loop,
+    /// indexed by loop index (`None` when the loop is not running).
+    iter_start: Vec<Option<u64>>,
+    /// Aggregated transfer-free stats per loop / statement, lazily filled.
+    pure_loops: Vec<Option<PureStats>>,
+    pure_stmts: Vec<Option<PureStats>>,
     /// Serving layer per (statement, access index).
     serving: Vec<Vec<LayerId>>,
 }
@@ -104,8 +110,8 @@ impl<'a> Runtime<'a> {
     fn new(model: &'a CostModel<'a>, assignment: &'a Assignment, te: &'a TeSchedule) -> Self {
         let program = model.program();
         let platform = model.platform();
-        let info = program.info();
-        let timeline = model.timeline().clone();
+        let info = model.info();
+        let timeline = model.timeline();
 
         // TE plan lookup by candidate.
         let plans: HashMap<_, _> = te
@@ -115,14 +121,18 @@ impl<'a> Runtime<'a> {
             .collect();
 
         let mut streams = Vec::new();
-        let mut owner_streams: HashMap<LoopId, Vec<usize>> = HashMap::new();
-        let mut start_waits: HashMap<usize, Vec<usize>> = HashMap::new();
-        let mut hot = HashSet::new();
+        let mut owner_streams: Vec<Vec<usize>> = vec![Vec::new(); program.loop_count()];
+        let mut start_waits: Vec<Vec<usize>> = vec![Vec::new(); program.roots().len()];
+        let mut hot = vec![false; program.loop_count()];
 
         for stream in model.transfer_streams(assignment) {
             let plan = plans.get(&stream.copy.candidate);
             let idx = streams.len();
-            let elem = program.array(stream.copy.candidate.array).elem.bytes().max(1);
+            let elem = program
+                .array(stream.copy.candidate.array)
+                .elem
+                .bytes()
+                .max(1);
             let rt = StreamRt {
                 src: stream.src,
                 dst: stream.dst,
@@ -138,12 +148,12 @@ impl<'a> Runtime<'a> {
             };
             match stream.owner {
                 Some(l) => {
-                    owner_streams.entry(l).or_default().push(idx);
+                    owner_streams[l.index()].push(idx);
                     // The owner and all its ancestors must be walked.
-                    hot.insert(l);
+                    hot[l.index()] = true;
                     let mut cur = info.parent(NodeId::Loop(l));
                     while let Some(p) = cur {
-                        hot.insert(p);
+                        hot[p.index()] = true;
                         cur = info.parent(NodeId::Loop(p));
                     }
                 }
@@ -154,24 +164,21 @@ impl<'a> Runtime<'a> {
                     let first_reader = program
                         .stmts()
                         .filter(|(_, s)| {
-                            s.accesses.iter().any(|a| {
-                                a.array == array && a.kind == mhla_ir::AccessKind::Read
-                            })
+                            s.accesses
+                                .iter()
+                                .any(|a| a.array == array && a.kind == mhla_ir::AccessKind::Read)
                         })
                         .min_by_key(|(sid, _)| timeline.stmt_span(*sid).start)
                         .map(|(sid, _)| sid);
                     if let Some(sid) = first_reader {
-                        let root_idx = root_index_of(program, &info, sid);
-                        start_waits.entry(root_idx).or_default().push(idx);
+                        let root_idx = root_index_of(program, info, sid);
+                        start_waits[root_idx].push(idx);
                     }
                 }
             }
             streams.push(rt);
         }
-        for v in owner_streams.values_mut() {
-            v.sort_by_key(|&i| streams[i].priority);
-        }
-        for v in start_waits.values_mut() {
+        for v in owner_streams.iter_mut().chain(start_waits.iter_mut()) {
             v.sort_by_key(|&i| streams[i].priority);
         }
 
@@ -202,8 +209,9 @@ impl<'a> Runtime<'a> {
             owner_streams,
             start_waits,
             hot,
-            iter_start: HashMap::new(),
-            pure_cache: HashMap::new(),
+            iter_start: vec![None; program.loop_count()],
+            pure_loops: vec![None; program.loop_count()],
+            pure_stmts: vec![None; program.stmt_count()],
             serving,
         }
     }
@@ -211,17 +219,15 @@ impl<'a> Runtime<'a> {
     fn run(mut self) -> SimReport {
         let mut now = 0u64;
         // Whole-array fills are issued at program start, priority order.
-        let mut startup: Vec<usize> = self.start_waits.values().flatten().copied().collect();
+        let mut startup: Vec<usize> = self.start_waits.iter().flatten().copied().collect();
         startup.sort_by_key(|&i| self.streams[i].priority);
         for idx in startup {
             self.issue(idx, 0);
         }
         let roots = self.model.program().roots().to_vec();
         for (i, &node) in roots.iter().enumerate() {
-            if let Some(waits) = self.start_waits.get(&i).cloned() {
-                for idx in waits {
-                    now = self.consume(idx, now);
-                }
+            for idx in self.start_waits[i].clone() {
+                now = self.consume(idx, now);
             }
             now = self.sim_node(node, now);
         }
@@ -240,7 +246,7 @@ impl<'a> Runtime<'a> {
                 self.tally(&cost, 1);
                 now + cost.cycles
             }
-            NodeId::Loop(l) if !self.hot.contains(&l) => {
+            NodeId::Loop(l) if !self.hot[l.index()] => {
                 let stats = self.pure_stats(node).clone();
                 self.tally(&stats, 1);
                 now + stats.cycles
@@ -253,7 +259,7 @@ impl<'a> Runtime<'a> {
         let program = self.model.program();
         let trips = program.loop_(l).trip_count();
         let body = program.loop_(l).body.clone();
-        let owned = self.owner_streams.get(&l).cloned().unwrap_or_default();
+        let owned = self.owner_streams[l.index()].clone();
 
         // New loop entry: reset per-entry fill counters.
         for &s in &owned {
@@ -268,7 +274,7 @@ impl<'a> Runtime<'a> {
             if st.hoist >= 1 && trips > 0 {
                 let at = if st.hoist >= 2 {
                     let outer = st.freedom[st.hoist - 1];
-                    *self.iter_start.get(&outer).unwrap_or(&entry_time)
+                    self.iter_start[outer.index()].unwrap_or(entry_time)
                 } else {
                     entry_time
                 };
@@ -277,16 +283,14 @@ impl<'a> Runtime<'a> {
         }
 
         for _i in 0..trips {
-            self.iter_start.insert(l, now);
+            self.iter_start[l.index()] = Some(now);
             // Consume this iteration's transfers (priority order).
             for &s in &owned {
                 now = self.consume(s, now);
             }
             // Prefetch the next iteration for extended streams.
             for &s in &owned {
-                if self.streams[s].hoist >= 1
-                    && (self.streams[s].iter_in_entry as u64) < trips
-                {
+                if self.streams[s].hoist >= 1 && self.streams[s].iter_in_entry < trips {
                     self.issue(s, now);
                 }
             }
@@ -301,7 +305,7 @@ impl<'a> Runtime<'a> {
                 }
             }
         }
-        self.iter_start.remove(&l);
+        self.iter_start[l.index()] = None;
         now
     }
 
@@ -368,12 +372,16 @@ impl<'a> Runtime<'a> {
         match platform.dma() {
             Some(dma) => {
                 let duration = dma.transfer_cycles(bytes, src_l, dst_l);
-                self.report.transfer_energy_pj +=
-                    dma.transfer_energy_pj(bytes, elem, src_l, dst_l);
-                // Pick the earliest-free channel.
-                let ch = (0..self.channels.len())
-                    .min_by_key(|&c| self.channels[c])
-                    .expect("dma has at least one channel");
+                self.report.transfer_energy_pj += dma.transfer_energy_pj(bytes, elem, src_l, dst_l);
+                // Pick the earliest-free channel: O(1) for the common
+                // 1-2 channel engines, linear scan only beyond that.
+                let ch = match self.channels.as_slice() {
+                    [_] => 0,
+                    [a, b] => usize::from(b < a),
+                    _ => (0..self.channels.len())
+                        .min_by_key(|&c| self.channels[c])
+                        .expect("dma has at least one channel"),
+                };
                 let start = at.max(self.channels[ch]);
                 let finish = start + duration;
                 self.channels[ch] = finish;
@@ -383,8 +391,7 @@ impl<'a> Runtime<'a> {
             None => {
                 // CPU copy loop: blocking element moves.
                 let elems = bytes / elem;
-                let cycles =
-                    elems * (platform.access_cycles(src) + platform.access_cycles(dst));
+                let cycles = elems * (platform.access_cycles(src) + platform.access_cycles(dst));
                 self.report.transfer_energy_pj +=
                     elems as f64 * (src_l.read_energy_pj + dst_l.write_energy_pj);
                 at + cycles
@@ -413,7 +420,11 @@ impl<'a> Runtime<'a> {
     }
 
     fn pure_stats(&mut self, node: NodeId) -> &PureStats {
-        if !self.pure_cache.contains_key(&node) {
+        let filled = match node {
+            NodeId::Stmt(s) => self.pure_stmts[s.index()].is_some(),
+            NodeId::Loop(l) => self.pure_loops[l.index()].is_some(),
+        };
+        if !filled {
             let stats = match node {
                 NodeId::Stmt(s) => self.stmt_stats(s),
                 NodeId::Loop(l) => {
@@ -434,9 +445,15 @@ impl<'a> Runtime<'a> {
                     total
                 }
             };
-            self.pure_cache.insert(node, stats);
+            match node {
+                NodeId::Stmt(s) => self.pure_stmts[s.index()] = Some(stats),
+                NodeId::Loop(l) => self.pure_loops[l.index()] = Some(stats),
+            }
         }
-        &self.pure_cache[&node]
+        match node {
+            NodeId::Stmt(s) => self.pure_stmts[s.index()].as_ref().expect("filled"),
+            NodeId::Loop(l) => self.pure_loops[l.index()].as_ref().expect("filled"),
+        }
     }
 
     fn tally(&mut self, stats: &PureStats, times: u64) {
@@ -501,10 +518,8 @@ mod tests {
             },
         );
         let model = mhla.cost_model();
-        let baseline = mhla_core::Assignment::baseline(
-            p.array_count(),
-            TransferPolicy::FullRefresh,
-        );
+        let baseline =
+            mhla_core::Assignment::baseline(p.array_count(), TransferPolicy::FullRefresh);
         let te = mhla_core::te::plan(&model, &baseline);
         let report = Simulator::new(&model, &baseline, &te).run();
         let expected = model.evaluate(&baseline);
@@ -540,8 +555,7 @@ mod tests {
         let report = Simulator::new(&model, &result.assignment, &result.te).run();
         // Only the first fill can stall; 31 steady-state fetches are hidden.
         let dma = pf.dma().unwrap();
-        let first_fill =
-            dma.transfer_cycles(64, pf.layer(LayerId(0)), pf.layer(LayerId(1)));
+        let first_fill = dma.transfer_cycles(64, pf.layer(LayerId(0)), pf.layer(LayerId(1)));
         assert!(
             report.stall_cycles <= first_fill,
             "stalls {} exceed one fill {first_fill}",
@@ -679,8 +693,7 @@ mod tests {
         // test: `tab`'s 276-cycle fill rides behind the first nest and adds
         // no stall beyond that unavoidable startup fill.
         let dma = pf.dma().unwrap();
-        let work_fill =
-            dma.transfer_cycles(512, pf.layer(LayerId(0)), pf.layer(LayerId(1)));
+        let work_fill = dma.transfer_cycles(512, pf.layer(LayerId(0)), pf.layer(LayerId(1)));
         assert!(
             report.stall_cycles <= work_fill,
             "stall {} exceeds the startup fill {work_fill}",
@@ -688,6 +701,4 @@ mod tests {
         );
         assert!(report.total_cycles() < result.baseline_cycles());
     }
-
-    use mhla_hierarchy::LayerId;
 }

@@ -41,7 +41,10 @@ fn build(s: &Spec) -> Program {
     if s.producer {
         b.loop_scope("w", 0, s.blocks * s.tile, 1, |b, lw| {
             let w = b.var(lw);
-            b.stmt("produce").write(data, vec![w]).compute_cycles(2).finish();
+            b.stmt("produce")
+                .write(data, vec![w])
+                .compute_cycles(2)
+                .finish();
         });
     }
     let lb = b.begin_loop("blk", 0, s.blocks, 1);

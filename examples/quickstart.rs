@@ -25,7 +25,10 @@ fn main() {
         .compute_cycles(4)
         .finish();
     b.end_loop();
-    b.stmt("store").write(out, vec![n]).compute_cycles(2).finish();
+    b.stmt("store")
+        .write(out, vec![n])
+        .compute_cycles(2)
+        .finish();
     b.end_loop();
     let program = b.finish();
 

@@ -72,10 +72,7 @@ fn simulator_matches_static_model_on_all_off_chip_baseline() {
         let platform = Platform::embedded_default(app.default_scratchpad);
         let mhla = Mhla::new(&app.program, &platform, MhlaConfig::default());
         let model = mhla.cost_model();
-        let raw = mhla::core::Assignment::baseline(
-            app.program.array_count(),
-            Default::default(),
-        );
+        let raw = mhla::core::Assignment::baseline(app.program.array_count(), Default::default());
         let schedule = te::plan(&model, &raw);
         let sim = Simulator::new(&model, &raw, &schedule).run();
         let est = model.evaluate(&raw);
@@ -86,8 +83,8 @@ fn simulator_matches_static_model_on_all_off_chip_baseline() {
             app.name()
         );
         assert_eq!(sim.stall_cycles, 0, "{}", app.name());
-        let rel = (sim.total_energy_pj() - est.total_energy_pj()).abs()
-            / est.total_energy_pj().max(1.0);
+        let rel =
+            (sim.total_energy_pj() - est.total_energy_pj()).abs() / est.total_energy_pj().max(1.0);
         assert!(rel < 1e-9, "{}: energy mismatch {rel}", app.name());
     }
 }

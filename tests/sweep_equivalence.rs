@@ -1,0 +1,96 @@
+//! The warm-started parallel sweep must match the cold sequential
+//! reference sweep — identical Pareto fronts (the PR acceptance bar) and,
+//! stronger, identical (cycles, energy) at every capacity point — on the
+//! full application suite.
+
+use mhla::core::explore::{default_capacities, sweep, sweep_cold, sweep_with, SweepOptions};
+use mhla::core::MhlaConfig;
+use mhla::hierarchy::{LayerId, Platform};
+
+#[test]
+fn warm_parallel_sweep_matches_cold_sequential_on_all_apps() {
+    let caps = default_capacities();
+    let platform = Platform::embedded_default(1024);
+    let config = MhlaConfig::default();
+    for app in mhla_apps::all_apps() {
+        let cold = sweep_cold(&app.program, &platform, LayerId(1), &caps, &config);
+        let fast = sweep(&app.program, &platform, LayerId(1), &caps, &config);
+
+        assert_eq!(
+            cold.pareto_cycles(),
+            fast.pareto_cycles(),
+            "{}: cycle Pareto fronts diverge",
+            app.name()
+        );
+        assert_eq!(
+            cold.pareto_energy(),
+            fast.pareto_energy(),
+            "{}: energy Pareto fronts diverge",
+            app.name()
+        );
+        assert_eq!(cold.points.len(), fast.points.len(), "{}", app.name());
+        for (c, f) in cold.points.iter().zip(&fast.points) {
+            assert_eq!(c.capacity, f.capacity, "{}", app.name());
+            assert_eq!(
+                c.cycles(),
+                f.cycles(),
+                "{} at {} B: cycles diverge",
+                app.name(),
+                c.capacity
+            );
+            assert_eq!(
+                c.energy_pj(),
+                f.energy_pj(),
+                "{} at {} B: energy diverges",
+                app.name(),
+                c.capacity
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_options_do_not_change_results() {
+    // Every combination of warm-start / parallel / chunking produces the
+    // same points (determinism does not depend on the core count).
+    let caps = default_capacities();
+    let platform = Platform::embedded_default(1024);
+    let config = MhlaConfig::default();
+    let app = mhla_apps::video_encoder::app();
+    let reference = sweep(&app.program, &platform, LayerId(1), &caps, &config);
+    for warm_start in [false, true] {
+        for parallel in [false, true] {
+            for chunk in [1usize, 3, 64] {
+                let opts = SweepOptions {
+                    warm_start,
+                    parallel,
+                    chunk,
+                };
+                let s = sweep_with(&app.program, &platform, LayerId(1), &caps, &config, opts);
+                assert_eq!(s.points.len(), reference.points.len());
+                for (a, b) in s.points.iter().zip(&reference.points) {
+                    assert_eq!(a.cycles(), b.cycles(), "{opts:?}");
+                    assert_eq!(a.energy_pj(), b.energy_pj(), "{opts:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_handles_degenerate_capacity_lists() {
+    let platform = Platform::embedded_default(1024);
+    let config = MhlaConfig::default();
+    let app = mhla_apps::sobel_edge::app();
+    let empty = sweep(&app.program, &platform, LayerId(1), &[], &config);
+    assert!(empty.points.is_empty());
+    let dup = sweep(
+        &app.program,
+        &platform,
+        LayerId(1),
+        &[256, 256, 512],
+        &config,
+    );
+    assert_eq!(dup.points.len(), 2);
+    assert!(dup.points[0].capacity < dup.points[1].capacity);
+}

@@ -45,10 +45,7 @@ fn motion_estimation_scales_with_frame_and_search() {
         let window = 2 * search + 1;
         let expected = (w / 16) * (h / 16) * window * window * 256;
         let cur = p.array_by_name("cur").unwrap();
-        assert_eq!(
-            info.access_count(cur, mhla::ir::AccessKind::Read),
-            expected
-        );
+        assert_eq!(info.access_count(cur, mhla::ir::AccessKind::Read), expected);
         flow_orders_bars(&p, 4 * 1024);
     }
 }
@@ -142,7 +139,9 @@ fn larger_workloads_cost_proportionally_more() {
         let mhla = Mhla::new(p, &platform, MhlaConfig::default());
         let model = mhla.cost_model();
         let r = mhla.run();
-        Simulator::new(&model, &r.assignment, &r.te).run().total_cycles()
+        Simulator::new(&model, &r.assignment, &r.te)
+            .run()
+            .total_cycles()
     };
     let (a, b) = (run(&base), run(&doubled));
     let ratio = b as f64 / a as f64;

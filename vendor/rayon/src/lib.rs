@@ -1,0 +1,239 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no network access, so this crate provides the
+//! small API subset the workspace uses — `par_iter` / `into_par_iter`
+//! followed by `map`/`collect` and friends — with *genuine* data
+//! parallelism built on `std::thread::scope`. Items are split into
+//! contiguous chunks, one per available core, and results are concatenated
+//! in order, so `collect()` observes the exact sequential ordering rayon
+//! guarantees.
+//!
+//! Not implemented: work stealing, nested pools, adaptive splitting. For
+//! the coarse-grained sweep points this workspace parallelizes, static
+//! chunking is within noise of the real thing.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// The glob-importable API surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn par_map_vec<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("worker thread panicked"))
+    })
+}
+
+/// A materialized parallel iterator: items buffered, stages fused at
+/// `collect`/`for_each` time and executed across threads.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type flowing out of this stage.
+    type Item: Send;
+
+    /// Materializes the source items (internal driver).
+    fn items(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<O, F>(self, f: F) -> ParMap<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync + Send,
+    {
+        ParMap { base: self, f }
+    }
+
+    /// Collects the results, preserving input order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.items())
+    }
+
+    /// Runs `f` on every item in parallel (order unspecified).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        par_map_vec(self.items(), f);
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.items().len()
+    }
+}
+
+/// `map` stage of a parallel pipeline.
+pub struct ParMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, O, F> ParallelIterator for ParMap<B, F>
+where
+    B: ParallelIterator,
+    O: Send,
+    F: Fn(B::Item) -> O + Sync + Send,
+{
+    type Item = O;
+
+    fn items(self) -> Vec<O> {
+        par_map_vec(self.base.items(), self.f)
+    }
+}
+
+/// Root of a parallel pipeline: a buffered vector of items.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Conversion into a parallel iterator (owning).
+pub trait IntoParallelIterator {
+    /// Item type of the produced iterator.
+    type Item: Send;
+    /// The produced iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParVec<usize>;
+    fn into_par_iter(self) -> ParVec<usize> {
+        ParVec {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send + 'a;
+    /// The produced iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParVec<&'a T>;
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u32, 2, 3];
+        let out: Vec<u32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        drop(v);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
