@@ -1,17 +1,43 @@
 //! Sweep performance tracker: measures the cold (pre-optimization
-//! reference) vs fast (incremental + warm-started + parallel) capacity
-//! sweep over the eight-application suite and writes the results to
-//! `BENCH_sweep.json` at the workspace root, so the perf trajectory is
-//! tracked from PR to PR.
+//! reference) vs fast (shared-context, incremental, warm-started,
+//! parallel) capacity sweep over the eight-application suite and writes
+//! the results to `BENCH_sweep.json` at the workspace root, so the perf
+//! trajectory is tracked from PR to PR.
 //!
 //! Run with `cargo run --release -p mhla-bench --bin bench`.
+//!
+//! Tuning knobs (the many-core chunking experiment — results are
+//! identical for every setting, only wall time moves):
+//!
+//! * `MHLA_SWEEP_CHUNK=<n>` — points per warm-started chunk (default 4).
+//! * `MHLA_SWEEP_PARALLEL=0` — disable the thread fan-out.
 
-use mhla_bench::{measure_sweep_perf, sweep_perf_json};
+use mhla_bench::{measure_sweep_perf_with, sweep_perf_json};
+use mhla_core::explore::SweepOptions;
+
+fn options_from_env() -> SweepOptions {
+    let mut opts = SweepOptions::default();
+    if let Some(chunk) = std::env::var("MHLA_SWEEP_CHUNK")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        opts.chunk = chunk.max(1);
+    }
+    if std::env::var("MHLA_SWEEP_PARALLEL").as_deref() == Ok("0") {
+        opts.parallel = false;
+    }
+    opts
+}
 
 fn main() {
-    let perfs = measure_sweep_perf(5);
+    let opts = options_from_env();
+    let perfs = measure_sweep_perf_with(5, opts);
 
     println!("tradeoff sweep: cold (oracle, sequential) vs fast (incremental, warm, parallel)");
+    println!(
+        "options: chunk {} parallel {} (MHLA_SWEEP_CHUNK / MHLA_SWEEP_PARALLEL to tune)",
+        opts.chunk, opts.parallel
+    );
     println!(
         "{:<18} {:>7} {:>12} {:>12} {:>9} {:>8} {:>8}",
         "application", "points", "cold [ms]", "fast [ms]", "speedup", "fronts", "points="
@@ -37,12 +63,19 @@ fn main() {
         cold / fast
     );
 
-    let json = sweep_perf_json(&perfs);
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_sweep.json");
-    match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("note: could not write BENCH_sweep.json: {e}"),
+    // Only the default configuration is tracked in BENCH_sweep.json:
+    // tuning runs print their timings but must not overwrite the
+    // trajectory with apples-to-oranges numbers.
+    if opts == SweepOptions::default() {
+        let json = sweep_perf_json(&perfs);
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_sweep.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("note: could not write BENCH_sweep.json: {e}"),
+        }
+    } else {
+        println!("non-default options: BENCH_sweep.json left untouched");
     }
 }

@@ -8,7 +8,7 @@
 //!   estimates): out-of-the-box baseline, MHLA step 1, MHLA + TE, and the
 //!   zero-wait ideal;
 //! * [`fig2_fig3_suite`] — the full nine-application table;
-//! * [`te_ablation`] — TE benefit as a function of available compute
+//! * [`te_ablation_point`] — TE benefit as a function of available compute
 //!   (the §3 claim: "up to 33%, if there are a lot of processing loops");
 //! * capacity sweeps reuse [`mhla_core::explore`] directly.
 //!
@@ -235,7 +235,23 @@ impl SweepPerf {
 /// best of `repeats` runs per path (first run warms caches and the
 /// allocator).
 pub fn measure_sweep_perf(repeats: usize) -> Vec<SweepPerf> {
-    use mhla_core::explore::{default_capacities, sweep, sweep_cold};
+    measure_sweep_perf_with(repeats, mhla_core::explore::SweepOptions::default())
+}
+
+/// [`measure_sweep_perf`] with explicit [`SweepOptions`] for the fast
+/// path — the chunk-size / fan-out tuning experiment. The `bench` binary
+/// exposes the knobs through the `MHLA_SWEEP_CHUNK` and
+/// `MHLA_SWEEP_PARALLEL` environment variables, so the experiment runs
+/// without recompiling; results are identical for every setting (see
+/// [`SweepOptions::chunk`]'s determinism guarantee), only wall time moves.
+///
+/// [`SweepOptions`]: mhla_core::explore::SweepOptions
+/// [`SweepOptions::chunk`]: mhla_core::explore::SweepOptions::chunk
+pub fn measure_sweep_perf_with(
+    repeats: usize,
+    opts: mhla_core::explore::SweepOptions,
+) -> Vec<SweepPerf> {
+    use mhla_core::explore::{default_capacities, sweep_cold, sweep_with};
     use mhla_core::MhlaConfig;
     use mhla_hierarchy::LayerId;
 
@@ -260,7 +276,14 @@ pub fn measure_sweep_perf(repeats: usize) -> Vec<SweepPerf> {
                 ));
                 cold_s = cold_s.min(t.elapsed().as_secs_f64());
                 let t = std::time::Instant::now();
-                fast = Some(sweep(&app.program, &platform, LayerId(1), &caps, &config));
+                fast = Some(sweep_with(
+                    &app.program,
+                    &platform,
+                    LayerId(1),
+                    &caps,
+                    &config,
+                    opts,
+                ));
                 fast_s = fast_s.min(t.elapsed().as_secs_f64());
             }
             let (cold, fast) = (cold.expect("ran"), fast.expect("ran"));
@@ -318,6 +341,134 @@ pub fn sweep_perf_json(perfs: &[SweepPerf]) -> String {
         cold / fast.max(f64::MIN_POSITIVE),
         points as f64 / cold.max(f64::MIN_POSITIVE),
         points as f64 / fast.max(f64::MIN_POSITIVE),
+    ));
+    out
+}
+
+/// The default L1×L2 grid of the multi-layer benchmark: L2 from 1 KiB to
+/// 16 KiB, L1 from 128 B to 512 B (powers of two) on
+/// [`Platform::three_level_default`] — 15 joint sizing points per app.
+pub fn default_grid_axes() -> Vec<mhla_core::explore::GridAxis> {
+    use mhla_core::explore::GridAxis;
+    use mhla_hierarchy::LayerId;
+    vec![
+        GridAxis::new(LayerId(1), (10..=14).map(|e| 1u64 << e).collect::<Vec<_>>()),
+        GridAxis::new(LayerId(2), (7..=9).map(|e| 1u64 << e).collect::<Vec<_>>()),
+    ]
+}
+
+/// Shared-context vs per-point-rebuild timings for one application's
+/// L1×L2 grid sweep.
+///
+/// *Rebuild* evaluates every grid point with a standalone
+/// [`Mhla::new`]`.run()` — the reuse analysis, program facts, TE caches
+/// and move space re-derived per point (what a naive N-D generalization
+/// of the seed sweep would do). *Shared* is
+/// [`mhla_core::explore::sweep_grid`]: one `ExplorationContext`, cheap
+/// per-platform views, warm-started parallel chunks.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GridPerf {
+    /// Application name.
+    pub app: String,
+    /// Grid points evaluated per sweep.
+    pub points: usize,
+    /// Best-of-`repeats` wall time of the per-point-rebuild path, seconds.
+    pub rebuild_seconds: f64,
+    /// Best-of-`repeats` wall time of the shared-context path, seconds.
+    pub shared_seconds: f64,
+    /// Whether both paths produced bit-identical results at every point.
+    pub points_identical: bool,
+}
+
+impl GridPerf {
+    /// rebuild / shared wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.rebuild_seconds / self.shared_seconds.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measures shared-context vs per-point-rebuild L1×L2 grid sweeps over
+/// [`sweep_suite`], best of `repeats` runs per path.
+pub fn measure_grid_perf(repeats: usize) -> Vec<GridPerf> {
+    use mhla_core::explore::sweep_grid;
+    use mhla_core::MhlaConfig;
+    use mhla_hierarchy::LayerId;
+
+    let axes = default_grid_axes();
+    let platform = Platform::three_level_default();
+    let config = MhlaConfig::default();
+    sweep_suite()
+        .iter()
+        .map(|app| {
+            let mut rebuild_s = f64::INFINITY;
+            let mut shared_s = f64::INFINITY;
+            let mut rebuild: Vec<mhla_core::MhlaResult> = Vec::new();
+            let mut shared = None;
+            for _ in 0..repeats.max(1) {
+                let t = std::time::Instant::now();
+                rebuild = {
+                    let mut out = Vec::new();
+                    for &l2 in &axes[0].capacities {
+                        for &l1 in &axes[1].capacities {
+                            let pf = platform
+                                .with_layer_capacities(&[(LayerId(1), l2), (LayerId(2), l1)]);
+                            out.push(Mhla::new(&app.program, &pf, config.clone()).run());
+                        }
+                    }
+                    out
+                };
+                rebuild_s = rebuild_s.min(t.elapsed().as_secs_f64());
+                let t = std::time::Instant::now();
+                shared = Some(sweep_grid(&app.program, &platform, &axes, &config));
+                shared_s = shared_s.min(t.elapsed().as_secs_f64());
+            }
+            let shared = shared.expect("ran");
+            let points_identical = shared.points.len() == rebuild.len()
+                && shared
+                    .points
+                    .iter()
+                    .zip(&rebuild)
+                    .all(|(a, b)| &a.result == b);
+            GridPerf {
+                app: app.name().to_string(),
+                points: shared.points.len(),
+                rebuild_seconds: rebuild_s,
+                shared_seconds: shared_s,
+                points_identical,
+            }
+        })
+        .collect()
+}
+
+/// Renders [`GridPerf`] rows as the `BENCH_grid.json` document tracked at
+/// the workspace root.
+pub fn grid_perf_json(perfs: &[GridPerf]) -> String {
+    let rebuild: f64 = perfs.iter().map(|p| p.rebuild_seconds).sum();
+    let shared: f64 = perfs.iter().map(|p| p.shared_seconds).sum();
+    let points: usize = perfs.iter().map(|p| p.points).sum();
+    let all_identical = perfs.iter().all(|p| p.points_identical);
+    let mut out = String::from("{\n  \"bench\": \"grid_sweep_l1_l2\",\n  \"apps\": [\n");
+    for (i, p) in perfs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"points\": {}, \"rebuild_seconds\": {:.6}, \
+             \"shared_seconds\": {:.6}, \"speedup\": {:.2}, \"points_identical\": {}}}{}\n",
+            p.app,
+            p.points,
+            p.rebuild_seconds,
+            p.shared_seconds,
+            p.speedup(),
+            p.points_identical,
+            if i + 1 < perfs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"suite\": {{\"points\": {points}, \"rebuild_seconds\": {rebuild:.6}, \
+         \"shared_seconds\": {shared:.6}, \"speedup\": {:.2}, \
+         \"points_per_second_rebuild\": {:.0}, \"points_per_second_shared\": {:.0}, \
+         \"all_identical\": {all_identical}}}\n}}\n",
+        rebuild / shared.max(f64::MIN_POSITIVE),
+        points as f64 / rebuild.max(f64::MIN_POSITIVE),
+        points as f64 / shared.max(f64::MIN_POSITIVE),
     ));
     out
 }

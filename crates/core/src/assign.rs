@@ -195,7 +195,10 @@ pub fn greedy_portfolio(
 ///
 /// Depends on the program structure, the reuse analysis and the *shape* of
 /// the platform (which layers are on-chip) — not on layer capacities — so
-/// a capacity sweep enumerates it once and shares it across every point.
+/// a capacity sweep enumerates it once (usually inside an
+/// [`ExplorationContext`](crate::ExplorationContext)) and shares it across
+/// every point.
+#[derive(Debug)]
 pub struct MoveSet {
     moves: Vec<Move>,
 }

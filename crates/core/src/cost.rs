@@ -12,14 +12,17 @@
 //!   cycles block transfer time" line in Figure 2). The TE step and the
 //!   simulator land in between.
 
+use std::borrow::Cow;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use mhla_hierarchy::{LayerId, Platform};
 use mhla_ir::{AccessKind, ArrayId, LoopId, NodeId, Program, ProgramInfo, StmtId, Timeline};
 use mhla_lifetime::{peak_occupancy, Resident};
-use mhla_reuse::{CandidateId, ReuseAnalysis};
+use mhla_reuse::{CandidateId, CopyCandidate, ReuseAnalysis};
 
 use crate::classify::ArrayClass;
+use crate::context::ProgramFacts;
 use crate::types::{Assignment, AssignmentError, SelectedCopy, TransferPolicy};
 
 /// One block-transfer stream: the transfer geometry of one selected copy.
@@ -169,61 +172,115 @@ impl CostBreakdown {
     }
 }
 
+/// Capacity-independent geometry of one candidate's block-transfer
+/// stream: entry counts and byte volumes, everything of a
+/// [`TransferStream`] that does not depend on the chain's layers or the
+/// active refresh policy.
+///
+/// Derived by [`stream_template`]; the [`ExplorationContext`]
+/// (`crate::ExplorationContext`) caches one per candidate so sweeps do not
+/// re-derive them per point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct StreamTemplate {
+    /// Total BT instances per program run.
+    pub(crate) entries: u64,
+    /// How many of the `entries` are *first* entries (full fill).
+    pub(crate) first_entries: u64,
+    /// Bytes of a first (full) transfer.
+    pub(crate) full_bytes: u64,
+    /// Steady-state bytes under [`TransferPolicy::SlidingDelta`].
+    pub(crate) delta_bytes: u64,
+    /// Write-back bytes per entry (0 for read-only regions).
+    pub(crate) writeback_bytes: u64,
+}
+
+impl StreamTemplate {
+    /// Steady-state transfer bytes under a refresh policy.
+    pub(crate) fn steady_bytes(&self, policy: TransferPolicy) -> u64 {
+        match policy {
+            TransferPolicy::FullRefresh => self.full_bytes,
+            TransferPolicy::SlidingDelta => self.delta_bytes,
+        }
+    }
+}
+
+/// Derives one candidate's [`StreamTemplate`] (`elem` is the array's
+/// element size in bytes). The single source of the transfer geometry:
+/// both the inline per-assignment derivation and the context cache call
+/// this, so cached and uncached paths are identical by construction.
+pub(crate) fn stream_template(
+    info: &ProgramInfo<'_>,
+    cc: &CopyCandidate,
+    elem: u64,
+) -> StreamTemplate {
+    let (entries, first_entries) = match cc.at_loop {
+        Some(l) => (cc.entries, info.loop_entries(l)),
+        None => (1, 1),
+    };
+    let full_bytes = cc.bytes;
+    let delta_bytes = if cc.footprint.exact {
+        cc.footprint.delta_elements() * elem
+    } else {
+        full_bytes
+    };
+    let writeback_bytes = (cc.writebacks * elem).checked_div(entries).unwrap_or(0);
+    StreamTemplate {
+        entries,
+        first_entries: first_entries.min(entries),
+        full_bytes,
+        delta_bytes,
+        writeback_bytes,
+    }
+}
+
 /// Static estimator for a fixed (program, platform) pair.
 ///
-/// Construction caches the derived program facts (`ProgramInfo`, timeline,
-/// per-array access lists); [`evaluate`](CostModel::evaluate) then prices
-/// any assignment in `O(accesses + copies)` with no re-analysis.
+/// Construction caches the derived program facts ([`ProgramFacts`]:
+/// `ProgramInfo`, timeline, per-array access lists);
+/// [`evaluate`](CostModel::evaluate) then prices any assignment in
+/// `O(accesses + copies)` with no re-analysis. Sweeps build the facts once
+/// per program through an [`ExplorationContext`](crate::ExplorationContext)
+/// and *borrow* them here ([`with_facts`](CostModel::with_facts)), so a
+/// per-platform model costs nothing to construct.
 #[derive(Debug)]
 pub struct CostModel<'a> {
     program: &'a Program,
     platform: &'a Platform,
     reuse: &'a ReuseAnalysis,
-    timeline: Timeline,
-    info: ProgramInfo<'a>,
-    classes: Vec<ArrayClass>,
-    /// Per statement: executions (cached).
-    stmt_execs: Vec<u64>,
-    /// Per array: the (statement, access kind) pairs touching it, in
-    /// statement/access order.
-    array_accesses: Vec<Vec<(StmtId, AccessKind)>>,
-    total_compute: u64,
+    facts: Cow<'a, ProgramFacts<'a>>,
 }
 
 impl<'a> CostModel<'a> {
-    /// Builds a cost model.
+    /// Builds a cost model, deriving the program facts from scratch.
     pub fn new(
         program: &'a Program,
         platform: &'a Platform,
         reuse: &'a ReuseAnalysis,
         classes: Vec<ArrayClass>,
     ) -> Self {
-        let info = program.info();
-        let stmt_execs: Vec<u64> = program
-            .stmts()
-            .map(|(s, _)| info.stmt_executions(s))
-            .collect();
-        let total_compute = program
-            .roots()
-            .iter()
-            .map(|&r| info.compute_cycles(r))
-            .sum();
-        let mut array_accesses = vec![Vec::new(); program.array_count()];
-        for (sid, stmt) in program.stmts() {
-            for acc in &stmt.accesses {
-                array_accesses[acc.array.index()].push((sid, acc.kind));
-            }
-        }
         CostModel {
             program,
             platform,
             reuse,
-            timeline: program.timeline(),
-            info,
-            classes,
-            stmt_execs,
-            array_accesses,
-            total_compute,
+            facts: Cow::Owned(ProgramFacts::new(program, reuse, classes)),
+        }
+    }
+
+    /// Builds a cost model over shared, pre-derived program facts — the
+    /// fast path of the capacity/grid sweeps. The facts must describe
+    /// `program` (the [`ExplorationContext`](crate::ExplorationContext)
+    /// guarantees this).
+    pub fn with_facts(
+        program: &'a Program,
+        platform: &'a Platform,
+        reuse: &'a ReuseAnalysis,
+        facts: &'a ProgramFacts<'a>,
+    ) -> Self {
+        CostModel {
+            program,
+            platform,
+            reuse,
+            facts: Cow::Borrowed(facts),
         }
     }
 
@@ -244,17 +301,43 @@ impl<'a> CostModel<'a> {
 
     /// Array classes (external/internal) in array order.
     pub fn classes(&self) -> &[ArrayClass] {
-        &self.classes
+        &self.facts.classes
     }
 
     /// The program's logical timeline.
     pub fn timeline(&self) -> &Timeline {
-        &self.timeline
+        &self.facts.timeline
     }
 
     /// The cached structural facts of the program.
     pub fn info(&self) -> &ProgramInfo<'a> {
-        &self.info
+        &self.facts.info
+    }
+
+    /// The full shared fact bundle this model prices against.
+    pub fn facts(&self) -> &ProgramFacts<'a> {
+        &self.facts
+    }
+
+    /// The cached freedom loops of a candidate, when an
+    /// [`ExplorationContext`](crate::ExplorationContext) populated the TE
+    /// cache; `None` on the standalone path (the TE planner then derives
+    /// them on the fly).
+    pub(crate) fn cached_freedom(&self, id: CandidateId) -> Option<&[LoopId]> {
+        self.facts
+            .te
+            .as_ref()
+            .map(|te| te.freedom[id.array.index()][id.index].as_slice())
+    }
+
+    /// One candidate's transfer geometry: from the context cache when
+    /// present, derived on the fly otherwise (identical by construction —
+    /// both go through [`stream_template`]).
+    fn template(&self, id: CandidateId, cc: &CopyCandidate, elem: u64) -> StreamTemplate {
+        match &self.facts.te {
+            Some(te) => te.geometry[id.array.index()][id.index],
+            None => stream_template(&self.facts.info, cc, elem),
+        }
     }
 
     /// The layer serving a given access of a statement: the innermost
@@ -267,7 +350,7 @@ impl<'a> CostModel<'a> {
             }
             let covers = match self.reuse.candidate(copy.candidate).at_loop {
                 None => true,
-                Some(l) => self.info.encloses(l, NodeId::Stmt(stmt)),
+                Some(l) => self.facts.info.encloses(l, NodeId::Stmt(stmt)),
             };
             if covers {
                 layer = layer.max(copy.layer);
@@ -290,33 +373,18 @@ impl<'a> CostModel<'a> {
         let mut src = home;
         for &copy in chain {
             let cc = self.reuse.candidate(copy.candidate);
-            let (entries, first_entries) = match cc.at_loop {
-                Some(l) => (cc.entries, self.info.loop_entries(l)),
-                None => (1, 1),
-            };
-            let full_bytes = cc.bytes;
-            let steady_bytes = match policy {
-                TransferPolicy::FullRefresh => full_bytes,
-                TransferPolicy::SlidingDelta => {
-                    if cc.footprint.exact {
-                        cc.footprint.delta_elements() * elem
-                    } else {
-                        full_bytes
-                    }
-                }
-            };
-            let writeback_bytes = (cc.writebacks * elem).checked_div(entries).unwrap_or(0);
+            let t = self.template(copy.candidate, cc, elem);
             out.push(TransferStream {
                 copy,
                 src,
                 dst: copy.layer,
                 owner: cc.at_loop,
                 buffer_bytes: cc.bytes,
-                entries,
-                first_entries: first_entries.min(entries),
-                full_bytes,
-                steady_bytes,
-                writeback_bytes,
+                entries: t.entries,
+                first_entries: t.first_entries,
+                full_bytes: t.full_bytes,
+                steady_bytes: t.steady_bytes(policy),
+                writeback_bytes: t.writeback_bytes,
             });
             src = copy.layer;
         }
@@ -403,13 +471,13 @@ impl<'a> CostModel<'a> {
         policy: TransferPolicy,
     ) -> ArrayContribution {
         let mut c = ArrayContribution::with_layers(self.platform.layer_count());
-        for &(sid, kind) in &self.array_accesses[array.index()] {
-            let execs = self.stmt_execs[sid.index()];
+        for &(sid, kind) in &self.facts.array_accesses[array.index()] {
+            let execs = self.facts.stmt_execs[sid.index()];
             let mut layer = home;
             for copy in chain {
                 let covers = match self.reuse.candidate(copy.candidate).at_loop {
                     None => true,
-                    Some(l) => self.info.encloses(l, NodeId::Stmt(sid)),
+                    Some(l) => self.facts.info.encloses(l, NodeId::Stmt(sid)),
                 };
                 if covers {
                     layer = layer.max(copy.layer);
@@ -439,7 +507,7 @@ impl<'a> CostModel<'a> {
     /// [`IncrementalCost`] maintains.
     pub fn evaluate(&self, assignment: &Assignment) -> CostBreakdown {
         let mut b = CostBreakdown {
-            compute_cycles: self.total_compute,
+            compute_cycles: self.facts.total_compute,
             accesses_per_layer: vec![0; self.platform.layer_count()],
             ..CostBreakdown::default()
         };
@@ -461,11 +529,11 @@ impl<'a> CostModel<'a> {
     /// no block-transfer time (that is what Time Extensions hide the
     /// transfers *behind* — Figure 1's `compute_loop_cycles()`).
     pub fn cycles_per_iteration(&self, assignment: &Assignment, loop_id: LoopId) -> u64 {
-        let info = &self.info;
+        let info = &self.facts.info;
         let iterations = info.loop_iterations(loop_id).max(1);
         let mut total = 0u64;
         for s in info.subtree_stmts(NodeId::Loop(loop_id)) {
-            let execs = self.stmt_execs[s.index()];
+            let execs = self.facts.stmt_execs[s.index()];
             let stmt = self.program.stmt(s);
             let mut per_exec = stmt.compute_cycles;
             for acc in &stmt.accesses {
@@ -491,7 +559,7 @@ impl<'a> CostModel<'a> {
         let mut out = Vec::new();
         for (aid, _) in self.program.arrays() {
             if assignment.home(aid) == layer && layer.index() != 0 {
-                if let Some(r) = Resident::for_array(self.program, &self.timeline, aid) {
+                if let Some(r) = Resident::for_array(self.program, &self.facts.timeline, aid) {
                     out.push(r);
                 }
             }
@@ -502,9 +570,13 @@ impl<'a> CostModel<'a> {
             }
             let cc = self.reuse.candidate(copy.candidate);
             let mult = buffers.get(&copy.candidate).copied().unwrap_or(1).max(1);
-            if let Some(mut r) =
-                Resident::for_candidate(self.program, &self.timeline, copy.candidate, cc, false)
-            {
+            if let Some(mut r) = Resident::for_candidate(
+                self.program,
+                &self.facts.timeline,
+                copy.candidate,
+                cc,
+                false,
+            ) {
                 r.bytes *= mult as u64;
                 out.push(r);
             }
@@ -571,19 +643,141 @@ impl<'a> CostModel<'a> {
     ) -> Vec<(LayerId, Resident)> {
         let mut out = Vec::new();
         if home.index() != 0 {
-            if let Some(r) = Resident::for_array(self.program, &self.timeline, array) {
+            if let Some(r) = Resident::for_array(self.program, &self.facts.timeline, array) {
                 out.push((home, r));
             }
         }
         for copy in chain {
             let cc = self.reuse.candidate(copy.candidate);
-            if let Some(r) =
-                Resident::for_candidate(self.program, &self.timeline, copy.candidate, cc, false)
-            {
+            if let Some(r) = Resident::for_candidate(
+                self.program,
+                &self.facts.timeline,
+                copy.candidate,
+                cc,
+                false,
+            ) {
                 out.push((copy.layer, r));
             }
         }
         out
+    }
+}
+
+/// Per-layer incremental peak-occupancy ledger.
+///
+/// Every resident interval endpoint comes from a small, program-fixed set
+/// (array access spans and candidate spans — precomputed as
+/// `ProgramFacts::occupancy_times`). The ledger keeps, per on-chip layer, a
+/// byte-delta array indexed by position in that sorted time set; the peak
+/// occupancy is the running maximum of its prefix sums — exactly what
+/// [`peak_occupancy`] computes from a resident pool, without materializing
+/// the pool.
+///
+/// A capacity probe for a single-array trial copies the layer's deltas
+/// into a reused scratch buffer, swaps the touched array's events for the
+/// trial's, and scans: `O(times + residents-of-that-array)` with zero
+/// allocation — compared to the previous `O(all residents)` clone + sort
+/// per probe. Commits invalidate only the touched array's events.
+#[derive(Debug)]
+struct OccupancyLedger {
+    /// Sorted, deduped candidate event times (shared coordinate set).
+    times: Vec<u64>,
+    /// Per on-chip layer: (layer, capacity, aggregated byte deltas).
+    layers: Vec<(LayerId, u64, Vec<i64>)>,
+    /// Probe scratch, one allocation reused across all probes.
+    scratch: RefCell<Vec<i64>>,
+}
+
+impl OccupancyLedger {
+    fn new(model: &CostModel<'_>) -> Self {
+        let times = model.facts().occupancy_times.clone();
+        let layers = model
+            .platform()
+            .on_chip_layers()
+            .map(|(lid, l)| (lid, l.capacity.unwrap_or(u64::MAX), vec![0i64; times.len()]))
+            .collect();
+        OccupancyLedger {
+            scratch: RefCell::new(vec![0i64; times.len()]),
+            times,
+            layers,
+        }
+    }
+
+    /// Index of an endpoint in the precomputed time set. Every resident
+    /// the cost model can produce has its endpoints in the set.
+    fn time_index(&self, t: u64) -> usize {
+        self.times
+            .binary_search(&t)
+            .expect("resident endpoint missing from precomputed occupancy times")
+    }
+
+    /// Adds (`sign = 1`) or removes (`sign = -1`) one resident's events.
+    fn apply(&mut self, layer: LayerId, r: &Resident, sign: i64) {
+        if r.bytes == 0 || r.interval.is_empty() {
+            return;
+        }
+        let (s, e) = (
+            self.time_index(r.interval.start),
+            self.time_index(r.interval.end),
+        );
+        if let Some((_, _, delta)) = self.layers.iter_mut().find(|(lid, ..)| *lid == layer) {
+            delta[s] += sign * r.bytes as i64;
+            delta[e] -= sign * r.bytes as i64;
+        }
+    }
+
+    /// Peak of a delta array: max prefix sum (and ≥ 0, matching
+    /// [`peak_occupancy`]'s empty-pool behavior).
+    fn peak(delta: &[i64]) -> u64 {
+        let mut cur = 0i64;
+        let mut peak = 0i64;
+        for &d in delta {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak as u64
+    }
+
+    /// Applies one resident set's events of one layer onto `scratch`.
+    fn splice(
+        &self,
+        scratch: &mut [i64],
+        layer: LayerId,
+        residents: &[(LayerId, Resident)],
+        sign: i64,
+    ) {
+        for (l, r) in residents {
+            if *l != layer || r.bytes == 0 || r.interval.is_empty() {
+                continue;
+            }
+            scratch[self.time_index(r.interval.start)] += sign * r.bytes as i64;
+            scratch[self.time_index(r.interval.end)] -= sign * r.bytes as i64;
+        }
+    }
+
+    /// Capacity probe: peak per layer with `old` (the touched array's
+    /// cached residents) removed and `trial` added. `None` when a layer
+    /// overflows, otherwise the summed on-chip requirement.
+    fn probe(&self, old: &[(LayerId, Resident)], trial: &[(LayerId, Resident)]) -> Option<u64> {
+        let mut total = 0u64;
+        let mut scratch = self.scratch.borrow_mut();
+        for (lid, capacity, delta) in &self.layers {
+            scratch.clear();
+            scratch.extend_from_slice(delta);
+            self.splice(&mut scratch, *lid, old, -1);
+            self.splice(&mut scratch, *lid, trial, 1);
+            let required = Self::peak(&scratch);
+            if required > *capacity {
+                return None;
+            }
+            total += required;
+        }
+        Some(total)
+    }
+
+    /// Total on-chip bytes required by the committed state.
+    fn onchip_required(&self) -> u64 {
+        self.layers.iter().map(|(.., d)| Self::peak(d)).sum()
     }
 }
 
@@ -593,8 +787,10 @@ impl<'a> CostModel<'a> {
 /// touching exactly one array. The full [`CostModel::evaluate`] re-prices
 /// every access of every array; this evaluator caches the per-array
 /// [`ArrayContribution`]s and layer residents, so a candidate move costs
-/// `O(accesses-of-that-array)` to price and a capacity probe costs
-/// `O(residents)` — no assignment clone, no timeline re-walk.
+/// `O(accesses-of-that-array)` to price, and a capacity probe costs
+/// `O(event times + residents-of-that-array)` through the occupancy
+/// ledger (`OccupancyLedger`) — no assignment clone, no timeline re-walk,
+/// no resident-pool rebuild.
 ///
 /// Totals are maintained by re-summing the cached contributions in
 /// ascending array order, the exact summation order of the oracle, so
@@ -608,6 +804,7 @@ pub struct IncrementalCost<'m, 'a> {
     contribs: Vec<ArrayContribution>,
     /// Per array: the residents its current state places, with their layer.
     residents: Vec<Vec<(LayerId, Resident)>>,
+    occupancy: OccupancyLedger,
     current: CostBreakdown,
 }
 
@@ -617,18 +814,24 @@ impl<'m, 'a> IncrementalCost<'m, 'a> {
         let policy = assignment.policy();
         let mut contribs = Vec::with_capacity(assignment.array_count());
         let mut residents = Vec::with_capacity(assignment.array_count());
+        let mut occupancy = OccupancyLedger::new(model);
         for aid in 0..assignment.array_count() {
             let array = ArrayId::from_index(aid);
             let chain = assignment.copies_of(array);
             let home = assignment.home(array);
             contribs.push(model.array_contribution(array, home, &chain, policy));
-            residents.push(model.array_residents(array, home, &chain));
+            let rs = model.array_residents(array, home, &chain);
+            for (l, r) in &rs {
+                occupancy.apply(*l, r, 1);
+            }
+            residents.push(rs);
         }
         let mut inc = IncrementalCost {
             model,
             assignment,
             contribs,
             residents,
+            occupancy,
             current: CostBreakdown::default(),
         };
         inc.current = inc.rebuild_total();
@@ -637,7 +840,7 @@ impl<'m, 'a> IncrementalCost<'m, 'a> {
 
     fn rebuild_total(&self) -> CostBreakdown {
         let mut b = CostBreakdown {
-            compute_cycles: self.model.total_compute,
+            compute_cycles: self.model.facts.total_compute,
             accesses_per_layer: vec![0; self.model.platform.layer_count()],
             ..CostBreakdown::default()
         };
@@ -698,7 +901,7 @@ impl<'m, 'a> IncrementalCost<'m, 'a> {
         out: &mut CostBreakdown,
     ) {
         *out = CostBreakdown {
-            compute_cycles: self.model.total_compute,
+            compute_cycles: self.model.facts.total_compute,
             accesses_per_layer: std::mem::take(&mut out.accesses_per_layer),
             ..CostBreakdown::default()
         };
@@ -725,46 +928,26 @@ impl<'m, 'a> IncrementalCost<'m, 'a> {
 
     /// [`onchip_required_with`](IncrementalCost::onchip_required_with) with
     /// the trial residents already computed (cacheable per candidate move).
+    ///
+    /// Served by the occupancy ledger: the cached per-layer delta arrays
+    /// stand in for the resident pool, so the probe neither clones
+    /// residents nor re-sorts events.
     pub fn onchip_required_with_residents(
         &self,
         array: ArrayId,
         trial: &[(LayerId, Resident)],
     ) -> Option<u64> {
-        let mut total = 0u64;
-        let mut pool = Vec::new();
-        for (lid, layer) in self.model.platform.on_chip_layers() {
-            pool.clear();
-            for (aid, cached) in self.residents.iter().enumerate() {
-                let source: &[(LayerId, Resident)] =
-                    if aid == array.index() { trial } else { cached };
-                pool.extend(
-                    source
-                        .iter()
-                        .filter(|(l, _)| *l == lid)
-                        .map(|(_, r)| r.clone()),
-                );
-            }
-            let required = peak_occupancy(&pool);
-            if required > layer.capacity.unwrap_or(u64::MAX) {
-                return None;
-            }
-            total += required;
-        }
-        Some(total)
+        self.occupancy.probe(&self.residents[array.index()], trial)
     }
 
     /// Total on-chip bytes required by the working assignment.
     pub fn onchip_required(&self) -> u64 {
-        if self.assignment.array_count() == 0 {
-            return 0;
-        }
-        let array0 = ArrayId::from_index(0);
-        self.onchip_required_with_residents(array0, &self.residents[array0.index()])
-            .expect("working assignment must be feasible")
+        self.occupancy.onchip_required()
     }
 
     /// Commits `array`'s new state, updating the cached contribution,
-    /// residents and totals.
+    /// residents, occupancy ledger and totals. Only the touched array's
+    /// cached state is invalidated.
     pub fn commit_array_state(&mut self, array: ArrayId, home: LayerId, chain: &[SelectedCopy]) {
         self.assignment.clear_copies_of(array);
         self.assignment.set_home(array, home);
@@ -773,7 +956,14 @@ impl<'m, 'a> IncrementalCost<'m, 'a> {
         }
         let policy = self.assignment.policy();
         self.contribs[array.index()] = self.model.array_contribution(array, home, chain, policy);
-        self.residents[array.index()] = self.model.array_residents(array, home, chain);
+        for (l, r) in &self.residents[array.index()] {
+            self.occupancy.apply(*l, r, -1);
+        }
+        let rs = self.model.array_residents(array, home, chain);
+        for (l, r) in &rs {
+            self.occupancy.apply(*l, r, 1);
+        }
+        self.residents[array.index()] = rs;
         self.current = self.rebuild_total();
     }
 }

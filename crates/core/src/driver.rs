@@ -8,6 +8,7 @@ use mhla_reuse::ReuseAnalysis;
 
 use crate::assign;
 use crate::classify::classify_arrays;
+use crate::context::{ExplorationContext, ProgramFacts};
 use crate::cost::{CostBreakdown, CostModel};
 use crate::te::{self, TeSchedule};
 use crate::types::{Assignment, MhlaConfig};
@@ -74,6 +75,10 @@ pub struct Mhla<'a> {
     platform: &'a Platform,
     config: MhlaConfig,
     reuse: Cow<'a, ReuseAnalysis>,
+    /// Shared program facts when running inside an
+    /// [`ExplorationContext`]; `None` on the standalone path (facts are
+    /// then derived per run).
+    facts: Option<&'a ProgramFacts<'a>>,
 }
 
 impl<'a> Mhla<'a> {
@@ -81,6 +86,22 @@ impl<'a> Mhla<'a> {
     pub fn new(program: &'a Program, platform: &'a Platform, config: MhlaConfig) -> Self {
         let reuse = ReuseAnalysis::analyze(program);
         Mhla::with_reuse(program, platform, config, reuse)
+    }
+
+    /// Prepares a run over a shared [`ExplorationContext`]: the reuse
+    /// analysis, array classification, program facts and TE caches all
+    /// come from the context instead of being re-derived, so constructing
+    /// the run (and its cost model) is free. The configuration is the
+    /// context's. This is how the capacity/grid sweeps evaluate thousands
+    /// of platform variants of one program.
+    pub fn with_context(ctx: &'a ExplorationContext<'a>, platform: &'a Platform) -> Self {
+        Mhla {
+            program: ctx.program(),
+            platform,
+            config: ctx.config().clone(),
+            reuse: Cow::Borrowed(ctx.reuse()),
+            facts: Some(ctx.facts()),
+        }
     }
 
     /// Prepares a run from an already-computed reuse analysis.
@@ -99,6 +120,7 @@ impl<'a> Mhla<'a> {
             platform,
             config,
             reuse: Cow::Owned(reuse),
+            facts: None,
         }
     }
 
@@ -116,6 +138,7 @@ impl<'a> Mhla<'a> {
             platform,
             config,
             reuse: Cow::Borrowed(reuse),
+            facts: None,
         }
     }
 
@@ -129,10 +152,16 @@ impl<'a> Mhla<'a> {
         &self.config
     }
 
-    /// Builds the cost model for this run.
+    /// Builds the cost model for this run: borrowing the context's shared
+    /// facts when one is attached, deriving them otherwise.
     pub fn cost_model(&self) -> CostModel<'_> {
-        let classes = classify_arrays(self.program, &self.config.class_overrides);
-        CostModel::new(self.program, self.platform, &self.reuse, classes)
+        match self.facts {
+            Some(facts) => CostModel::with_facts(self.program, self.platform, &self.reuse, facts),
+            None => {
+                let classes = classify_arrays(self.program, &self.config.class_overrides);
+                CostModel::new(self.program, self.platform, &self.reuse, classes)
+            }
+        }
     }
 
     /// Executes both steps and returns the result.

@@ -2,29 +2,38 @@
 //!
 //! The paper's §1 claim — "performs a thorough trade-off exploration for
 //! different memory layer sizes … able to find all the optimal trade-off
-//! points" — maps to a capacity sweep: run both MHLA steps for every
-//! scratchpad size in a range, then keep the Pareto-optimal
-//! (capacity, cycles) and (capacity, energy) points.
+//! points" — maps to sweeps over the on-chip layer sizes:
 //!
-//! Two execution paths produce the same `Sweep`:
+//! * [`sweep`] — the 1-D capacity sweep: one scratchpad layer resized over
+//!   a range, both MHLA steps run at every size, Pareto-optimal
+//!   (capacity, cycles) and (capacity, energy) points kept.
+//! * [`sweep_grid`] — the N-dimensional generalization: every on-chip
+//!   layer gets its own capacity axis ([`GridAxis`]) and the full
+//!   Cartesian product is evaluated — the *joint* sizing of a multi-layer
+//!   hierarchy (e.g. L1×L2 on [`Platform::three_level`]), whose
+//!   interesting trade-offs single-axis sweeps cannot see. Pareto
+//!   filtering generalizes to dominance over the capacity vector.
 //!
-//! * [`sweep`] — the production path: the reuse analysis is computed once
-//!   and shared, capacities are processed in fixed-size chunks scheduled
-//!   across threads with `rayon`, and within a chunk each point
-//!   warm-starts the greedy search from its predecessor's assignment.
-//! * [`sweep_cold`] — the reference path: strictly sequential, every point
-//!   re-analyzed and searched from scratch (the pre-optimization
-//!   behavior). The `tradeoff` bench and the equivalence tests compare
-//!   the two; their Pareto fronts must be identical.
+//! Both run on a shared [`ExplorationContext`]: the reuse analysis,
+//! program facts, TE caches and candidate-move space are computed once per
+//! program; each point only pays for its search. Points are processed in
+//! fixed-size chunks scheduled across threads with `rayon`, and within a
+//! chunk each point warm-starts the greedy search from its predecessor
+//! along the innermost axis.
+//!
+//! [`sweep_cold`] keeps the frozen pre-optimization reference path:
+//! strictly sequential, every point re-analyzed and searched from scratch.
+//! The `tradeoff` bench and the equivalence tests compare the paths; their
+//! Pareto fronts must be identical.
 
 use rayon::prelude::*;
 
 use mhla_hierarchy::{LayerId, Platform};
 use mhla_ir::Program;
-use mhla_reuse::ReuseAnalysis;
 
+use crate::context::ExplorationContext;
 use crate::driver::{Mhla, MhlaResult};
-use crate::types::MhlaConfig;
+use crate::types::{Assignment, MhlaConfig};
 
 /// One point of the capacity sweep.
 #[derive(Clone, PartialEq, Debug)]
@@ -104,23 +113,38 @@ pub fn default_capacities() -> Vec<u64> {
     (7..=17).map(|e| 1u64 << e).collect()
 }
 
-/// How many consecutive capacity points one parallel task processes.
+/// Default number of consecutive capacity points one parallel task
+/// processes (the default of [`SweepOptions::chunk`]).
 ///
 /// Within a chunk, points after the first warm-start from their
 /// predecessor; chunks are independent, so this is also the granularity of
 /// the `rayon` fan-out. Fixed (instead of `capacities / threads`) so sweep
-/// results never depend on the machine's core count.
+/// results never depend on the machine's core count. Tunable at runtime
+/// through [`SweepOptions::chunk`] (the `bench` binary reads
+/// `MHLA_SWEEP_CHUNK` for the many-core tuning experiment).
 pub const SWEEP_CHUNK: usize = 4;
 
-/// Tuning knobs for [`sweep_with`].
+/// Tuning knobs for [`sweep_with`] and [`sweep_grid_with`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SweepOptions {
     /// Warm-start each point (within a chunk) from its predecessor's
-    /// assignment. Applies to the greedy strategy only.
+    /// assignment along the innermost axis. Applies to the greedy strategy
+    /// only.
     pub warm_start: bool,
     /// Process chunks of capacities on a thread pool.
     pub parallel: bool,
-    /// Points per sequential chunk (clamped to ≥ 1).
+    /// Points per sequential chunk along the innermost sweep axis
+    /// (clamped to ≥ 1; default [`SWEEP_CHUNK`]).
+    ///
+    /// **Determinism guarantee:** the chunking is fixed by this value
+    /// alone — never derived from the machine's core count — and each
+    /// point's result is the warm/cold search *portfolio* (the cold
+    /// search always runs; the warm result is kept only when strictly
+    /// better). Sweep results are therefore identical for every
+    /// `chunk`/`parallel`/`warm_start` combination and on any thread
+    /// fan-out; only wall time changes. Larger chunks lengthen warm-start
+    /// chains but reduce scheduling slack — tune per machine via the
+    /// `bench` binary (`MHLA_SWEEP_CHUNK`), tracked in `BENCH_sweep.json`.
     pub chunk: usize,
 }
 
@@ -183,6 +207,10 @@ pub fn sweep_cold(
 }
 
 /// [`sweep`] with explicit [`SweepOptions`].
+///
+/// Implemented as the 1-axis degenerate case of [`sweep_grid_with`], so
+/// the 1-D and N-D sweeps share one execution path: identical context
+/// sharing, chunking and warm-start behavior by construction.
 pub fn sweep_with(
     program: &Program,
     platform: &Platform,
@@ -191,48 +219,20 @@ pub fn sweep_with(
     config: &MhlaConfig,
     opts: SweepOptions,
 ) -> Sweep {
-    let caps = clean_capacities(capacities);
-    if caps.is_empty() {
-        return Sweep { points: Vec::new() };
-    }
-    // The reuse analysis and the candidate-move space depend only on the
-    // program (and the platform's shape, not its capacities): compute once,
-    // share across every capacity point.
-    let reuse = ReuseAnalysis::analyze(program);
-    let moves = {
-        let classes = crate::classify::classify_arrays(program, &config.class_overrides);
-        let model = crate::cost::CostModel::new(program, platform, &reuse, classes);
-        crate::assign::enumerate_moves(&model, config)
+    let axis = GridAxis {
+        layer,
+        capacities: capacities.to_vec(),
     };
-    let chunk = opts.chunk.max(1).min(caps.len());
-    let chunks: Vec<&[u64]> = caps.chunks(chunk).collect();
-
-    let run_chunk = |chunk: &&[u64]| -> Vec<SweepPoint> {
-        let mut warm: Option<crate::types::Assignment> = None;
-        chunk
-            .iter()
-            .map(|&capacity| {
-                let pf = platform.with_layer_capacity(layer, capacity);
-                let mhla = Mhla::with_reuse_ref(program, &pf, config.clone(), &reuse);
-                let result = mhla.run_with(
-                    if opts.warm_start { warm.as_ref() } else { None },
-                    Some(&moves),
-                );
-                if opts.warm_start {
-                    warm = Some(result.assignment.clone());
-                }
-                SweepPoint { capacity, result }
-            })
-            .collect()
-    };
-
-    let per_chunk: Vec<Vec<SweepPoint>> = if opts.parallel {
-        chunks.par_iter().map(run_chunk).collect()
-    } else {
-        chunks.iter().map(run_chunk).collect()
-    };
+    let grid = sweep_grid_with(program, platform, &[axis], config, opts);
     Sweep {
-        points: per_chunk.into_iter().flatten().collect(),
+        points: grid
+            .points
+            .into_iter()
+            .map(|p| SweepPoint {
+                capacity: p.capacities[0],
+                result: p.result,
+            })
+            .collect(),
     }
 }
 
@@ -241,6 +241,251 @@ fn clean_capacities(capacities: &[u64]) -> Vec<u64> {
     caps.sort_unstable();
     caps.dedup();
     caps
+}
+
+/// One axis of a layer-size grid sweep: the on-chip layer to resize and
+/// the capacities to visit on it (sorted and deduped before use).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GridAxis {
+    /// The on-chip layer this axis resizes.
+    pub layer: LayerId,
+    /// Capacities to visit, bytes.
+    pub capacities: Vec<u64>,
+}
+
+impl GridAxis {
+    /// Builds an axis.
+    pub fn new(layer: LayerId, capacities: impl Into<Vec<u64>>) -> Self {
+        GridAxis {
+            layer,
+            capacities: capacities.into(),
+        }
+    }
+}
+
+/// One point of a grid sweep: a capacity per axis plus the full MHLA
+/// result on the platform resized to those capacities.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GridPoint {
+    /// Capacity per axis, parallel to [`GridSweep::layers`], bytes.
+    pub capacities: Vec<u64>,
+    /// The full MHLA result at this capacity vector.
+    pub result: MhlaResult,
+}
+
+impl GridPoint {
+    /// Static MHLA+TE cycles at this point.
+    pub fn cycles(&self) -> u64 {
+        self.result.mhla_te_cycles()
+    }
+
+    /// Memory energy at this point, picojoule.
+    pub fn energy_pj(&self) -> f64 {
+        self.result.mhla_energy_pj()
+    }
+
+    /// Total on-chip bytes of this point's capacity vector.
+    pub fn total_capacity(&self) -> u64 {
+        self.capacities.iter().sum()
+    }
+}
+
+/// Result of [`sweep_grid`]: every point of the capacity grid, in
+/// lexicographic order of the capacity vector (the last axis varies
+/// fastest).
+#[derive(Clone, PartialEq, Debug)]
+pub struct GridSweep {
+    /// The resized layer per axis, in axis order.
+    pub layers: Vec<LayerId>,
+    /// Evaluated points, lexicographic by capacity vector.
+    pub points: Vec<GridPoint>,
+}
+
+impl GridSweep {
+    /// Indices of the Pareto surface over (capacity vector, cycles): a
+    /// point survives iff no other point dominates it — capacities all ≤,
+    /// cycles ≤, and at least one strictly smaller. On a 1-axis grid this
+    /// is exactly [`Sweep::pareto_cycles`].
+    pub fn pareto_cycles(&self) -> Vec<usize> {
+        dominance_front(&self.points, |p| p.cycles() as f64)
+    }
+
+    /// Indices of the Pareto surface over (capacity vector, energy).
+    pub fn pareto_energy(&self) -> Vec<usize> {
+        dominance_front(&self.points, |p| p.energy_pj())
+    }
+
+    /// The point with the fewest cycles (ties: smallest total capacity,
+    /// then lexicographically smallest vector).
+    pub fn best_cycles(&self) -> Option<&GridPoint> {
+        self.points.iter().min_by(|a, b| {
+            (a.cycles(), a.total_capacity(), &a.capacities).cmp(&(
+                b.cycles(),
+                b.total_capacity(),
+                &b.capacities,
+            ))
+        })
+    }
+
+    /// The point with the least energy (ties as
+    /// [`best_cycles`](Self::best_cycles)).
+    pub fn best_energy(&self) -> Option<&GridPoint> {
+        self.points.iter().min_by(|a, b| {
+            (a.energy_pj(), a.total_capacity())
+                .partial_cmp(&(b.energy_pj(), b.total_capacity()))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.capacities.cmp(&b.capacities))
+        })
+    }
+}
+
+/// The multi-dimensional Pareto filter: point `i` survives iff no point
+/// `j` has every capacity ≤ `i`'s, objective ≤ `i`'s, and is strictly
+/// smaller in at least one of those coordinates.
+///
+/// Capacity vectors in a grid are unique, so for the 1-axis case (points
+/// in ascending capacity order) this degenerates to "keep iff the
+/// objective strictly improves on everything at smaller capacity" — the
+/// exact filter of [`Sweep::pareto_cycles`] (asserted by the grid
+/// equivalence tests).
+fn dominance_front(points: &[GridPoint], objective: impl Fn(&GridPoint) -> f64) -> Vec<usize> {
+    let obj: Vec<f64> = points.iter().map(&objective).collect();
+    (0..points.len())
+        .filter(|&i| {
+            !(0..points.len()).any(|j| {
+                if j == i {
+                    return false;
+                }
+                let caps_le = points[j]
+                    .capacities
+                    .iter()
+                    .zip(&points[i].capacities)
+                    .all(|(cj, ci)| cj <= ci);
+                let strict = points[j].capacities != points[i].capacities || obj[j] < obj[i];
+                caps_le && obj[j] <= obj[i] && strict
+            })
+        })
+        .collect()
+}
+
+/// Cartesian product of the outer axes, lexicographic. An empty axis list
+/// yields one empty prefix (the 1-axis degenerate case).
+fn cartesian(axes: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let mut out = vec![Vec::new()];
+    for axis in axes {
+        out = out
+            .iter()
+            .flat_map(|prefix| {
+                axis.iter().map(move |&c| {
+                    let mut p = prefix.clone();
+                    p.push(c);
+                    p
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+/// Sweeps an N-dimensional layer-size grid: for every point of the
+/// Cartesian product of the axes' capacities, resizes the named layers of
+/// `platform` and runs the full MHLA flow — the *joint* trade-off
+/// exploration of a multi-layer hierarchy (e.g. L1×L2 on
+/// [`Platform::three_level`]).
+///
+/// Production path: one shared [`ExplorationContext`] (reuse analysis,
+/// program facts, TE caches, move space computed once), the innermost
+/// axis processed in warm-started chunks, chunks scheduled across threads
+/// (see [`SweepOptions`]). Each point's result is bit-identical to a cold
+/// standalone [`Mhla::run`] on the same platform (the portfolio search
+/// prefers the cold result on ties), and a 1-axis grid is exactly
+/// [`sweep`] — both asserted by the equivalence tests.
+///
+/// # Panics
+///
+/// Panics if any axis names the off-chip layer or a layer out of range,
+/// or if any capacity is zero.
+pub fn sweep_grid(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+) -> GridSweep {
+    sweep_grid_with(program, platform, axes, config, SweepOptions::default())
+}
+
+/// [`sweep_grid`] with explicit [`SweepOptions`].
+pub fn sweep_grid_with(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+    opts: SweepOptions,
+) -> GridSweep {
+    let layers: Vec<LayerId> = axes.iter().map(|a| a.layer).collect();
+    let axis_caps: Vec<Vec<u64>> = axes
+        .iter()
+        .map(|a| clean_capacities(&a.capacities))
+        .collect();
+    if axis_caps.is_empty() || axis_caps.iter().any(Vec::is_empty) {
+        return GridSweep {
+            layers,
+            points: Vec::new(),
+        };
+    }
+
+    // Everything capacity-independent — reuse analysis, program facts, TE
+    // caches, candidate moves — is computed once here and borrowed by
+    // every point.
+    let ctx = ExplorationContext::new(program, platform, config.clone());
+
+    // The last axis is the warm-start dimension: a task is one chunk of
+    // it under one fixed prefix of the outer axes. Tasks are independent,
+    // so their parallel schedule cannot affect results.
+    let (outer, innermost) = axis_caps.split_at(axis_caps.len() - 1);
+    let innermost = &innermost[0];
+    let prefixes = cartesian(outer);
+    let chunk = opts.chunk.max(1).min(innermost.len());
+    let tasks: Vec<(&[u64], &[u64])> = prefixes
+        .iter()
+        .flat_map(|p| innermost.chunks(chunk).map(move |c| (p.as_slice(), c)))
+        .collect();
+
+    let run_task = |task: &(&[u64], &[u64])| -> Vec<GridPoint> {
+        let (prefix, caps) = *task;
+        let mut warm: Option<Assignment> = None;
+        caps.iter()
+            .map(|&cap| {
+                let mut capacities = prefix.to_vec();
+                capacities.push(cap);
+                let sizes: Vec<(LayerId, u64)> = layers
+                    .iter()
+                    .copied()
+                    .zip(capacities.iter().copied())
+                    .collect();
+                let pf = platform.with_layer_capacities(&sizes);
+                let mhla = Mhla::with_context(&ctx, &pf);
+                let result = mhla.run_with(
+                    if opts.warm_start { warm.as_ref() } else { None },
+                    Some(ctx.moves()),
+                );
+                if opts.warm_start {
+                    warm = Some(result.assignment.clone());
+                }
+                GridPoint { capacities, result }
+            })
+            .collect()
+    };
+
+    let per_task: Vec<Vec<GridPoint>> = if opts.parallel {
+        tasks.par_iter().map(run_task).collect()
+    } else {
+        tasks.iter().map(run_task).collect()
+    };
+    GridSweep {
+        layers,
+        points: per_task.into_iter().flatten().collect(),
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +563,122 @@ mod tests {
             &MhlaConfig::default(),
         );
         assert_eq!(s.points.len(), 2);
+    }
+
+    #[test]
+    fn grid_covers_the_cartesian_product_in_lexicographic_order() {
+        let p = blocked();
+        let pf = Platform::three_level(4096, 512);
+        let axes = [
+            GridAxis::new(LayerId(1), vec![1024u64, 4096]),
+            GridAxis::new(LayerId(2), vec![512u64, 128, 256]),
+        ];
+        let g = sweep_grid(&p, &pf, &axes, &MhlaConfig::default());
+        assert_eq!(g.layers, vec![LayerId(1), LayerId(2)]);
+        assert_eq!(g.points.len(), 6);
+        let caps: Vec<Vec<u64>> = g.points.iter().map(|p| p.capacities.clone()).collect();
+        assert_eq!(
+            caps,
+            vec![
+                vec![1024, 128],
+                vec![1024, 256],
+                vec![1024, 512],
+                vec![4096, 128],
+                vec![4096, 256],
+                vec![4096, 512],
+            ],
+            "axis capacities sorted, last axis fastest"
+        );
+    }
+
+    #[test]
+    fn grid_points_match_standalone_runs() {
+        let p = blocked();
+        let pf = Platform::three_level(4096, 512);
+        let axes = [
+            GridAxis::new(LayerId(1), vec![1024u64, 4096]),
+            GridAxis::new(LayerId(2), vec![128u64, 512]),
+        ];
+        let g = sweep_grid(&p, &pf, &axes, &MhlaConfig::default());
+        for point in &g.points {
+            let standalone = pf.with_layer_capacities(&[
+                (LayerId(1), point.capacities[0]),
+                (LayerId(2), point.capacities[1]),
+            ]);
+            let cold = crate::Mhla::new(&p, &standalone, MhlaConfig::default()).run();
+            assert_eq!(point.result, cold, "at {:?}", point.capacities);
+        }
+    }
+
+    #[test]
+    fn single_axis_grid_is_exactly_the_sweep() {
+        let p = blocked();
+        let pf = Platform::embedded_default(1024);
+        let caps: Vec<u64> = vec![64, 128, 512, 2048];
+        let s = sweep(&p, &pf, LayerId(1), &caps, &MhlaConfig::default());
+        let g = sweep_grid(
+            &p,
+            &pf,
+            &[GridAxis::new(LayerId(1), caps)],
+            &MhlaConfig::default(),
+        );
+        assert_eq!(g.points.len(), s.points.len());
+        for (gp, sp) in g.points.iter().zip(&s.points) {
+            assert_eq!(gp.capacities, vec![sp.capacity]);
+            assert_eq!(gp.result, sp.result);
+        }
+        assert_eq!(g.pareto_cycles(), s.pareto_cycles());
+        assert_eq!(g.pareto_energy(), s.pareto_energy());
+    }
+
+    #[test]
+    fn grid_pareto_surface_is_mutually_non_dominated() {
+        let p = blocked();
+        let pf = Platform::three_level(4096, 512);
+        let axes = [
+            GridAxis::new(LayerId(1), vec![512u64, 1024, 4096]),
+            GridAxis::new(LayerId(2), vec![64u64, 128, 512]),
+        ];
+        let g = sweep_grid(&p, &pf, &axes, &MhlaConfig::default());
+        let front = g.pareto_cycles();
+        assert!(!front.is_empty());
+        for &i in &front {
+            for &j in &front {
+                if i == j {
+                    continue;
+                }
+                let dominated = g.points[j]
+                    .capacities
+                    .iter()
+                    .zip(&g.points[i].capacities)
+                    .all(|(cj, ci)| cj <= ci)
+                    && g.points[j].cycles() <= g.points[i].cycles()
+                    && (g.points[j].capacities != g.points[i].capacities
+                        || g.points[j].cycles() < g.points[i].cycles());
+                assert!(!dominated, "{i} dominated by {j} on the front");
+            }
+        }
+        // The best-cycles point is always on the cycle front.
+        let best = g.best_cycles().unwrap();
+        assert!(front.iter().any(|&i| g.points[i].result == best.result));
+    }
+
+    #[test]
+    fn grid_handles_degenerate_axis_lists() {
+        let p = blocked();
+        let pf = Platform::three_level(4096, 512);
+        let empty = sweep_grid(&p, &pf, &[], &MhlaConfig::default());
+        assert!(empty.points.is_empty());
+        let empty_axis = sweep_grid(
+            &p,
+            &pf,
+            &[
+                GridAxis::new(LayerId(1), vec![1024u64]),
+                GridAxis::new(LayerId(2), Vec::new()),
+            ],
+            &MhlaConfig::default(),
+        );
+        assert!(empty_axis.points.is_empty());
     }
 
     use mhla_ir::Program;

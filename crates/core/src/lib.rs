@@ -4,7 +4,7 @@
 //! Hierarchical Layer Assigning and Prefetching Technique to Overcome the
 //! Memory Performance/Energy Bottleneck"* (Dasygenis, Brockmeyer, Durinck,
 //! Catthoor, Soudris, Thanailakis), on top of the MHLA formulation of
-//! DATE 2003 (Brockmeyer et al., reference [1] of the paper).
+//! DATE 2003 (Brockmeyer et al., reference \[1\] of the paper).
 //!
 //! The exploration flow has the paper's two steps:
 //!
@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod assign;
+pub mod context;
 pub mod cost;
 pub mod explore;
 pub mod multitask;
@@ -69,6 +70,7 @@ mod driver;
 mod types;
 
 pub use classify::{classify_arrays, ArrayClass};
+pub use context::{ExplorationContext, ProgramFacts};
 pub use cost::{ArrayContribution, CostBreakdown, CostModel, IncrementalCost, LayerUsage};
 pub use driver::{Mhla, MhlaResult};
 pub use types::{

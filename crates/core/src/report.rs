@@ -6,7 +6,7 @@ use mhla_ir::Program;
 use mhla_reuse::ReuseAnalysis;
 
 use crate::driver::MhlaResult;
-use crate::explore::Sweep;
+use crate::explore::{GridSweep, Sweep};
 
 /// Renders the paper's four Figure-2 bars for one application as text.
 ///
@@ -118,6 +118,77 @@ pub fn sweep_csv(s: &Sweep) -> String {
     out
 }
 
+/// CSV of a grid sweep: one capacity column per axis (named after the
+/// resized layer), then the same cost columns as [`sweep_csv`].
+pub fn grid_csv(g: &GridSweep) -> String {
+    let mut out = String::new();
+    for l in &g.layers {
+        let _ = write!(out, "capacity_{l},");
+    }
+    out.push_str(
+        "cycles_baseline,cycles_mhla,cycles_mhla_te,cycles_ideal,energy_baseline_pj,energy_mhla_pj\n",
+    );
+    for p in &g.points {
+        for c in &p.capacities {
+            let _ = write!(out, "{c},");
+        }
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.1},{:.1}",
+            p.result.baseline_cycles(),
+            p.result.mhla_cycles(),
+            p.result.mhla_te_cycles(),
+            p.result.ideal_cycles(),
+            p.result.baseline_energy_pj(),
+            p.result.mhla_energy_pj()
+        );
+    }
+    out
+}
+
+/// Renders a grid sweep's Pareto frontier as a table: one row per point on
+/// the cycle and/or energy surface, flagged `C` / `E` / `CE`, in
+/// lexicographic capacity order.
+///
+/// ```text
+/// M1 [B]   M2 [B]   front      mhla+te    energy [uJ]
+/// 1024     256      CE         345678     12.34
+/// ```
+pub fn grid_frontier(g: &GridSweep) -> String {
+    let cycles: std::collections::BTreeSet<usize> = g.pareto_cycles().into_iter().collect();
+    let energy: std::collections::BTreeSet<usize> = g.pareto_energy().into_iter().collect();
+    let mut out = String::new();
+    for l in &g.layers {
+        let _ = write!(out, "{:<9}", format!("{l} [B]"));
+    }
+    let _ = writeln!(
+        out,
+        "{:<7} {:>12} {:>14}",
+        "front", "mhla+te", "energy [uJ]"
+    );
+    for (i, p) in g.points.iter().enumerate() {
+        let (on_c, on_e) = (cycles.contains(&i), energy.contains(&i));
+        if !on_c && !on_e {
+            continue;
+        }
+        for c in &p.capacities {
+            let _ = write!(out, "{c:<9}");
+        }
+        let flag = match (on_c, on_e) {
+            (true, true) => "CE",
+            (true, false) => "C",
+            _ => "E",
+        };
+        let _ = writeln!(
+            out,
+            "{flag:<7} {:>12} {:>14.2}",
+            p.cycles(),
+            p.energy_pj() / 1e6
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +233,33 @@ mod tests {
         let text = describe(&p, &reuse, &r);
         assert!(text.contains("`tab`"), "{text}");
         assert!(text.contains("time extensions: applicable"), "{text}");
+    }
+
+    #[test]
+    fn grid_csv_and_frontier_cover_every_axis() {
+        let (p, _, _) = result();
+        let pf = mhla_hierarchy::Platform::three_level(1024, 128);
+        let g = crate::explore::sweep_grid(
+            &p,
+            &pf,
+            &[
+                crate::explore::GridAxis::new(mhla_hierarchy::LayerId(1), vec![256u64, 1024]),
+                crate::explore::GridAxis::new(mhla_hierarchy::LayerId(2), vec![64u64, 128]),
+            ],
+            &MhlaConfig::default(),
+        );
+        let csv = grid_csv(&g);
+        assert!(
+            csv.starts_with("capacity_M1,capacity_M2,cycles_baseline"),
+            "{csv}"
+        );
+        assert_eq!(csv.lines().count(), 1 + g.points.len());
+        let table = grid_frontier(&g);
+        assert!(
+            table.contains("M1 [B]") && table.contains("M2 [B]"),
+            "{table}"
+        );
+        assert!(table.lines().count() >= 2, "frontier non-empty:\n{table}");
     }
 
     #[test]

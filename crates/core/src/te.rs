@@ -236,18 +236,38 @@ fn no_te(model: &CostModel<'_>, stream: TransferStream) -> BlockTransfer {
 /// Dependency analysis (`dep_analysis` + `loops_between` in Figure 1): the
 /// loop levels across which a BT's initiation may be hoisted.
 ///
+/// Consults the [`ExplorationContext`](crate::ExplorationContext) cache
+/// when the model carries one (the sweep fast path — the freedom loops are
+/// capacity-independent, so one derivation serves every sweep point) and
+/// falls back to [`candidate_freedom`] otherwise.
+fn freedom_loops(model: &CostModel<'_>, stream: &TransferStream) -> Vec<LoopId> {
+    if let Some(cached) = model.cached_freedom(stream.copy.candidate) {
+        return cached.to_vec();
+    }
+    candidate_freedom(
+        model.program(),
+        model.info(),
+        stream.copy.candidate.array,
+        stream.owner,
+    )
+}
+
+/// The freedom loops of one copy candidate, derived from scratch.
+///
 /// Walking outward from the owning loop, a level can be crossed only if no
 /// statement inside it writes the source array — otherwise the data for
 /// the next iteration might not have been produced yet (RAW dependency).
 /// Whole-array copies (one fill before the nest) get no freedom loops in
 /// this model; their single transfer is charged at startup.
-fn freedom_loops(model: &CostModel<'_>, stream: &TransferStream) -> Vec<LoopId> {
-    let Some(owner) = stream.owner else {
+pub(crate) fn candidate_freedom(
+    program: &mhla_ir::Program,
+    info: &mhla_ir::ProgramInfo<'_>,
+    array: mhla_ir::ArrayId,
+    owner: Option<LoopId>,
+) -> Vec<LoopId> {
+    let Some(owner) = owner else {
         return Vec::new();
     };
-    let program = model.program();
-    let info = program.info();
-    let array = stream.copy.candidate.array;
 
     let writes_inside = |l: LoopId| -> bool {
         info.subtree_stmts(NodeId::Loop(l)).iter().any(|&s| {

@@ -147,6 +147,13 @@ impl Platform {
         .expect("three-level platform is well-formed")
     }
 
+    /// [`three_level`](Self::three_level) with representative default
+    /// sizes: a 64 KiB L2 above a 4 KiB L1 — the base platform of the
+    /// multi-layer (L1×L2) grid exploration.
+    pub fn three_level_default() -> Self {
+        Platform::three_level(64 * 1024, 4 * 1024)
+    }
+
     /// Same as [`embedded_default`](Self::embedded_default) but without a
     /// memory transfer engine. Copies must run on the CPU and Time
     /// Extensions are not applicable (paper, §1).
@@ -226,6 +233,29 @@ impl Platform {
         let mut p = self.clone();
         p.layers[layer.0] = MemoryLayer::scratchpad(capacity_bytes);
         p.name = format!("{}@{}", self.name, p.layers[layer.0].name);
+        p
+    }
+
+    /// Returns a copy with several scratchpad layers resized at once
+    /// (energy/latency re-derived per layer) — one point of an
+    /// N-dimensional layer-size grid sweep. Like
+    /// [`with_layer_capacity`](Self::with_layer_capacity), the stack is
+    /// *not* re-validated: grid callers pick their own axes, including
+    /// deliberately non-pyramidal ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer is the off-chip layer or out of range, or any
+    /// capacity is zero.
+    pub fn with_layer_capacities(&self, sizes: &[(LayerId, u64)]) -> Self {
+        let mut p = self.clone();
+        let mut name = self.name.clone();
+        for &(layer, capacity_bytes) in sizes {
+            assert!(layer.0 != 0, "cannot resize the off-chip layer");
+            p.layers[layer.0] = MemoryLayer::scratchpad(capacity_bytes);
+            name = format!("{name}@{}", p.layers[layer.0].name);
+        }
+        p.name = name;
         p
     }
 
@@ -342,6 +372,39 @@ mod tests {
     fn resize_rejects_off_chip_layer() {
         let p = Platform::embedded_default(4 * 1024);
         let _ = p.with_layer_capacity(LayerId(0), 1024);
+    }
+
+    #[test]
+    fn multi_layer_resize_rederives_each_layer() {
+        let p = Platform::three_level_default();
+        let q = p.with_layer_capacities(&[(LayerId(1), 32 * 1024), (LayerId(2), 2 * 1024)]);
+        assert_eq!(q.layer(LayerId(1)).capacity, Some(32 * 1024));
+        assert_eq!(q.layer(LayerId(2)).capacity, Some(2 * 1024));
+        assert_eq!(q.layer(LayerId(0)), p.layer(LayerId(0)));
+        assert_eq!(
+            q.layer(LayerId(2)),
+            &MemoryLayer::scratchpad(2 * 1024),
+            "parameters re-derived from the scaling laws"
+        );
+        assert!(q.name().contains("SPM-32K") && q.name().contains("SPM-2K"));
+        // Resizing one layer leaves the other untouched.
+        let r = p.with_layer_capacities(&[(LayerId(2), 512)]);
+        assert_eq!(r.layer(LayerId(1)), p.layer(LayerId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "off-chip")]
+    fn multi_layer_resize_rejects_off_chip_layer() {
+        let p = Platform::three_level_default();
+        let _ = p.with_layer_capacities(&[(LayerId(0), 1024)]);
+    }
+
+    #[test]
+    fn three_level_default_is_a_64k_4k_pyramid() {
+        let p = Platform::three_level_default();
+        assert_eq!(p.layer(LayerId(1)).capacity, Some(64 * 1024));
+        assert_eq!(p.layer(LayerId(2)).capacity, Some(4 * 1024));
+        assert!(p.dma().is_some());
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl AccessCounts {
 /// parent links, nesting depth, execution counts and access counts.
 ///
 /// Obtained from [`Program::info`]; computation is `O(program size)`.
-#[derive(Debug)]
+/// `Clone` is cheap relative to recomputation (a handful of `Vec`s), so
+/// callers sharing one analysis across many consumers can either borrow it
+/// or clone it.
+#[derive(Clone, Debug)]
 pub struct ProgramInfo<'p> {
     program: &'p Program,
     loop_parent: Vec<Option<LoopId>>,

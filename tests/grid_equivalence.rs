@@ -1,0 +1,104 @@
+//! The multi-layer grid sweep must be *exactly* the composition of
+//! standalone runs — the PR acceptance bar:
+//!
+//! * every grid point on `Platform::three_level` is bit-identical to a
+//!   cold standalone `Mhla::run` on the same platform (same assignment,
+//!   same cost breakdowns including the floating-point energy fields,
+//!   same TE schedule);
+//! * on two-layer platforms a 1-axis grid degenerates to exactly the
+//!   existing `sweep` output — same points, same Pareto fronts — on all
+//!   nine applications.
+
+use mhla::core::explore::{
+    default_capacities, sweep, sweep_grid, sweep_grid_with, GridAxis, SweepOptions,
+};
+use mhla::core::{Mhla, MhlaConfig};
+use mhla::hierarchy::{LayerId, Platform};
+
+#[test]
+fn grid_points_are_bit_identical_to_standalone_runs_on_three_level() {
+    let platform = Platform::three_level_default();
+    let axes = [
+        GridAxis::new(LayerId(1), vec![2048u64, 8192, 32768]),
+        GridAxis::new(LayerId(2), vec![256u64, 1024]),
+    ];
+    let config = MhlaConfig::default();
+    for app in mhla_apps::all_apps() {
+        let grid = sweep_grid(&app.program, &platform, &axes, &config);
+        assert_eq!(grid.points.len(), 6, "{}", app.name());
+        for point in &grid.points {
+            let pf = platform.with_layer_capacities(&[
+                (LayerId(1), point.capacities[0]),
+                (LayerId(2), point.capacities[1]),
+            ]);
+            let standalone = Mhla::new(&app.program, &pf, config.clone()).run();
+            assert_eq!(
+                point.result,
+                standalone,
+                "{} at {:?}: grid point diverges from a standalone run",
+                app.name(),
+                point.capacities
+            );
+        }
+    }
+}
+
+#[test]
+fn single_axis_grid_degenerates_to_the_sweep_on_all_apps() {
+    let caps = default_capacities();
+    let platform = Platform::embedded_default(1024);
+    let config = MhlaConfig::default();
+    for app in mhla_apps::all_apps() {
+        let s = sweep(&app.program, &platform, LayerId(1), &caps, &config);
+        let g = sweep_grid(
+            &app.program,
+            &platform,
+            &[GridAxis::new(LayerId(1), caps.clone())],
+            &config,
+        );
+        assert_eq!(g.points.len(), s.points.len(), "{}", app.name());
+        for (gp, sp) in g.points.iter().zip(&s.points) {
+            assert_eq!(gp.capacities, vec![sp.capacity], "{}", app.name());
+            assert_eq!(
+                gp.result,
+                sp.result,
+                "{} at {} B: grid diverges from sweep",
+                app.name(),
+                sp.capacity
+            );
+        }
+        assert_eq!(g.pareto_cycles(), s.pareto_cycles(), "{}", app.name());
+        assert_eq!(g.pareto_energy(), s.pareto_energy(), "{}", app.name());
+    }
+}
+
+#[test]
+fn grid_options_do_not_change_results() {
+    // Chunking, warm starts and the thread fan-out are pure wall-time
+    // knobs: the grid's points are identical under every combination, so
+    // results never depend on the machine's core count.
+    let platform = Platform::three_level_default();
+    let axes = [
+        GridAxis::new(LayerId(1), vec![2048u64, 8192, 32768]),
+        GridAxis::new(LayerId(2), vec![128u64, 512, 2048]),
+    ];
+    let config = MhlaConfig::default();
+    let app = mhla_apps::video_encoder::app();
+    let reference = sweep_grid(&app.program, &platform, &axes, &config);
+    for warm_start in [false, true] {
+        for parallel in [false, true] {
+            for chunk in [1usize, 2, 64] {
+                let opts = SweepOptions {
+                    warm_start,
+                    parallel,
+                    chunk,
+                };
+                let g = sweep_grid_with(&app.program, &platform, &axes, &config, opts);
+                assert_eq!(g.points.len(), reference.points.len());
+                for (a, b) in g.points.iter().zip(&reference.points) {
+                    assert_eq!(a.result, b.result, "{opts:?}");
+                }
+            }
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access, so this crate provides the
 //! API subset the workspace's property tests use: the [`proptest!`] macro,
-//! [`Strategy`] with `prop_map`, integer-range / tuple / array / vec
+//! [`Strategy`](strategy::Strategy) with `prop_map`, integer-range / tuple / array / vec
 //! strategies, `any::<bool>()`, `any::<prop::sample::Index>()`, and the
 //! `prop_assert*` / `prop_assume!` macros.
 //!
@@ -234,7 +234,7 @@ pub mod prop {
         use crate::strategy::Strategy;
         use crate::test_runner::TestRng;
 
-        /// Anything usable as the size argument of [`vec`].
+        /// Anything usable as the size argument of [`vec()`].
         pub trait SizeRange {
             /// Draws a concrete length.
             fn draw(&self, rng: &mut TestRng) -> usize;
@@ -263,7 +263,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<S, R> {
             element: S,
             size: R,
