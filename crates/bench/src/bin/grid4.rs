@@ -1,0 +1,86 @@
+//! Pruned four-level grid-sweep tracker: measures the pruned L1×L2×L3
+//! grid sweep (`mhla_core::explore::sweep_grid_pruned`) against the
+//! exhaustive Cartesian product over the eight-application suite on
+//! `Platform::four_level_default`, verifies the pruned frontier is
+//! point-for-point the exhaustive one, prints the frontier of one app, and
+//! writes `BENCH_grid4.json` at the workspace root.
+//!
+//! Run with `cargo run --release -p mhla-bench --bin grid4`.
+
+use mhla_bench::{default_grid4_axes, grid4_perf_json, measure_grid4_perf, write_results};
+use mhla_core::explore::sweep_grid_pruned;
+use mhla_core::{report, MhlaConfig};
+use mhla_hierarchy::Platform;
+
+fn main() {
+    let perfs = measure_grid4_perf(3);
+
+    println!("L1xL2xL3 grid sweep: exhaustive vs pruned (both sequential, cold)");
+    println!(
+        "{:<18} {:>6} {:>6} {:>8} {:>7} {:>13} {:>12} {:>8} {:>9}",
+        "application",
+        "cand",
+        "eval",
+        "skipped",
+        "skip%",
+        "exhaust [ms]",
+        "pruned [ms]",
+        "speedup",
+        "identical"
+    );
+    for p in &perfs {
+        println!(
+            "{:<18} {:>6} {:>6} {:>8} {:>6.1}% {:>13.3} {:>12.3} {:>7.2}x {:>9}",
+            p.app,
+            p.stats.candidates,
+            p.stats.evaluated,
+            p.stats.skipped(),
+            100.0 * p.stats.skip_ratio(),
+            p.exhaustive_seconds * 1e3,
+            p.pruned_seconds * 1e3,
+            p.speedup(),
+            p.frontier_identical && p.points_identical,
+        );
+    }
+    let exhaustive: f64 = perfs.iter().map(|p| p.exhaustive_seconds).sum();
+    let pruned: f64 = perfs.iter().map(|p| p.pruned_seconds).sum();
+    let candidates: usize = perfs.iter().map(|p| p.stats.candidates).sum();
+    let evaluated: usize = perfs.iter().map(|p| p.stats.evaluated).sum();
+    println!(
+        "suite: {candidates} candidates, {evaluated} evaluated ({} skipped, {:.1}%), \
+         exhaustive {:.1} ms, pruned {:.1} ms, speedup {:.2}x",
+        candidates - evaluated,
+        100.0 * (candidates - evaluated) as f64 / candidates.max(1) as f64,
+        exhaustive * 1e3,
+        pruned * 1e3,
+        exhaustive / pruned.max(f64::MIN_POSITIVE),
+    );
+
+    // The joint three-axis frontier of one representative app.
+    let app = mhla_apps::hierarchical_me::app();
+    let grid = sweep_grid_pruned(
+        &app.program,
+        &Platform::four_level_default(),
+        &default_grid4_axes(),
+        &MhlaConfig::default(),
+    );
+    println!();
+    println!(
+        "{}: L1xL2xL3 Pareto frontier (C = cycles front, E = energy front)",
+        app.name()
+    );
+    print!("{}", report::grid_frontier(&grid.sweep));
+    write_results(
+        &format!("grid4_{}.csv", app.name()),
+        &report::grid_csv(&grid.sweep),
+    );
+
+    let json = grid4_perf_json(&perfs);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_grid4.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("note: could not write BENCH_grid4.json: {e}"),
+    }
+}

@@ -357,6 +357,187 @@ pub fn default_grid_axes() -> Vec<mhla_core::explore::GridAxis> {
     ]
 }
 
+/// The default L1×L2×L3 grid of the pruned four-level benchmark on
+/// [`Platform::four_level_default`]: L3 (`M1`) from 16 KiB to 256 KiB
+/// (with a 192 KiB step), L2 (`M2`) from 2 KiB to 32 KiB, L1 (`M3`) from
+/// 256 B to 1 KiB — 90 joint sizing points per app. The upper parts of
+/// the L3/L2 axes extend past the suite's working sets, which is exactly
+/// where the saturation rule of
+/// [`mhla_core::explore::sweep_grid_pruned`] collapses the grid: beyond
+/// the size at which a layer stops rejecting anything, larger sizes
+/// provably repeat the same search.
+///
+/// The axes overlap, so the grid deliberately visits non-pyramidal stacks
+/// (e.g. a 32 KiB L2 above a 16 KiB L3) — [`Platform::four_level`]
+/// asserts a pyramid for the *preset*, but grid exploration goes through
+/// `Platform::with_layer_capacities`, whose documented contract is to not
+/// re-validate: joint sizing is exactly where the interesting inversions
+/// live (the frontier routinely lands on them).
+pub fn default_grid4_axes() -> Vec<mhla_core::explore::GridAxis> {
+    use mhla_core::explore::GridAxis;
+    use mhla_hierarchy::LayerId;
+    let mut l3: Vec<u64> = (14..=18).map(|e| 1u64 << e).collect();
+    l3.push(192 * 1024);
+    vec![
+        GridAxis::new(LayerId(1), l3),
+        GridAxis::new(LayerId(2), (11..=15).map(|e| 1u64 << e).collect::<Vec<_>>()),
+        GridAxis::new(LayerId(3), (8..=10).map(|e| 1u64 << e).collect::<Vec<_>>()),
+    ]
+}
+
+/// Exhaustive vs pruned timings and counts for one application's
+/// four-level (L1×L2×L3) grid sweep.
+///
+/// *Exhaustive* evaluates the full Cartesian product with
+/// [`mhla_core::explore::sweep_grid_with`] (sequential, cold — the same
+/// per-point machinery and semantics as the pruned path, so the delta is
+/// the pruning itself). *Pruned* is
+/// [`mhla_core::explore::sweep_grid_pruned`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Grid4Perf {
+    /// Application name.
+    pub app: String,
+    /// The pruned sweep's own bookkeeping (candidates, evaluated, skip
+    /// counts and ratios).
+    pub stats: mhla_core::explore::PruneStats,
+    /// Best-of-`repeats` wall time of the exhaustive sweep, seconds.
+    pub exhaustive_seconds: f64,
+    /// Best-of-`repeats` wall time of the pruned sweep, seconds.
+    pub pruned_seconds: f64,
+    /// Whether the pruned cycles and energy frontiers are point-for-point
+    /// (capacities + full results) those of the exhaustive grid.
+    pub frontier_identical: bool,
+    /// Whether every evaluated pruned point is bit-identical to the
+    /// exhaustive point at the same capacity vector.
+    pub points_identical: bool,
+}
+
+impl Grid4Perf {
+    /// exhaustive / pruned wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.exhaustive_seconds / self.pruned_seconds.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The frontier of a grid as owned `(capacities, result)` pairs — the
+/// representation the pruned-vs-exhaustive comparisons use (indices shift
+/// when points are skipped; the underlying points must not).
+pub fn grid_frontier_points(
+    g: &mhla_core::explore::GridSweep,
+    indices: &[usize],
+) -> Vec<(Vec<u64>, mhla_core::MhlaResult)> {
+    indices
+        .iter()
+        .map(|&i| (g.points[i].capacities.clone(), g.points[i].result.clone()))
+        .collect()
+}
+
+/// Measures exhaustive vs pruned four-level grid sweeps over
+/// [`sweep_suite`], best of `repeats` runs per path, verifying frontier
+/// and per-point identity.
+pub fn measure_grid4_perf(repeats: usize) -> Vec<Grid4Perf> {
+    use mhla_core::explore::{sweep_grid_pruned, sweep_grid_with, SweepOptions};
+    use mhla_core::MhlaConfig;
+
+    let axes = default_grid4_axes();
+    let platform = Platform::four_level_default();
+    let config = MhlaConfig::default();
+    // Sequential *cold* exhaustive reference: the pruned sweep evaluates
+    // every point cold (its canonical, standalone-identical semantics), so
+    // the reference must too — the timing delta then isolates pruning.
+    let opts = SweepOptions {
+        parallel: false,
+        warm_start: false,
+        ..SweepOptions::default()
+    };
+    sweep_suite()
+        .iter()
+        .map(|app| {
+            let mut exhaustive_s = f64::INFINITY;
+            let mut pruned_s = f64::INFINITY;
+            let mut exhaustive = None;
+            let mut pruned = None;
+            for _ in 0..repeats.max(1) {
+                let t = std::time::Instant::now();
+                exhaustive = Some(sweep_grid_with(
+                    &app.program,
+                    &platform,
+                    &axes,
+                    &config,
+                    opts,
+                ));
+                exhaustive_s = exhaustive_s.min(t.elapsed().as_secs_f64());
+                let t = std::time::Instant::now();
+                pruned = Some(sweep_grid_pruned(&app.program, &platform, &axes, &config));
+                pruned_s = pruned_s.min(t.elapsed().as_secs_f64());
+            }
+            let (exhaustive, pruned) = (exhaustive.expect("ran"), pruned.expect("ran"));
+            let frontier_identical = grid_frontier_points(&exhaustive, &exhaustive.pareto_cycles())
+                == grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_cycles())
+                && grid_frontier_points(&exhaustive, &exhaustive.pareto_energy())
+                    == grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_energy());
+            let points_identical = pruned.sweep.points.iter().all(|pp| {
+                exhaustive
+                    .points
+                    .iter()
+                    .find(|ep| ep.capacities == pp.capacities)
+                    .is_some_and(|ep| ep.result == pp.result)
+            });
+            Grid4Perf {
+                app: app.name().to_string(),
+                stats: pruned.stats,
+                exhaustive_seconds: exhaustive_s,
+                pruned_seconds: pruned_s,
+                frontier_identical,
+                points_identical,
+            }
+        })
+        .collect()
+}
+
+/// Renders [`Grid4Perf`] rows as the `BENCH_grid4.json` document tracked
+/// at the workspace root.
+pub fn grid4_perf_json(perfs: &[Grid4Perf]) -> String {
+    let exhaustive: f64 = perfs.iter().map(|p| p.exhaustive_seconds).sum();
+    let pruned: f64 = perfs.iter().map(|p| p.pruned_seconds).sum();
+    let candidates: usize = perfs.iter().map(|p| p.stats.candidates).sum();
+    let evaluated: usize = perfs.iter().map(|p| p.stats.evaluated).sum();
+    let skipped: usize = perfs.iter().map(|p| p.stats.skipped()).sum();
+    let all_identical = perfs
+        .iter()
+        .all(|p| p.frontier_identical && p.points_identical);
+    let mut out = String::from("{\n  \"bench\": \"grid_sweep_l1_l2_l3_pruned\",\n  \"apps\": [\n");
+    for (i, p) in perfs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"candidates\": {}, \"evaluated\": {}, \
+             \"skipped_saturated\": {}, \"skipped_floor\": {}, \"skip_ratio\": {:.3}, \
+             \"exhaustive_seconds\": {:.6}, \"pruned_seconds\": {:.6}, \"speedup\": {:.2}, \
+             \"frontier_identical\": {}, \"points_identical\": {}}}{}\n",
+            p.app,
+            p.stats.candidates,
+            p.stats.evaluated,
+            p.stats.skipped_saturated,
+            p.stats.skipped_floor,
+            p.stats.skip_ratio(),
+            p.exhaustive_seconds,
+            p.pruned_seconds,
+            p.speedup(),
+            p.frontier_identical,
+            p.points_identical,
+            if i + 1 < perfs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"suite\": {{\"candidates\": {candidates}, \"evaluated\": {evaluated}, \
+         \"skipped\": {skipped}, \"skip_ratio\": {:.3}, \
+         \"exhaustive_seconds\": {exhaustive:.6}, \"pruned_seconds\": {pruned:.6}, \
+         \"speedup\": {:.2}, \"all_identical\": {all_identical}}}\n}}\n",
+        skipped as f64 / candidates.max(1) as f64,
+        exhaustive / pruned.max(f64::MIN_POSITIVE),
+    ));
+    out
+}
+
 /// Shared-context vs per-point-rebuild timings for one application's
 /// L1×L2 grid sweep.
 ///

@@ -22,7 +22,7 @@ use mhla_ir::ArrayId;
 
 use crate::classify::ArrayClass;
 use crate::cost::{CostBreakdown, CostModel, IncrementalCost};
-use crate::types::{Assignment, MhlaConfig, Objective, SelectedCopy, TransferPolicy};
+use crate::types::{mark_layer, Assignment, MhlaConfig, Objective, SelectedCopy, TransferPolicy};
 
 impl Objective {
     /// Scalar score of a cost breakdown (lower is better).
@@ -169,7 +169,23 @@ pub fn greedy(model: &CostModel<'_>, config: &MhlaConfig) -> SearchOutcome {
 pub fn greedy_from(model: &CostModel<'_>, config: &MhlaConfig, start: Assignment) -> SearchOutcome {
     let options = enumerate_options(model, config);
     let mut cache: Vec<Option<CachedTrial>> = (0..options.len()).map(|_| None).collect();
-    greedy_search(model, config, start, &options, &mut cache)
+    greedy_search(model, config, start, &options, &mut cache, &mut 0)
+}
+
+/// How the capacity constraints interacted with one greedy portfolio run —
+/// the facts the pruned grid sweep needs to recognize *capacity-saturated*
+/// points (see [`explore`](crate::explore)).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SearchStats {
+    /// Bitmask (by layer index) of the layers at which a capacity probe of
+    /// the cold (baseline-started) search first overflowed. A layer whose
+    /// bit is clear never rejected a move: growing only such layers cannot
+    /// change the search's trajectory.
+    pub cold_constrained_layers: u64,
+    /// The warm-started portfolio leg strictly beat the cold result and
+    /// replaced it (can happen on deep hierarchies; the pruned sweep runs
+    /// cold precisely so its results stay standalone-identical).
+    pub warm_overrode: bool,
 }
 
 /// Greedy search portfolio: always runs the cold (baseline-started)
@@ -229,25 +245,49 @@ pub fn greedy_portfolio_with(
     warm: Option<&Assignment>,
     moves: &MoveSet,
 ) -> SearchOutcome {
+    greedy_portfolio_stats(model, config, warm, moves).0
+}
+
+/// [`greedy_portfolio_with`], additionally reporting how the capacity
+/// constraints bound the run (see [`SearchStats`]). The outcome is
+/// byte-for-byte the one `greedy_portfolio_with` returns.
+pub fn greedy_portfolio_stats(
+    model: &CostModel<'_>,
+    config: &MhlaConfig,
+    warm: Option<&Assignment>,
+    moves: &MoveSet,
+) -> (SearchOutcome, SearchStats) {
     let options = &moves.moves;
     let mut cache: Vec<Option<CachedTrial>> = (0..options.len()).map(|_| None).collect();
+    let mut stats = SearchStats {
+        cold_constrained_layers: 0,
+        warm_overrode: false,
+    };
     let baseline = Assignment::baseline(model.program().array_count(), config.policy);
-    let cold = greedy_search(model, config, baseline, options, &mut cache);
+    let cold = greedy_search(
+        model,
+        config,
+        baseline,
+        options,
+        &mut cache,
+        &mut stats.cold_constrained_layers,
+    );
     let Some(start) = warm else {
-        return cold;
+        return (cold, stats);
     };
     // A greedy result is a fixed point: searching from it goes nowhere. If
     // the warm start coincides with the cold solution (the common case in
     // a capacity sweep — adjacent points often share the optimum), the
     // warm search provably returns it unchanged, so skip it.
     if *start == cold.assignment {
-        return cold;
+        return (cold, stats);
     }
-    let warmed = greedy_search(model, config, start.clone(), options, &mut cache);
+    let warmed = greedy_search(model, config, start.clone(), options, &mut cache, &mut 0);
     if config.objective.score(&warmed.cost) < config.objective.score(&cold.cost) {
-        warmed
+        stats.warm_overrode = true;
+        (warmed, stats)
     } else {
-        cold
+        (cold, stats)
     }
 }
 
@@ -279,12 +319,18 @@ struct CachedTrial {
 /// move costs `O(arrays)` additions plus an `O(residents)` capacity probe —
 /// the full [`CostModel::evaluate`] is never called inside the loop, and
 /// neither is the assignment cloned per candidate.
+///
+/// `constrained_layers` accumulates (as a bitmask by layer index) the
+/// first-overflow layer of every failed capacity probe — the signal the
+/// pruned grid sweep uses to recognize which layers actually bound the
+/// search.
 fn greedy_search(
     model: &CostModel<'_>,
     config: &MhlaConfig,
     start: Assignment,
     options: &[Move],
     cache: &mut [Option<CachedTrial>],
+    constrained_layers: &mut u64,
 ) -> SearchOutcome {
     let mut inc = IncrementalCost::new(model, start);
     let mut current_score = config.objective.score(inc.cost());
@@ -318,8 +364,12 @@ fn greedy_search(
             if gain <= 0.0 {
                 continue;
             }
-            let Some(size) = inc.onchip_required_with_residents(array, &entry.residents) else {
-                continue; // some on-chip layer overflows
+            let size = match inc.probe_required(array, &entry.residents) {
+                Ok(size) => size,
+                Err(layer) => {
+                    mark_layer(constrained_layers, layer);
+                    continue; // some on-chip layer overflows
+                }
             };
             let extra = size.saturating_sub(current_size);
             // Ratio steering: free wins (no extra bytes) dominate any
@@ -560,6 +610,19 @@ pub fn baseline(model: &CostModel<'_>, policy: TransferPolicy) -> SearchOutcome 
 /// and capacity is checked by *sum* of sizes — out-of-the-box code does
 /// not share storage between lifetimes.
 pub fn direct_placement(model: &CostModel<'_>, policy: TransferPolicy) -> SearchOutcome {
+    direct_placement_stats(model, policy).0
+}
+
+/// [`direct_placement`], additionally reporting (as a bitmask by layer
+/// index) the layers whose remaining capacity *rejected* an eligible
+/// array during placement. A layer whose bit is clear never turned an
+/// array away: growing only such layers reproduces the identical
+/// placement — one leg of the pruned grid sweep's saturation argument.
+/// Arrays that fit nowhere mark every on-chip layer.
+pub fn direct_placement_stats(
+    model: &CostModel<'_>,
+    policy: TransferPolicy,
+) -> (SearchOutcome, u64) {
     let program = model.program();
     let info = program.info();
     let mut a = Assignment::baseline(program.array_count(), policy);
@@ -589,6 +652,7 @@ pub fn direct_placement(model: &CostModel<'_>, policy: TransferPolicy) -> Search
         .map(|(l, layer)| (l, layer.capacity.unwrap_or(u64::MAX)))
         .collect();
     remaining.reverse(); // closest first
+    let mut constrained_layers = 0u64;
     for (aid, bytes, _) in eligible {
         for slot in remaining.iter_mut() {
             if bytes <= slot.1 {
@@ -596,14 +660,18 @@ pub fn direct_placement(model: &CostModel<'_>, policy: TransferPolicy) -> Search
                 slot.1 -= bytes;
                 break;
             }
+            mark_layer(&mut constrained_layers, slot.0);
         }
     }
     let cost = model.evaluate(&a);
-    SearchOutcome {
-        assignment: a,
-        cost,
-        steps: 0,
-    }
+    (
+        SearchOutcome {
+            assignment: a,
+            cost,
+            steps: 0,
+        },
+        constrained_layers,
+    )
 }
 
 #[cfg(test)]

@@ -46,6 +46,11 @@ pub struct ProgramFacts<'p> {
     pub(crate) array_accesses: Vec<Vec<(StmtId, AccessKind)>>,
     /// Pure datapath cycles of one program run.
     pub(crate) total_compute: u64,
+    /// Total read-access executions of one program run (all arrays) —
+    /// input of [`CostModel::cost_floor`](crate::CostModel::cost_floor).
+    pub(crate) total_read_execs: u64,
+    /// Total write-access executions of one program run.
+    pub(crate) total_write_execs: u64,
     /// Sorted, deduped union of every interval endpoint a resident can
     /// have (array spans and candidate spans) — the coordinate set of the
     /// incremental occupancy ledger in
@@ -84,9 +89,14 @@ impl<'p> ProgramFacts<'p> {
             .map(|&r| info.compute_cycles(r))
             .sum();
         let mut array_accesses = vec![Vec::new(); program.array_count()];
+        let (mut total_read_execs, mut total_write_execs) = (0u64, 0u64);
         for (sid, stmt) in program.stmts() {
             for acc in &stmt.accesses {
                 array_accesses[acc.array.index()].push((sid, acc.kind));
+                match acc.kind {
+                    AccessKind::Read => total_read_execs += stmt_execs[sid.index()],
+                    AccessKind::Write => total_write_execs += stmt_execs[sid.index()],
+                }
             }
         }
         let occupancy_times = occupancy_times(program, reuse, &timeline);
@@ -97,6 +107,8 @@ impl<'p> ProgramFacts<'p> {
             stmt_execs,
             array_accesses,
             total_compute,
+            total_read_execs,
+            total_write_execs,
             occupancy_times,
             te: None,
         }

@@ -233,6 +233,27 @@ pub(crate) fn stream_template(
     }
 }
 
+/// Capacity-monotone lower bounds on the cost of *any* assignment of a
+/// (program, platform) pair — the lower-bound hook of the pruned grid
+/// sweep ([`explore`](crate::explore)).
+///
+/// Derivation: `mhla_te_cycles = compute + CPU access cycles + residual
+/// stalls ≥ compute + Σ execs · min-layer access cycles`, and `energy =
+/// CPU access energy + transfer energy ≥ Σ execs · min-layer access
+/// energy` (per access direction; transfers ≥ 0). Both minima are taken
+/// over every layer of the platform, so the bounds hold regardless of
+/// which layers serve which accesses. They are monotone in the layer
+/// capacities (the scaling laws never get cheaper as a layer grows), so a
+/// grid point whose *floor* is already dominated by an evaluated point
+/// with componentwise-smaller capacities can be skipped losslessly.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CostFloor {
+    /// No assignment on this platform finishes in fewer cycles.
+    pub cycles: u64,
+    /// No assignment on this platform uses less memory energy, picojoule.
+    pub energy_pj: f64,
+}
+
 /// Static estimator for a fixed (program, platform) pair.
 ///
 /// Construction caches the derived program facts ([`ProgramFacts`]:
@@ -317,6 +338,25 @@ impl<'a> CostModel<'a> {
     /// The full shared fact bundle this model prices against.
     pub fn facts(&self) -> &ProgramFacts<'a> {
         &self.facts
+    }
+
+    /// The platform's [`CostFloor`]: capacity-monotone lower bounds on any
+    /// assignment's cycles and energy. `O(layers)` — the access totals are
+    /// cached in the program facts.
+    pub fn cost_floor(&self) -> CostFloor {
+        let mut min_cycles = u64::MAX;
+        let (mut min_read, mut min_write) = (f64::INFINITY, f64::INFINITY);
+        for (lid, layer) in self.platform.layers() {
+            min_cycles = min_cycles.min(self.platform.access_cycles(lid));
+            min_read = min_read.min(layer.read_energy_pj);
+            min_write = min_write.min(layer.write_energy_pj);
+        }
+        let accesses = self.facts.total_read_execs + self.facts.total_write_execs;
+        CostFloor {
+            cycles: self.facts.total_compute + accesses * min_cycles,
+            energy_pj: self.facts.total_read_execs as f64 * min_read
+                + self.facts.total_write_execs as f64 * min_write,
+        }
     }
 
     /// The cached freedom loops of a candidate, when an
@@ -756,9 +796,14 @@ impl OccupancyLedger {
     }
 
     /// Capacity probe: peak per layer with `old` (the touched array's
-    /// cached residents) removed and `trial` added. `None` when a layer
-    /// overflows, otherwise the summed on-chip requirement.
-    fn probe(&self, old: &[(LayerId, Resident)], trial: &[(LayerId, Resident)]) -> Option<u64> {
+    /// cached residents) removed and `trial` added. `Err` names the first
+    /// overflowing layer (in platform order), `Ok` the summed on-chip
+    /// requirement.
+    fn probe(
+        &self,
+        old: &[(LayerId, Resident)],
+        trial: &[(LayerId, Resident)],
+    ) -> Result<u64, LayerId> {
         let mut total = 0u64;
         let mut scratch = self.scratch.borrow_mut();
         for (lid, capacity, delta) in &self.layers {
@@ -768,11 +813,11 @@ impl OccupancyLedger {
             self.splice(&mut scratch, *lid, trial, 1);
             let required = Self::peak(&scratch);
             if required > *capacity {
-                return None;
+                return Err(*lid);
             }
             total += required;
         }
-        Some(total)
+        Ok(total)
     }
 
     /// Total on-chip bytes required by the committed state.
@@ -937,6 +982,20 @@ impl<'m, 'a> IncrementalCost<'m, 'a> {
         array: ArrayId,
         trial: &[(LayerId, Resident)],
     ) -> Option<u64> {
+        self.probe_required(array, trial).ok()
+    }
+
+    /// [`onchip_required_with_residents`](Self::onchip_required_with_residents)
+    /// reporting the *first overflowing layer* (in platform order) on
+    /// failure. The greedy search records these layers: a run whose failed
+    /// probes all stopped at layers a grid sweep does not grow reproduces
+    /// identically on the grown platform — the per-layer saturation
+    /// argument of the pruned grid sweep.
+    pub fn probe_required(
+        &self,
+        array: ArrayId,
+        trial: &[(LayerId, Resident)],
+    ) -> Result<u64, LayerId> {
         self.occupancy.probe(&self.residents[array.index()], trial)
     }
 

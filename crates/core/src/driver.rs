@@ -65,6 +65,50 @@ impl MhlaResult {
     }
 }
 
+/// How the layer capacities bound one production run — the side channel
+/// the pruned grid sweep ([`explore`](crate::explore)) uses to recognize
+/// *capacity-saturated* directions. Not part of [`MhlaResult`], so results
+/// stay byte-for-byte comparable across all run paths.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunStats {
+    /// Bitmask (by layer index) of the layers whose capacity actively
+    /// bound the run: a cold greedy probe first overflowed there, TE
+    /// rejected an extension there, or direct placement turned an array
+    /// away there. Layers with a clear bit never rejected anything —
+    /// growing only those layers reproduces the identical run (same
+    /// assignment, same TE schedule, equal cycles under a
+    /// capacity-independent cycle landscape, and monotonically ≥ energy).
+    pub constrained_layers: u64,
+    /// The portfolio kept the cold result (the warm leg never overrode).
+    /// Trivially true for cold runs (`warm = None`).
+    pub cold_result_kept: bool,
+    /// The run tracked constraints at all (greedy strategy only; other
+    /// strategies report `false` and are never treated as saturated).
+    pub tracked: bool,
+}
+
+impl RunStats {
+    /// Whether the run provably reproduces itself when only the given
+    /// layer grows — the per-layer saturation leg of the pruned grid
+    /// sweep's losslessness argument.
+    pub fn allows_growth_of(&self, layer: mhla_hierarchy::LayerId) -> bool {
+        self.tracked
+            && self.cold_result_kept
+            && crate::types::layer_mask_bit(layer)
+                .is_some_and(|bit| self.constrained_layers & bit == 0)
+    }
+
+    /// The conservative default for paths that do not track constraints
+    /// (exhaustive search, the frozen reference flow): never saturated.
+    fn unknown() -> Self {
+        RunStats {
+            constrained_layers: u64::MAX,
+            cold_result_kept: false,
+            tracked: false,
+        }
+    }
+}
+
 /// Runs MHLA (assignment + time extensions) on a program/platform pair.
 ///
 /// Borrows the program and platform for the duration of the run; the
@@ -200,17 +244,33 @@ impl<'a> Mhla<'a> {
         warm: Option<&Assignment>,
         moves: Option<&assign::MoveSet>,
     ) -> MhlaResult {
+        self.run_with_stats(warm, moves).0
+    }
+
+    /// [`run_with`](Mhla::run_with), additionally reporting how the layer
+    /// capacities bound the run ([`RunStats`]). The result is byte-for-byte
+    /// the one `run_with` returns; the stats are a pure side channel. Only
+    /// the greedy strategy tracks constraints — other strategies report the
+    /// conservative "unknown" (never saturated) stats.
+    pub fn run_with_stats(
+        &self,
+        warm: Option<&Assignment>,
+        moves: Option<&assign::MoveSet>,
+    ) -> (MhlaResult, RunStats) {
         let model = self.cost_model();
-        let outcome = match (self.config.strategy, moves) {
+        let (outcome, stats) = match (self.config.strategy, moves) {
             (crate::types::SearchStrategy::Greedy, Some(m)) => {
-                assign::greedy_portfolio_with(&model, &self.config, warm, m)
+                let (o, s) = assign::greedy_portfolio_stats(&model, &self.config, warm, m);
+                (o, Some(s))
             }
             (crate::types::SearchStrategy::Greedy, None) => {
-                assign::greedy_portfolio(&model, &self.config, warm)
+                let m = assign::enumerate_moves(&model, &self.config);
+                let (o, s) = assign::greedy_portfolio_stats(&model, &self.config, warm, &m);
+                (o, Some(s))
             }
-            _ => assign::search(&model, &self.config),
+            _ => (assign::search(&model, &self.config), None),
         };
-        self.finish(&model, outcome)
+        self.finish(&model, outcome, stats)
     }
 
     /// The frozen pre-optimization flow: the greedy search re-prices every
@@ -226,15 +286,23 @@ impl<'a> Mhla<'a> {
             crate::types::SearchStrategy::Greedy => assign::greedy_oracle(&model, &self.config),
             _ => assign::search(&model, &self.config),
         };
-        self.finish(&model, outcome)
+        self.finish(&model, outcome, None).0
     }
 
     /// The shared tail of every flow: baseline fallback, Time Extensions,
     /// result assembly. One implementation so the reference and production
     /// paths can only differ in the search itself — which is exactly what
-    /// the cold/fast equivalence tests compare.
-    fn finish(&self, model: &CostModel<'_>, mut outcome: assign::SearchOutcome) -> MhlaResult {
-        let baseline = assign::direct_placement(model, self.config.policy);
+    /// the cold/fast equivalence tests compare. `search_stats` is the
+    /// greedy portfolio's constraint report when the caller tracked one;
+    /// `None` yields the conservative "unknown" [`RunStats`].
+    fn finish(
+        &self,
+        model: &CostModel<'_>,
+        mut outcome: assign::SearchOutcome,
+        search_stats: Option<assign::SearchStats>,
+    ) -> (MhlaResult, RunStats) {
+        let (baseline, placement_constrained) =
+            assign::direct_placement_stats(model, self.config.policy);
         // The search is a heuristic and can, on rare corner cases, end in
         // a local optimum worse than the out-of-the-box placement. A real
         // tool never returns an assignment worse than its input: fall back
@@ -243,22 +311,36 @@ impl<'a> Mhla<'a> {
         {
             outcome = baseline.clone();
         }
-        let te = if self.config.disable_te {
-            TeSchedule {
-                applicable: self.platform.dma().is_some(),
-                transfers: Vec::new(),
-            }
+        let (te, te_constrained) = if self.config.disable_te {
+            (
+                TeSchedule {
+                    applicable: self.platform.dma().is_some(),
+                    transfers: Vec::new(),
+                },
+                0,
+            )
         } else {
-            te::plan(model, &outcome.assignment)
+            te::plan_with_stats(model, &outcome.assignment)
         };
-        MhlaResult {
+        let stats = match search_stats {
+            Some(s) => RunStats {
+                constrained_layers: s.cold_constrained_layers
+                    | te_constrained
+                    | placement_constrained,
+                cold_result_kept: !s.warm_overrode,
+                tracked: true,
+            },
+            None => RunStats::unknown(),
+        };
+        let result = MhlaResult {
             assignment: outcome.assignment,
             baseline_assignment: baseline.assignment,
             baseline_cost: baseline.cost,
             assignment_cost: outcome.cost,
             te,
             search_steps: outcome.steps,
-        }
+        };
+        (result, stats)
     }
 }
 

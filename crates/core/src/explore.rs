@@ -21,19 +21,30 @@
 //! chunk each point warm-starts the greedy search from its predecessor
 //! along the innermost axis.
 //!
+//! [`sweep_grid_pruned`] is the sub-exhaustive production path for large
+//! grids: points that provably cannot contribute a Pareto point are
+//! skipped *without evaluation* (see its documentation for the two prune
+//! rules and the losslessness argument); `tests/prune_equivalence.rs`
+//! verifies the pruned frontier bit-for-bit against the exhaustive one.
+//!
 //! [`sweep_cold`] keeps the frozen pre-optimization reference path:
 //! strictly sequential, every point re-analyzed and searched from scratch.
 //! The `tradeoff` bench and the equivalence tests compare the paths; their
 //! Pareto fronts must be identical.
+//!
+//! Pareto filtering is shared between [`Sweep`] and [`GridSweep`] through
+//! [`pareto::front`] — the sort-based sweep that replaced the seed's
+//! all-pairs dominance scan.
 
 use rayon::prelude::*;
 
-use mhla_hierarchy::{LayerId, Platform};
+use mhla_hierarchy::{energy::sram_access_cycles, LayerId, Platform};
 use mhla_ir::Program;
 
 use crate::context::ExplorationContext;
 use crate::driver::{Mhla, MhlaResult};
-use crate::types::{Assignment, MhlaConfig};
+use crate::pareto;
+use crate::types::{Assignment, MhlaConfig, Objective, SearchStrategy};
 
 /// One point of the capacity sweep.
 #[derive(Clone, PartialEq, Debug)]
@@ -92,20 +103,16 @@ impl Sweep {
     }
 }
 
-/// Pareto filter for points sorted by ascending capacity: keep a point iff
-/// its objective strictly improves on everything at smaller-or-equal
-/// capacity.
+/// Pareto filter over (capacity, objective): keep a point iff no other
+/// point has smaller-or-equal capacity and objective without being the
+/// exact same point. Shared with the grid sweep through the sort-based
+/// [`pareto::front`].
 fn pareto_indices(points: &[SweepPoint], objective: impl Fn(&SweepPoint) -> f64) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut best = f64::INFINITY;
-    for (i, p) in points.iter().enumerate() {
-        let v = objective(p);
-        if v < best {
-            best = v;
-            out.push(i);
-        }
-    }
-    out
+    let coords: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| vec![p.capacity as f64, objective(p)])
+        .collect();
+    pareto::front(&coords)
 }
 
 /// Default capacity grid: powers of two from 128 B to 128 KiB.
@@ -340,32 +347,26 @@ impl GridSweep {
 }
 
 /// The multi-dimensional Pareto filter: point `i` survives iff no point
-/// `j` has every capacity ≤ `i`'s, objective ≤ `i`'s, and is strictly
-/// smaller in at least one of those coordinates.
+/// `j` has every capacity ≤ `i`'s, objective ≤ `i`'s, and is not the
+/// exact same `(capacities, objective)` point.
 ///
 /// Capacity vectors in a grid are unique, so for the 1-axis case (points
 /// in ascending capacity order) this degenerates to "keep iff the
 /// objective strictly improves on everything at smaller capacity" — the
 /// exact filter of [`Sweep::pareto_cycles`] (asserted by the grid
-/// equivalence tests).
+/// equivalence tests). Implemented with the sort-based
+/// [`pareto::front`]; `pareto::front_quadratic` keeps the seed's all-pairs
+/// scan as the test oracle.
 fn dominance_front(points: &[GridPoint], objective: impl Fn(&GridPoint) -> f64) -> Vec<usize> {
-    let obj: Vec<f64> = points.iter().map(&objective).collect();
-    (0..points.len())
-        .filter(|&i| {
-            !(0..points.len()).any(|j| {
-                if j == i {
-                    return false;
-                }
-                let caps_le = points[j]
-                    .capacities
-                    .iter()
-                    .zip(&points[i].capacities)
-                    .all(|(cj, ci)| cj <= ci);
-                let strict = points[j].capacities != points[i].capacities || obj[j] < obj[i];
-                caps_le && obj[j] <= obj[i] && strict
-            })
+    let coords: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            let mut c: Vec<f64> = p.capacities.iter().map(|&c| c as f64).collect();
+            c.push(objective(p));
+            c
         })
-        .collect()
+        .collect();
+    pareto::front(&coords)
 }
 
 /// Cartesian product of the outer axes, lexicographic. An empty axis list
@@ -485,6 +486,223 @@ pub fn sweep_grid_with(
     GridSweep {
         layers,
         points: per_task.into_iter().flatten().collect(),
+    }
+}
+
+/// Bookkeeping of one [`sweep_grid_pruned`] run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PruneStats {
+    /// Points of the full Cartesian product.
+    pub candidates: usize,
+    /// Points actually evaluated (searched).
+    pub evaluated: usize,
+    /// Points skipped by the saturation rule.
+    pub skipped_saturated: usize,
+    /// Points skipped by the cost-floor rule.
+    pub skipped_floor: usize,
+}
+
+impl PruneStats {
+    /// Points skipped without evaluation.
+    pub fn skipped(&self) -> usize {
+        self.skipped_saturated + self.skipped_floor
+    }
+
+    /// Fraction of the Cartesian product skipped (0 on an empty grid).
+    pub fn skip_ratio(&self) -> f64 {
+        self.skipped() as f64 / self.candidates.max(1) as f64
+    }
+}
+
+/// Result of [`sweep_grid_pruned`]: the evaluated subset of the grid (in
+/// lexicographic order, like [`GridSweep`]) plus the prune bookkeeping.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PrunedGridSweep {
+    /// The evaluated points. Skipped points are absent, but the Pareto
+    /// surfaces ([`GridSweep::pareto_cycles`] / `pareto_energy`) are
+    /// point-for-point those of the exhaustive grid.
+    pub sweep: GridSweep,
+    /// How many points were evaluated vs skipped, and why.
+    pub stats: PruneStats,
+}
+
+/// `q ≤ p` in every coordinate without being the same vector.
+fn caps_dominate(q: &[u64], p: &[u64]) -> bool {
+    q != p && q.iter().zip(p).all(|(a, b)| a <= b)
+}
+
+/// The sub-exhaustive grid sweep: like [`sweep_grid`], but capacity
+/// vectors that provably cannot contribute a Pareto point are skipped
+/// *without running the search*. Lossless: every skipped point is
+/// dominated on both the cycles and the energy surface by an evaluated
+/// point, so [`GridSweep::pareto_cycles`] / `pareto_energy` of the result
+/// select exactly the frontier of the exhaustive grid
+/// (`tests/prune_equivalence.rs` asserts this bit-for-bit on all nine
+/// applications).
+///
+/// Every evaluated point runs *cold* (no warm start), so each result is
+/// bit-identical to a standalone [`Mhla::run`] on the same platform — the
+/// canonical semantics the losslessness proof and the equivalence harness
+/// build on. Two prune rules apply, both conservative:
+///
+/// 1. **Per-layer saturation.** Under the cycles objective with every
+///    axis inside one scratchpad latency class, per-access cycles and
+///    block-transfer times are capacity-independent — capacities enter
+///    the search only through *feasibility*, which is monotone (anything
+///    that fits keeps fitting as layers grow). Each evaluated run records
+///    which layers actually *bound* it
+///    ([`RunStats`](crate::RunStats)): the first-overflow layer of every
+///    failed greedy probe, every layer at which TE rejected an extension,
+///    every layer that turned an array away during direct placement. If
+///    point `p` differs from an evaluated point `q ≤ p` only on layers
+///    that never bound `q`'s run, the run at `p` replays `q`'s decision
+///    for decision — failed probes still fail (their overflow layer is
+///    unchanged), successful ones still succeed (capacities only grew) —
+///    yielding the same assignment and TE schedule, hence *equal cycles*
+///    and, because per-access energies are monotone in capacity, *no
+///    lower energy*. `p` is dominated by `q` on both surfaces and is
+///    skipped. Growth is additionally required to stay inside the grown
+///    layer's scratchpad latency class (the cycle landscape is only
+///    capacity-independent within one class), checked per point pair.
+/// 2. **Cost floor.** [`CostModel::cost_floor`](crate::CostModel::cost_floor)
+///    bounds any assignment's cycles and energy from below using only the
+///    point's layer parameters. If some evaluated point with
+///    componentwise-smaller capacities already meets the floor on cycles
+///    *and* some evaluated point does so on energy, the point cannot beat
+///    either incumbent and is skipped.
+///
+/// Both rules only ever skip points dominated by an *evaluated* point, so
+/// dominance transitivity keeps every surface intact (anything a skipped
+/// point would dominate is already dominated by its dominator). When the
+/// preconditions of rule 1 do not hold (energy/weighted objective or a
+/// non-greedy strategy), the rule disarms itself and the sweep degrades
+/// towards exhaustive — never towards a wrong frontier.
+///
+/// # Panics
+///
+/// Panics if any axis names the off-chip layer or a layer out of range,
+/// or if any capacity is zero.
+pub fn sweep_grid_pruned(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+) -> PrunedGridSweep {
+    let layers: Vec<LayerId> = axes.iter().map(|a| a.layer).collect();
+    let axis_caps: Vec<Vec<u64>> = axes
+        .iter()
+        .map(|a| clean_capacities(&a.capacities))
+        .collect();
+    if axis_caps.is_empty() || axis_caps.iter().any(Vec::is_empty) {
+        return PrunedGridSweep {
+            sweep: GridSweep {
+                layers,
+                points: Vec::new(),
+            },
+            stats: PruneStats::default(),
+        };
+    }
+
+    let ctx = ExplorationContext::new(program, platform, config.clone());
+
+    // The saturation rule is valid only while the search's cycle landscape
+    // is capacity-independent: cycles objective (access latencies and
+    // block-transfer times do not scale with capacity inside one latency
+    // class; energies do) and greedy strategy (the instrumented search).
+    // The latency-class condition is checked per point pair, per differing
+    // axis, so axes may span latency break-points — pruning simply never
+    // crosses one.
+    let saturation_armed =
+        config.objective == Objective::Cycles && config.strategy == SearchStrategy::Greedy;
+
+    let mut stats = PruneStats {
+        candidates: axis_caps.iter().map(Vec::len).product(),
+        ..PruneStats::default()
+    };
+    // Every evaluated point: capacities and reported (cycles, energy) —
+    // the incumbents of the cost-floor rule.
+    struct Evaluated {
+        capacities: Vec<u64>,
+        cycles: u64,
+        energy_pj: f64,
+    }
+    // Rule-1 dominator candidates: evaluated points with at least one
+    // *growable* axis (per-axis, precomputed from the run's
+    // constrained-layer mask). Points whose run was bound on every axis
+    // can never justify a skip and never enter this list, which keeps the
+    // per-candidate scan short — on fully capacity-bound apps it is
+    // empty. (Both scans are still linear in their list; a spatial index
+    // over the capacity lattice would be the next step for 10⁵+ grids.)
+    struct Replayable {
+        capacities: Vec<u64>,
+        growable: Vec<bool>,
+    }
+    let mut seen: Vec<Evaluated> = Vec::new();
+    let mut replayable: Vec<Replayable> = Vec::new();
+    let mut points: Vec<GridPoint> = Vec::new();
+
+    for capacities in cartesian(&axis_caps) {
+        // Rule 1: an evaluated q ≤ p whose run was not bound by any layer
+        // on which p grows — with every grown layer staying inside its
+        // scratchpad latency class — would replay identically at p.
+        if saturation_armed
+            && replayable.iter().any(|q| {
+                caps_dominate(&q.capacities, &capacities)
+                    && q.capacities.iter().zip(&capacities).zip(&q.growable).all(
+                        |((&qc, &pc), &growable)| {
+                            qc == pc
+                                || (growable && sram_access_cycles(qc) == sram_access_cycles(pc))
+                        },
+                    )
+            })
+        {
+            stats.skipped_saturated += 1;
+            continue;
+        }
+        let sizes: Vec<(LayerId, u64)> = layers
+            .iter()
+            .copied()
+            .zip(capacities.iter().copied())
+            .collect();
+        let pf = platform.with_layer_capacities(&sizes);
+        // Rule 2: incumbents at or below the point's cost floor. The
+        // energy scan only runs once the cycles scan has found a
+        // dominator — a miss on either side keeps the point.
+        let floor = ctx.cost_model(&pf).cost_floor();
+        let floor_dominated = seen
+            .iter()
+            .any(|q| caps_dominate(&q.capacities, &capacities) && q.cycles <= floor.cycles)
+            && seen.iter().any(|q| {
+                caps_dominate(&q.capacities, &capacities) && q.energy_pj <= floor.energy_pj
+            });
+        if floor_dominated {
+            stats.skipped_floor += 1;
+            continue;
+        }
+
+        let mhla = Mhla::with_context(&ctx, &pf);
+        let (result, run) = mhla.run_with_stats(None, Some(ctx.moves()));
+        if saturation_armed {
+            let growable: Vec<bool> = layers.iter().map(|&l| run.allows_growth_of(l)).collect();
+            if growable.iter().any(|&g| g) {
+                replayable.push(Replayable {
+                    capacities: capacities.clone(),
+                    growable,
+                });
+            }
+        }
+        seen.push(Evaluated {
+            capacities: capacities.clone(),
+            cycles: result.mhla_te_cycles(),
+            energy_pj: result.mhla_energy_pj(),
+        });
+        stats.evaluated += 1;
+        points.push(GridPoint { capacities, result });
+    }
+
+    PrunedGridSweep {
+        sweep: GridSweep { layers, points },
+        stats,
     }
 }
 

@@ -62,6 +62,7 @@ pub mod context;
 pub mod cost;
 pub mod explore;
 pub mod multitask;
+pub mod pareto;
 pub mod report;
 pub mod te;
 
@@ -71,8 +72,10 @@ mod types;
 
 pub use classify::{classify_arrays, ArrayClass};
 pub use context::{ExplorationContext, ProgramFacts};
-pub use cost::{ArrayContribution, CostBreakdown, CostModel, IncrementalCost, LayerUsage};
-pub use driver::{Mhla, MhlaResult};
+pub use cost::{
+    ArrayContribution, CostBreakdown, CostFloor, CostModel, IncrementalCost, LayerUsage,
+};
+pub use driver::{Mhla, MhlaResult, RunStats};
 pub use types::{
     Assignment, AssignmentError, MhlaConfig, Objective, SearchStrategy, SelectedCopy,
     TransferPolicy,

@@ -118,30 +118,70 @@ pub fn sweep_csv(s: &Sweep) -> String {
     out
 }
 
+/// The fixed cost columns shared by [`sweep_csv`] and [`grid_csv`].
+const COST_COLUMNS: [&str; 6] = [
+    "cycles_baseline",
+    "cycles_mhla",
+    "cycles_mhla_te",
+    "cycles_ideal",
+    "energy_baseline_pj",
+    "energy_mhla_pj",
+];
+
+/// RFC 4180 field escaping: fields containing a comma, quote, CR or LF are
+/// quoted (with quotes doubled); everything else passes through unchanged.
+fn csv_field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// CSV of a grid sweep: one capacity column per axis (named after the
 /// resized layer), then the same cost columns as [`sweep_csv`].
+///
+/// Every row is assembled field-by-field against the header, so the
+/// column count can never silently drift from the axis count when grids
+/// grow new dimensions, and axis labels are CSV-escaped.
+///
+/// # Panics
+///
+/// Panics if a point's capacity vector does not match the axis count —
+/// such a `GridSweep` is malformed.
 pub fn grid_csv(g: &GridSweep) -> String {
-    let mut out = String::new();
-    for l in &g.layers {
-        let _ = write!(out, "capacity_{l},");
-    }
-    out.push_str(
-        "cycles_baseline,cycles_mhla,cycles_mhla_te,cycles_ideal,energy_baseline_pj,energy_mhla_pj\n",
-    );
+    let header: Vec<String> = g
+        .layers
+        .iter()
+        .map(|l| csv_field(&format!("capacity_{l}")))
+        .chain(COST_COLUMNS.iter().map(|c| c.to_string()))
+        .collect();
+    let mut out = header.join(",");
+    out.push('\n');
     for p in &g.points {
-        for c in &p.capacities {
-            let _ = write!(out, "{c},");
-        }
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{:.1},{:.1}",
-            p.result.baseline_cycles(),
-            p.result.mhla_cycles(),
-            p.result.mhla_te_cycles(),
-            p.result.ideal_cycles(),
-            p.result.baseline_energy_pj(),
-            p.result.mhla_energy_pj()
+        assert_eq!(
+            p.capacities.len(),
+            g.layers.len(),
+            "grid point has {} capacities for {} axes",
+            p.capacities.len(),
+            g.layers.len()
         );
+        let row: Vec<String> = p
+            .capacities
+            .iter()
+            .map(|c| c.to_string())
+            .chain([
+                p.result.baseline_cycles().to_string(),
+                p.result.mhla_cycles().to_string(),
+                p.result.mhla_te_cycles().to_string(),
+                p.result.ideal_cycles().to_string(),
+                format!("{:.1}", p.result.baseline_energy_pj()),
+                format!("{:.1}", p.result.mhla_energy_pj()),
+            ])
+            .collect();
+        debug_assert_eq!(row.len(), header.len());
+        out.push_str(&row.join(","));
+        out.push('\n');
     }
     out
 }
@@ -260,6 +300,49 @@ mod tests {
             "{table}"
         );
         assert!(table.lines().count() >= 2, "frontier non-empty:\n{table}");
+    }
+
+    #[test]
+    fn grid_csv_three_axis_header_matches_every_row() {
+        // Guard against silent header drift when grids grow axes (bit us
+        // when PR 2 generalized the grid to N dimensions).
+        let (p, _, _) = result();
+        let pf = mhla_hierarchy::Platform::four_level(4096, 1024, 128);
+        let g = crate::explore::sweep_grid(
+            &p,
+            &pf,
+            &[
+                crate::explore::GridAxis::new(mhla_hierarchy::LayerId(1), vec![2048u64, 4096]),
+                crate::explore::GridAxis::new(mhla_hierarchy::LayerId(2), vec![512u64, 1024]),
+                crate::explore::GridAxis::new(mhla_hierarchy::LayerId(3), vec![64u64, 128]),
+            ],
+            &MhlaConfig::default(),
+        );
+        assert_eq!(g.points.len(), 8);
+        let csv = grid_csv(&g);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(
+            header,
+            "capacity_M1,capacity_M2,capacity_M3,cycles_baseline,cycles_mhla,\
+             cycles_mhla_te,cycles_ideal,energy_baseline_pj,energy_mhla_pj"
+        );
+        let cols = header.split(',').count();
+        assert_eq!(cols, 3 + 6);
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols, "row arity drift: {line}");
+            rows += 1;
+        }
+        assert_eq!(rows, g.points.len());
+    }
+
+    #[test]
+    fn csv_fields_are_escaped() {
+        assert_eq!(csv_field("capacity_M1"), "capacity_M1");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
     }
 
     #[test]

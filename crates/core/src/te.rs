@@ -115,6 +115,19 @@ impl TeSchedule {
 
 /// Runs the TE step (Figure 1) on a fixed assignment.
 pub fn plan(model: &CostModel<'_>, assignment: &Assignment) -> TeSchedule {
+    plan_with_stats(model, assignment).0
+}
+
+/// [`plan`], additionally reporting (as a bitmask by layer index) the
+/// layers at which the `fits_size` buffer check first overflowed and
+/// rejected an extension. A layer whose bit is clear never blocked an
+/// extension: every stop there was "fully time extended" or exhausted
+/// freedom — capacity-independent conditions — so the same schedule
+/// reproduces verbatim when only such layers grow (one leg of the pruned
+/// grid sweep's saturation argument). The schedule is byte-for-byte the
+/// one [`plan`] returns.
+pub fn plan_with_stats(model: &CostModel<'_>, assignment: &Assignment) -> (TeSchedule, u64) {
+    let mut constrained_layers = 0u64;
     let streams = model.transfer_streams(assignment);
     let Some(dma) = model.platform().dma() else {
         // No memory transfer engine: TE not applicable (paper, §1).
@@ -122,10 +135,13 @@ pub fn plan(model: &CostModel<'_>, assignment: &Assignment) -> TeSchedule {
             .into_iter()
             .map(|stream| no_te(model, stream))
             .collect();
-        return TeSchedule {
-            applicable: false,
-            transfers,
-        };
+        return (
+            TeSchedule {
+                applicable: false,
+                transfers,
+            },
+            constrained_layers,
+        );
     };
 
     // --- Figure 1, first loop: build the BT list with times, sort factors
@@ -173,8 +189,11 @@ pub fn plan(model: &CostModel<'_>, assignment: &Assignment) -> TeSchedule {
             // fits_size(BT(i), loop): one more buffer for this copy.
             let mut trial = buffers.clone();
             trial.insert(bt.stream.copy.candidate, (k + 2) as u32);
-            if model.check_capacity(assignment, &trial).is_err() {
+            if let Err(e) = model.check_capacity(assignment, &trial) {
                 // Extension not valid: stop extending this BT.
+                if let crate::types::AssignmentError::CapacityExceeded { layer, .. } = e {
+                    crate::types::mark_layer(&mut constrained_layers, layer);
+                }
                 break;
             }
             // cpu_cycles = compute_loop_cycles(): one iteration window of
@@ -200,10 +219,13 @@ pub fn plan(model: &CostModel<'_>, assignment: &Assignment) -> TeSchedule {
         bt.priority = i as u32;
     }
 
-    TeSchedule {
-        applicable: true,
-        transfers: bts,
-    }
+    (
+        TeSchedule {
+            applicable: true,
+            transfers: bts,
+        },
+        constrained_layers,
+    )
 }
 
 fn no_te(model: &CostModel<'_>, stream: TransferStream) -> BlockTransfer {

@@ -72,6 +72,21 @@ pub struct MhlaConfig {
     pub disable_te: bool,
 }
 
+/// Bit of `layer` in a constrained-layer bitmask; `None` beyond 64 layers
+/// (readers treat such layers as permanently constrained). The single
+/// definition of the mask encoding shared by the greedy search, the TE
+/// planner, direct placement and [`RunStats`](crate::RunStats).
+pub(crate) fn layer_mask_bit(layer: LayerId) -> Option<u64> {
+    (layer.index() < u64::BITS as usize).then(|| 1u64 << layer.index())
+}
+
+/// Sets `layer`'s bit in a constrained-layer bitmask.
+pub(crate) fn mark_layer(mask: &mut u64, layer: LayerId) {
+    if let Some(bit) = layer_mask_bit(layer) {
+        *mask |= bit;
+    }
+}
+
 /// One selected copy: a candidate staged into an on-chip layer.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SelectedCopy {

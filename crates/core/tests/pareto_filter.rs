@@ -1,0 +1,119 @@
+//! Property tests for the sort-based Pareto filter: on arbitrary point
+//! clouds — ties, exact duplicates, degenerate axes included — the
+//! production [`pareto::front`] must select exactly the indices of the
+//! frozen all-pairs oracle [`pareto::front_quadratic`], and the grid /
+//! sweep surfaces built on it must be mutually non-dominated and
+//! complete.
+//!
+//! Small coordinate ranges are used on purpose: they force coordinate
+//! collisions and duplicate points, the classic failure modes of swept
+//! dominance filters.
+
+use mhla_core::pareto;
+use proptest::prelude::*;
+
+/// The filter semantics, restated independently of both implementations:
+/// `i` survives iff no `j` is componentwise ≤ with a different vector.
+fn survives_naive(points: &[Vec<f64>], i: usize) -> bool {
+    !points
+        .iter()
+        .enumerate()
+        .any(|(j, q)| j != i && q.iter().zip(&points[i]).all(|(a, b)| a <= b) && *q != points[i])
+}
+
+fn to_points(raw: &[Vec<u8>]) -> Vec<Vec<f64>> {
+    raw.iter()
+        .map(|p| p.iter().map(|&c| c as f64).collect())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn two_dim_clouds_match_the_oracle(
+        raw in prop::collection::vec(prop::collection::vec(0u8..8, 2..=2), 0..40)
+    ) {
+        let points = to_points(&raw);
+        let fast = pareto::front(&points);
+        let oracle = pareto::front_quadratic(&points);
+        prop_assert_eq!(&fast, &oracle);
+        for i in 0..points.len() {
+            prop_assert_eq!(fast.contains(&i), survives_naive(&points, i), "index {}", i);
+        }
+    }
+
+    #[test]
+    fn three_dim_clouds_match_the_oracle(
+        raw in prop::collection::vec(prop::collection::vec(0u8..6, 3..=3), 0..40)
+    ) {
+        let points = to_points(&raw);
+        prop_assert_eq!(pareto::front(&points), pareto::front_quadratic(&points));
+    }
+
+    #[test]
+    fn four_dim_clouds_match_the_oracle(
+        raw in prop::collection::vec(prop::collection::vec(0u8..5, 4..=4), 0..40)
+    ) {
+        let points = to_points(&raw);
+        prop_assert_eq!(pareto::front(&points), pareto::front_quadratic(&points));
+    }
+
+    #[test]
+    fn one_dim_clouds_match_the_oracle(
+        raw in prop::collection::vec(prop::collection::vec(0u8..8, 1..=1), 0..40)
+    ) {
+        let points = to_points(&raw);
+        prop_assert_eq!(pareto::front(&points), pareto::front_quadratic(&points));
+    }
+
+    #[test]
+    fn cycles_energy_clouds_with_wide_range_match(
+        raw in prop::collection::vec((0u32..1000, 0u32..1000), 0..60)
+    ) {
+        // The (cycles, energy) shape of the sweep surfaces: wide range,
+        // occasional collisions.
+        let points: Vec<Vec<f64>> = raw
+            .iter()
+            .map(|&(c, e)| vec![c as f64, e as f64])
+            .collect();
+        prop_assert_eq!(pareto::front(&points), pareto::front_quadratic(&points));
+    }
+
+    #[test]
+    fn front_members_are_mutually_non_dominated_and_cover(
+        raw in prop::collection::vec(prop::collection::vec(0u8..6, 3..=3), 1..40)
+    ) {
+        let points = to_points(&raw);
+        let front = pareto::front(&points);
+        prop_assert!(!front.is_empty(), "a nonempty cloud has a nonempty front");
+        // Ascending input order, no duplicates.
+        prop_assert!(front.windows(2).all(|w| w[0] < w[1]));
+        // Every non-member is dominated by some member.
+        for i in 0..points.len() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    front.iter().any(|&j| {
+                        points[j].iter().zip(&points[i]).all(|(a, b)| a <= b)
+                            && points[j] != points[i]
+                    }),
+                    "dropped point {} not dominated by any front member",
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_survive_or_fall_together(
+        raw in prop::collection::vec(prop::collection::vec(0u8..4, 2..=2), 0..24)
+    ) {
+        let points = to_points(&raw);
+        let front = pareto::front(&points);
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                if points[i] == points[j] {
+                    prop_assert_eq!(front.contains(&i), front.contains(&j));
+                }
+            }
+        }
+    }
+}

@@ -154,6 +154,55 @@ impl Platform {
         Platform::three_level(64 * 1024, 4 * 1024)
     }
 
+    /// A four-level hierarchy: SDRAM + L3 + L2 + L1 scratchpads — the deep
+    /// stack of the L1×L2×L3 grid exploration (`M1` = L3 is the largest
+    /// on-chip layer, `M3` = L1 the closest).
+    ///
+    /// Passing `l3_bytes == 0` collapses the stack to
+    /// [`three_level`](Self::three_level)`(l2_bytes, l1_bytes)`: a
+    /// zero-byte scratchpad is no scratchpad, and the differential tests
+    /// rely on the degenerate preset reproducing the three-level results
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes do not form a pyramid
+    /// (`l1 < l2 < l3` with `l1`, `l2` nonzero).
+    pub fn four_level(l3_bytes: u64, l2_bytes: u64, l1_bytes: u64) -> Self {
+        if l3_bytes == 0 {
+            return Platform::three_level(l2_bytes, l1_bytes);
+        }
+        assert!(
+            l1_bytes < l2_bytes && l2_bytes < l3_bytes,
+            "four-level stack must be a pyramid: L1 ({l1_bytes} B) < L2 \
+             ({l2_bytes} B) < L3 ({l3_bytes} B)"
+        );
+        Platform::new(
+            format!(
+                "embedded-l3-{}k-l2-{}k-l1-{}k",
+                l3_bytes / 1024,
+                l2_bytes / 1024,
+                l1_bytes / 1024
+            ),
+            vec![
+                MemoryLayer::off_chip_sdram(),
+                MemoryLayer::scratchpad(l3_bytes),
+                MemoryLayer::scratchpad(l2_bytes),
+                MemoryLayer::scratchpad(l1_bytes),
+            ],
+            Some(DmaModel::single_channel()),
+            CpuModel::default(),
+        )
+        .expect("four-level platform is well-formed")
+    }
+
+    /// [`four_level`](Self::four_level) with representative default sizes:
+    /// a 32 KiB L3 above an 8 KiB L2 above a 1 KiB L1 — the base platform
+    /// of the pruned L1×L2×L3 grid exploration.
+    pub fn four_level_default() -> Self {
+        Platform::four_level(32 * 1024, 8 * 1024, 1024)
+    }
+
     /// Same as [`embedded_default`](Self::embedded_default) but without a
     /// memory transfer engine. Copies must run on the CPU and Time
     /// Extensions are not applicable (paper, §1).
@@ -397,6 +446,35 @@ mod tests {
     fn multi_layer_resize_rejects_off_chip_layer() {
         let p = Platform::three_level_default();
         let _ = p.with_layer_capacities(&[(LayerId(0), 1024)]);
+    }
+
+    #[test]
+    fn four_level_is_a_pyramid_with_dma() {
+        let p = Platform::four_level(32 * 1024, 8 * 1024, 1024);
+        assert_eq!(p.layer_count(), 4);
+        let caps: Vec<_> = p.layers().map(|(_, l)| l.capacity).collect();
+        assert_eq!(
+            caps,
+            vec![None, Some(32 * 1024), Some(8 * 1024), Some(1024)]
+        );
+        // Energy strictly decreases toward the CPU.
+        let e: Vec<_> = p.layers().map(|(_, l)| l.read_energy_pj).collect();
+        assert!(e[0] > e[1] && e[1] > e[2] && e[2] >= e[3]);
+        assert!(p.dma().is_some());
+        assert_eq!(p, Platform::four_level_default());
+    }
+
+    #[test]
+    fn four_level_with_zero_l3_collapses_to_three_level() {
+        let p = Platform::four_level(0, 8 * 1024, 1024);
+        assert_eq!(p, Platform::three_level(8 * 1024, 1024));
+        assert_eq!(p.layer_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pyramid")]
+    fn four_level_rejects_inverted_pyramid() {
+        let _ = Platform::four_level(8 * 1024, 32 * 1024, 1024);
     }
 
     #[test]

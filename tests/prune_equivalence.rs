@@ -1,0 +1,252 @@
+//! The pruned four-level grid exploration must be *provably lossless* —
+//! the PR acceptance bar, enforced here on all nine applications over the
+//! default L1×L2×L3 grid of `Platform::four_level_default`:
+//!
+//! * every point the pruned sweep evaluates is bit-identical to the same
+//!   point of the exhaustive grid (and to a cold standalone `Mhla::run`);
+//! * the pruned cycles and energy Pareto frontiers are *bit-identical* to
+//!   the exhaustive frontiers — same capacity vectors, same full
+//!   `MhlaResult`s — even though the pruned sweep never evaluated the
+//!   skipped points;
+//! * the pruning is real: ≥ 30 % of the candidate points are skipped
+//!   across the suite, with per-point bookkeeping that adds up;
+//! * disarming conditions degrade to exhaustive, never to a wrong
+//!   frontier.
+
+use mhla::core::explore::{sweep_grid_pruned, sweep_grid_with, GridAxis, GridSweep, SweepOptions};
+use mhla::core::{Mhla, MhlaConfig, Objective};
+use mhla::hierarchy::{LayerId, Platform};
+use mhla_bench::{default_grid4_axes, grid_frontier_points};
+
+/// The exhaustive reference: every point of the Cartesian product, cold —
+/// the canonical semantics in which every grid point equals a standalone
+/// run.
+fn exhaustive(app: &mhla_apps::Application, axes: &[GridAxis], config: &MhlaConfig) -> GridSweep {
+    sweep_grid_with(
+        &app.program,
+        &Platform::four_level_default(),
+        axes,
+        config,
+        SweepOptions {
+            warm_start: false,
+            ..SweepOptions::default()
+        },
+    )
+}
+
+#[test]
+fn pruned_four_level_frontier_is_bit_identical_on_all_nine_apps() {
+    let axes = default_grid4_axes();
+    let config = MhlaConfig::default();
+    let mut suite_candidates = 0usize;
+    let mut suite_skipped = 0usize;
+
+    for app in mhla_apps::all_apps() {
+        let full = exhaustive(&app, &axes, &config);
+        let pruned = sweep_grid_pruned(
+            &app.program,
+            &Platform::four_level_default(),
+            &axes,
+            &config,
+        );
+
+        // Bookkeeping adds up and matches the grid shapes.
+        let stats = pruned.stats;
+        assert_eq!(stats.candidates, full.points.len(), "{}", app.name());
+        assert_eq!(stats.evaluated, pruned.sweep.points.len(), "{}", app.name());
+        assert_eq!(
+            stats.evaluated + stats.skipped_saturated + stats.skipped_floor,
+            stats.candidates,
+            "{}",
+            app.name()
+        );
+        suite_candidates += stats.candidates;
+        suite_skipped += stats.skipped();
+
+        // Every evaluated point is bit-identical to the exhaustive point
+        // at the same capacity vector.
+        for pp in &pruned.sweep.points {
+            let ep = full
+                .points
+                .iter()
+                .find(|ep| ep.capacities == pp.capacities)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{}: pruned point {:?} not in the grid",
+                        app.name(),
+                        pp.capacities
+                    )
+                });
+            assert_eq!(
+                ep.result,
+                pp.result,
+                "{} at {:?}: pruned point diverges from exhaustive",
+                app.name(),
+                pp.capacities
+            );
+        }
+
+        // The frontiers are bit-identical: same capacity vectors carrying
+        // the same full results, in the same (lexicographic) order.
+        assert_eq!(
+            grid_frontier_points(&full, &full.pareto_cycles()),
+            grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_cycles()),
+            "{}: cycles frontier diverges",
+            app.name()
+        );
+        assert_eq!(
+            grid_frontier_points(&full, &full.pareto_energy()),
+            grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_energy()),
+            "{}: energy frontier diverges",
+            app.name()
+        );
+    }
+
+    // The pruning is real: at least 30 % of the default grid is skipped
+    // across the suite (deterministic — skip decisions depend only on the
+    // searches, not on timing).
+    let ratio = suite_skipped as f64 / suite_candidates as f64;
+    assert!(
+        ratio >= 0.30,
+        "only {suite_skipped}/{suite_candidates} = {:.1}% of candidate points skipped",
+        100.0 * ratio
+    );
+}
+
+#[test]
+fn pruned_points_match_cold_standalone_runs() {
+    // Spot-check the canonical semantics on one mid-size app: every
+    // evaluated pruned point equals a from-scratch standalone run.
+    let app = mhla_apps::sobel_edge::app();
+    let platform = Platform::four_level_default();
+    let config = MhlaConfig::default();
+    let pruned = sweep_grid_pruned(&app.program, &platform, &default_grid4_axes(), &config);
+    assert!(
+        pruned.stats.skipped() > 0,
+        "default grid must actually prune"
+    );
+    for point in &pruned.sweep.points {
+        let pf = platform.with_layer_capacities(&[
+            (LayerId(1), point.capacities[0]),
+            (LayerId(2), point.capacities[1]),
+            (LayerId(3), point.capacities[2]),
+        ]);
+        let standalone = Mhla::new(&app.program, &pf, config.clone()).run();
+        assert_eq!(point.result, standalone, "at {:?}", point.capacities);
+    }
+}
+
+#[test]
+fn non_cycles_objectives_disarm_saturation_but_stay_lossless() {
+    // Under the energy objective the saturation rule must disarm (the
+    // move gains are capacity-dependent); the sweep may still floor-prune
+    // but must reproduce the exhaustive frontier regardless.
+    let app = mhla_apps::fir_bank::app();
+    let config = MhlaConfig {
+        objective: Objective::Energy,
+        ..MhlaConfig::default()
+    };
+    let axes = default_grid4_axes();
+    let full = exhaustive(&app, &axes, &config);
+    let pruned = sweep_grid_pruned(
+        &app.program,
+        &Platform::four_level_default(),
+        &axes,
+        &config,
+    );
+    assert_eq!(pruned.stats.skipped_saturated, 0, "saturation must disarm");
+    assert_eq!(
+        grid_frontier_points(&full, &full.pareto_cycles()),
+        grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_cycles()),
+    );
+    assert_eq!(
+        grid_frontier_points(&full, &full.pareto_energy()),
+        grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_energy()),
+    );
+}
+
+#[test]
+fn cost_floor_rule_fires_on_transfer_free_programs() {
+    // A program whose optimum is transfer-free — one internal temporary,
+    // written once and then re-read — achieves the cost floor exactly:
+    // every access served at 1 cycle from the cheapest layer, zero
+    // transfer energy. Under the energy objective the saturation rule is
+    // disarmed, so any skipping below must come from the cost-floor rule:
+    // the small point's achieved (cycles, energy) is at or below every
+    // larger point's floor (per-access energies are clamped equal below
+    // 1 KiB), which dominates those points sight unseen.
+    use mhla::ir::{ElemType, ProgramBuilder};
+    let mut b = ProgramBuilder::new("tmp_scan");
+    let tmp = b.array("tmp", &[64], ElemType::U8);
+    b.loop_scope("w", 0, 64, 1, |b, lw| {
+        let i = b.var(lw);
+        b.stmt("write")
+            .write(tmp, vec![i])
+            .compute_cycles(1)
+            .finish();
+    });
+    b.loop_scope("rep", 0, 200, 1, |b, _| {
+        b.loop_scope("r", 0, 64, 1, |b, lr| {
+            let j = b.var(lr);
+            b.stmt("read").read(tmp, vec![j]).compute_cycles(1).finish();
+        });
+    });
+    let program = b.finish();
+
+    let platform = Platform::three_level(1024, 256);
+    let axes = [
+        GridAxis::new(LayerId(1), vec![512u64, 1024]),
+        GridAxis::new(LayerId(2), vec![128u64, 256, 512]),
+    ];
+    let config = MhlaConfig {
+        objective: Objective::Energy,
+        ..MhlaConfig::default()
+    };
+    let pruned = sweep_grid_pruned(&program, &platform, &axes, &config);
+    assert_eq!(pruned.stats.skipped_saturated, 0, "saturation is disarmed");
+    assert!(
+        pruned.stats.skipped_floor > 0,
+        "cost-floor rule must fire on a floor-achieving program: {:?}",
+        pruned.stats
+    );
+
+    // Lossless regardless: the frontier matches the exhaustive grid.
+    let full = sweep_grid_with(
+        &program,
+        &platform,
+        &axes,
+        &config,
+        SweepOptions {
+            warm_start: false,
+            ..SweepOptions::default()
+        },
+    );
+    assert_eq!(
+        grid_frontier_points(&full, &full.pareto_cycles()),
+        grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_cycles()),
+    );
+    assert_eq!(
+        grid_frontier_points(&full, &full.pareto_energy()),
+        grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_energy()),
+    );
+}
+
+#[test]
+fn degenerate_axes_yield_empty_pruned_sweeps() {
+    let app = mhla_apps::fir_bank::app();
+    let platform = Platform::four_level_default();
+    let config = MhlaConfig::default();
+    let empty = sweep_grid_pruned(&app.program, &platform, &[], &config);
+    assert!(empty.sweep.points.is_empty());
+    assert_eq!(empty.stats.candidates, 0);
+    let empty_axis = sweep_grid_pruned(
+        &app.program,
+        &platform,
+        &[
+            GridAxis::new(LayerId(1), vec![32 * 1024u64]),
+            GridAxis::new(LayerId(2), Vec::new()),
+        ],
+        &config,
+    );
+    assert!(empty_axis.sweep.points.is_empty());
+}
