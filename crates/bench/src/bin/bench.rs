@@ -11,26 +11,18 @@
 //!
 //! * `MHLA_SWEEP_CHUNK=<n>` — points per warm-started chunk (default 4).
 //! * `MHLA_SWEEP_PARALLEL=0` — disable the thread fan-out.
+//!
+//! Malformed values are rejected with a clear error (exit code 2) —
+//! a typo'd tuning run must not silently measure the defaults.
 
-use mhla_bench::{measure_sweep_perf_with, sweep_perf_json};
+use mhla_bench::{measure_sweep_perf_with, sweep_options_from_env, sweep_perf_json};
 use mhla_core::explore::SweepOptions;
 
-fn options_from_env() -> SweepOptions {
-    let mut opts = SweepOptions::default();
-    if let Some(chunk) = std::env::var("MHLA_SWEEP_CHUNK")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        opts.chunk = chunk.max(1);
-    }
-    if std::env::var("MHLA_SWEEP_PARALLEL").as_deref() == Ok("0") {
-        opts.parallel = false;
-    }
-    opts
-}
-
 fn main() {
-    let opts = options_from_env();
+    let opts = sweep_options_from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let perfs = measure_sweep_perf_with(5, opts);
 
     println!("tradeoff sweep: cold (oracle, sequential) vs fast (incremental, warm, parallel)");

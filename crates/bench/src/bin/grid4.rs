@@ -1,70 +1,119 @@
 //! Pruned four-level grid-sweep tracker: measures the pruned L1×L2×L3
-//! grid sweep (`mhla_core::explore::sweep_grid_pruned`) against the
+//! grid sweep (`mhla_core::explore::sweep_grid_pruned_with`) against the
 //! exhaustive Cartesian product over the eight-application suite on
-//! `Platform::four_level_default`, verifies the pruned frontier is
-//! point-for-point the exhaustive one, prints the frontier of one app, and
-//! writes `BENCH_grid4.json` at the workspace root.
+//! `Platform::four_level_default` — under both the cycles and the energy
+//! objective, in both the sequential and the frontier-wave parallel mode
+//! — verifies the pruned frontier is point-for-point the exhaustive one,
+//! prints the frontier of one app, and writes `BENCH_grid4.json` at the
+//! workspace root.
 //!
 //! Run with `cargo run --release -p mhla-bench --bin grid4`.
+//!
+//! `MHLA_SWEEP_PARALLEL=0` selects the sequential mode for the frontier
+//! CSV run; malformed values of the tuning variables are rejected with a
+//! clear error (exit code 2) instead of silently falling back.
 
-use mhla_bench::{default_grid4_axes, grid4_perf_json, measure_grid4_perf, write_results};
-use mhla_core::explore::sweep_grid_pruned;
-use mhla_core::{report, MhlaConfig};
+use mhla_bench::{
+    default_grid4_axes, grid4_perf_json, measure_grid4_perf, measure_grid4_perf_with,
+    sweep_options_from_env, write_results, Grid4Perf,
+};
+use mhla_core::explore::{sweep_grid_pruned_with, PruneOptions};
+use mhla_core::{report, MhlaConfig, Objective};
 use mhla_hierarchy::Platform;
 
-fn main() {
-    let perfs = measure_grid4_perf(3);
-
-    println!("L1xL2xL3 grid sweep: exhaustive vs pruned (both sequential, cold)");
+fn print_table(title: &str, perfs: &[Grid4Perf]) {
+    println!("{title}");
     println!(
-        "{:<18} {:>6} {:>6} {:>8} {:>7} {:>13} {:>12} {:>8} {:>9}",
+        "{:<18} {:>6} {:>6} {:>8} {:>7} {:>6} {:>5} {:>13} {:>12} {:>12} {:>8} {:>8} {:>9}",
         "application",
         "cand",
         "eval",
         "skipped",
         "skip%",
+        "waves",
+        "spec",
         "exhaust [ms]",
         "pruned [ms]",
+        "par [ms]",
         "speedup",
+        "par-spd",
         "identical"
     );
-    for p in &perfs {
+    for p in perfs {
         println!(
-            "{:<18} {:>6} {:>6} {:>8} {:>6.1}% {:>13.3} {:>12.3} {:>7.2}x {:>9}",
+            "{:<18} {:>6} {:>6} {:>8} {:>6.1}% {:>6} {:>5} {:>13.3} {:>12.3} {:>12.3} \
+             {:>7.2}x {:>7.2}x {:>9}",
             p.app,
             p.stats.candidates,
             p.stats.evaluated,
             p.stats.skipped(),
             100.0 * p.stats.skip_ratio(),
+            p.waves,
+            p.speculative_evals,
             p.exhaustive_seconds * 1e3,
             p.pruned_seconds * 1e3,
+            p.pruned_parallel_seconds * 1e3,
             p.speedup(),
-            p.frontier_identical && p.points_identical,
+            p.parallel_speedup(),
+            p.frontier_identical && p.points_identical && p.modes_identical,
         );
     }
     let exhaustive: f64 = perfs.iter().map(|p| p.exhaustive_seconds).sum();
     let pruned: f64 = perfs.iter().map(|p| p.pruned_seconds).sum();
+    let parallel: f64 = perfs.iter().map(|p| p.pruned_parallel_seconds).sum();
     let candidates: usize = perfs.iter().map(|p| p.stats.candidates).sum();
     let evaluated: usize = perfs.iter().map(|p| p.stats.evaluated).sum();
     println!(
         "suite: {candidates} candidates, {evaluated} evaluated ({} skipped, {:.1}%), \
-         exhaustive {:.1} ms, pruned {:.1} ms, speedup {:.2}x",
+         exhaustive {:.1} ms, pruned {:.1} ms ({:.2}x), parallel {:.1} ms ({:.2}x)",
         candidates - evaluated,
         100.0 * (candidates - evaluated) as f64 / candidates.max(1) as f64,
         exhaustive * 1e3,
         pruned * 1e3,
         exhaustive / pruned.max(f64::MIN_POSITIVE),
+        parallel * 1e3,
+        exhaustive / parallel.max(f64::MIN_POSITIVE),
+    );
+    println!();
+}
+
+fn main() {
+    // Validates both tuning variables up front (hard error on malformed
+    // values); only the parallel flag is meaningful to this binary.
+    let parallel = sweep_options_from_env()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+        .parallel;
+
+    let cycles = measure_grid4_perf(3);
+    print_table(
+        "L1xL2xL3 grid sweep, Objective::Cycles: exhaustive vs pruned (sequential + wave-parallel)",
+        &cycles,
+    );
+    let energy_config = MhlaConfig {
+        objective: Objective::Energy,
+        ..MhlaConfig::default()
+    };
+    let energy = measure_grid4_perf_with(2, &energy_config);
+    print_table(
+        "L1xL2xL3 grid sweep, Objective::Energy: exhaustive vs pruned (gain-bound saturation)",
+        &energy,
     );
 
     // The joint three-axis frontier of one representative app.
     let app = mhla_apps::hierarchical_me::app();
-    let grid = sweep_grid_pruned(
+    let grid = sweep_grid_pruned_with(
         &app.program,
         &Platform::four_level_default(),
         &default_grid4_axes(),
         &MhlaConfig::default(),
+        PruneOptions {
+            parallel,
+            ..PruneOptions::default()
+        },
     );
-    println!();
     println!(
         "{}: L1xL2xL3 Pareto frontier (C = cycles front, E = energy front)",
         app.name()
@@ -75,7 +124,7 @@ fn main() {
         &report::grid_csv(&grid.sweep),
     );
 
-    let json = grid4_perf_json(&perfs);
+    let json = grid4_perf_json(&cycles, &energy);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_grid4.json");

@@ -345,6 +345,75 @@ pub fn sweep_perf_json(perfs: &[SweepPerf]) -> String {
     out
 }
 
+/// Strict parsing of the sweep tuning environment variables
+/// (`MHLA_SWEEP_CHUNK`, `MHLA_SWEEP_PARALLEL`).
+///
+/// # Errors
+///
+/// Malformed values are *rejected* with a descriptive message instead of
+/// silently falling back to defaults — a typo'd tuning run must not
+/// masquerade as a default-configuration measurement. `MHLA_SWEEP_CHUNK`
+/// must parse as a positive integer; `MHLA_SWEEP_PARALLEL` must be `0`
+/// (sequential) or `1` (parallel, the default).
+pub fn sweep_options_from_env() -> Result<mhla_core::explore::SweepOptions, String> {
+    parse_sweep_options(
+        env_value("MHLA_SWEEP_CHUNK")?.as_deref(),
+        env_value("MHLA_SWEEP_PARALLEL")?.as_deref(),
+    )
+}
+
+/// Strict parsing of `MHLA_SWEEP_PARALLEL` alone (`true` unless set to
+/// `0`); shared by the sweep and pruned-grid harnesses.
+///
+/// # Errors
+///
+/// Any value other than `0` or `1` is rejected (see
+/// [`sweep_options_from_env`]).
+pub fn sweep_parallel_from_env() -> Result<bool, String> {
+    parse_sweep_parallel(env_value("MHLA_SWEEP_PARALLEL")?.as_deref())
+}
+
+/// Reads one environment variable, distinguishing "absent" from
+/// "unreadable" (non-unicode).
+fn env_value(name: &str) -> Result<Option<String>, String> {
+    match std::env::var(name) {
+        Ok(v) => Ok(Some(v)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(format!("{name} unreadable: {e}")),
+    }
+}
+
+/// The pure parsing behind [`sweep_options_from_env`] — unit-testable
+/// without mutating process-global environment state.
+fn parse_sweep_options(
+    chunk: Option<&str>,
+    parallel: Option<&str>,
+) -> Result<mhla_core::explore::SweepOptions, String> {
+    let mut opts = mhla_core::explore::SweepOptions::default();
+    if let Some(v) = chunk {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => opts.chunk = n,
+            _ => {
+                return Err(format!(
+                    "MHLA_SWEEP_CHUNK must be a positive integer, got {v:?}"
+                ))
+            }
+        }
+    }
+    opts.parallel = parse_sweep_parallel(parallel)?;
+    Ok(opts)
+}
+
+/// The pure parsing behind [`sweep_parallel_from_env`].
+fn parse_sweep_parallel(value: Option<&str>) -> Result<bool, String> {
+    match value {
+        None => Ok(true),
+        Some("0") => Ok(false),
+        Some("1") => Ok(true),
+        Some(v) => Err(format!("MHLA_SWEEP_PARALLEL must be 0 or 1, got {v:?}")),
+    }
+}
+
 /// The default L1×L2 grid of the multi-layer benchmark: L2 from 1 KiB to
 /// 16 KiB, L1 from 128 B to 512 B (powers of two) on
 /// [`Platform::three_level_default`] — 15 joint sizing points per app.
@@ -392,30 +461,50 @@ pub fn default_grid4_axes() -> Vec<mhla_core::explore::GridAxis> {
 /// [`mhla_core::explore::sweep_grid_with`] (sequential, cold — the same
 /// per-point machinery and semantics as the pruned path, so the delta is
 /// the pruning itself). *Pruned* is
-/// [`mhla_core::explore::sweep_grid_pruned`].
+/// [`mhla_core::explore::sweep_grid_pruned_with`], measured both
+/// sequentially (`wave = 1`) and in the frontier-wave parallel mode
+/// (default [`PruneOptions`](mhla_core::explore::PruneOptions)) — skip
+/// decisions, evaluated points and frontiers are identical between the
+/// two by construction, so the parallel column is pure wall time.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Grid4Perf {
     /// Application name.
     pub app: String,
     /// The pruned sweep's own bookkeeping (candidates, evaluated, skip
-    /// counts and ratios).
+    /// counts and ratios) — identical in both modes (asserted).
     pub stats: mhla_core::explore::PruneStats,
     /// Best-of-`repeats` wall time of the exhaustive sweep, seconds.
     pub exhaustive_seconds: f64,
-    /// Best-of-`repeats` wall time of the pruned sweep, seconds.
+    /// Best-of-`repeats` wall time of the sequential pruned sweep,
+    /// seconds.
     pub pruned_seconds: f64,
+    /// Best-of-`repeats` wall time of the frontier-wave parallel pruned
+    /// sweep, seconds.
+    pub pruned_parallel_seconds: f64,
+    /// Dominance waves of the parallel run.
+    pub waves: usize,
+    /// Speculative evaluations the parallel run discarded at commit time.
+    pub speculative_evals: usize,
     /// Whether the pruned cycles and energy frontiers are point-for-point
     /// (capacities + full results) those of the exhaustive grid.
     pub frontier_identical: bool,
     /// Whether every evaluated pruned point is bit-identical to the
     /// exhaustive point at the same capacity vector.
     pub points_identical: bool,
+    /// Whether the sequential and parallel pruned runs produced identical
+    /// `PruneStats` and evaluated points.
+    pub modes_identical: bool,
 }
 
 impl Grid4Perf {
-    /// exhaustive / pruned wall-time ratio.
+    /// exhaustive / sequential-pruned wall-time ratio.
     pub fn speedup(&self) -> f64 {
         self.exhaustive_seconds / self.pruned_seconds.max(f64::MIN_POSITIVE)
+    }
+
+    /// exhaustive / parallel-pruned wall-time ratio.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.exhaustive_seconds / self.pruned_parallel_seconds.max(f64::MIN_POSITIVE)
     }
 }
 
@@ -433,15 +522,22 @@ pub fn grid_frontier_points(
 }
 
 /// Measures exhaustive vs pruned four-level grid sweeps over
-/// [`sweep_suite`], best of `repeats` runs per path, verifying frontier
-/// and per-point identity.
+/// [`sweep_suite`] under the default (cycles) objective, best of
+/// `repeats` runs per path, verifying frontier and per-point identity.
 pub fn measure_grid4_perf(repeats: usize) -> Vec<Grid4Perf> {
-    use mhla_core::explore::{sweep_grid_pruned, sweep_grid_with, SweepOptions};
-    use mhla_core::MhlaConfig;
+    measure_grid4_perf_with(repeats, &mhla_core::MhlaConfig::default())
+}
+
+/// [`measure_grid4_perf`] under an explicit [`MhlaConfig`] — the `grid4`
+/// binary also measures `Objective::Energy`, where the gain-bound
+/// saturation rule (instead of the cycles-only one) drives the pruning.
+///
+/// [`MhlaConfig`]: mhla_core::MhlaConfig
+pub fn measure_grid4_perf_with(repeats: usize, config: &mhla_core::MhlaConfig) -> Vec<Grid4Perf> {
+    use mhla_core::explore::{sweep_grid_pruned_with, sweep_grid_with, PruneOptions, SweepOptions};
 
     let axes = default_grid4_axes();
     let platform = Platform::four_level_default();
-    let config = MhlaConfig::default();
     // Sequential *cold* exhaustive reference: the pruned sweep evaluates
     // every point cold (its canonical, standalone-identical semantics), so
     // the reference must too — the timing delta then isolates pruning.
@@ -450,28 +546,53 @@ pub fn measure_grid4_perf(repeats: usize) -> Vec<Grid4Perf> {
         warm_start: false,
         ..SweepOptions::default()
     };
+    let sequential_opts = PruneOptions {
+        parallel: false,
+        wave: 1,
+    };
     sweep_suite()
         .iter()
         .map(|app| {
             let mut exhaustive_s = f64::INFINITY;
             let mut pruned_s = f64::INFINITY;
+            let mut parallel_s = f64::INFINITY;
             let mut exhaustive = None;
             let mut pruned = None;
+            let mut parallel = None;
             for _ in 0..repeats.max(1) {
                 let t = std::time::Instant::now();
                 exhaustive = Some(sweep_grid_with(
                     &app.program,
                     &platform,
                     &axes,
-                    &config,
+                    config,
                     opts,
                 ));
                 exhaustive_s = exhaustive_s.min(t.elapsed().as_secs_f64());
                 let t = std::time::Instant::now();
-                pruned = Some(sweep_grid_pruned(&app.program, &platform, &axes, &config));
+                pruned = Some(sweep_grid_pruned_with(
+                    &app.program,
+                    &platform,
+                    &axes,
+                    config,
+                    sequential_opts,
+                ));
                 pruned_s = pruned_s.min(t.elapsed().as_secs_f64());
+                let t = std::time::Instant::now();
+                parallel = Some(sweep_grid_pruned_with(
+                    &app.program,
+                    &platform,
+                    &axes,
+                    config,
+                    PruneOptions::default(),
+                ));
+                parallel_s = parallel_s.min(t.elapsed().as_secs_f64());
             }
-            let (exhaustive, pruned) = (exhaustive.expect("ran"), pruned.expect("ran"));
+            let (exhaustive, pruned, parallel) = (
+                exhaustive.expect("ran"),
+                pruned.expect("ran"),
+                parallel.expect("ran"),
+            );
             let frontier_identical = grid_frontier_points(&exhaustive, &exhaustive.pareto_cycles())
                 == grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_cycles())
                 && grid_frontier_points(&exhaustive, &exhaustive.pareto_energy())
@@ -483,59 +604,89 @@ pub fn measure_grid4_perf(repeats: usize) -> Vec<Grid4Perf> {
                     .find(|ep| ep.capacities == pp.capacities)
                     .is_some_and(|ep| ep.result == pp.result)
             });
+            let modes_identical = pruned.stats == parallel.stats && pruned.sweep == parallel.sweep;
             Grid4Perf {
                 app: app.name().to_string(),
                 stats: pruned.stats,
                 exhaustive_seconds: exhaustive_s,
                 pruned_seconds: pruned_s,
+                pruned_parallel_seconds: parallel_s,
+                waves: parallel.waves,
+                speculative_evals: parallel.speculative_evals,
                 frontier_identical,
                 points_identical,
+                modes_identical,
             }
         })
         .collect()
 }
 
-/// Renders [`Grid4Perf`] rows as the `BENCH_grid4.json` document tracked
-/// at the workspace root.
-pub fn grid4_perf_json(perfs: &[Grid4Perf]) -> String {
+/// Renders one objective's [`Grid4Perf`] rows as a JSON object (apps +
+/// suite totals), used by [`grid4_perf_json`] per objective section.
+fn grid4_objective_json(perfs: &[Grid4Perf], indent: &str) -> String {
     let exhaustive: f64 = perfs.iter().map(|p| p.exhaustive_seconds).sum();
     let pruned: f64 = perfs.iter().map(|p| p.pruned_seconds).sum();
+    let parallel: f64 = perfs.iter().map(|p| p.pruned_parallel_seconds).sum();
     let candidates: usize = perfs.iter().map(|p| p.stats.candidates).sum();
     let evaluated: usize = perfs.iter().map(|p| p.stats.evaluated).sum();
     let skipped: usize = perfs.iter().map(|p| p.stats.skipped()).sum();
+    let waves: usize = perfs.iter().map(|p| p.waves).sum();
+    let speculative: usize = perfs.iter().map(|p| p.speculative_evals).sum();
     let all_identical = perfs
         .iter()
-        .all(|p| p.frontier_identical && p.points_identical);
-    let mut out = String::from("{\n  \"bench\": \"grid_sweep_l1_l2_l3_pruned\",\n  \"apps\": [\n");
+        .all(|p| p.frontier_identical && p.points_identical && p.modes_identical);
+    let mut out = format!("{{\n{indent}  \"apps\": [\n");
     for (i, p) in perfs.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"candidates\": {}, \"evaluated\": {}, \
+            "{indent}    {{\"name\": \"{}\", \"candidates\": {}, \"evaluated\": {}, \
              \"skipped_saturated\": {}, \"skipped_floor\": {}, \"skip_ratio\": {:.3}, \
-             \"exhaustive_seconds\": {:.6}, \"pruned_seconds\": {:.6}, \"speedup\": {:.2}, \
-             \"frontier_identical\": {}, \"points_identical\": {}}}{}\n",
+             \"waves\": {}, \"speculative_evals\": {}, \
+             \"exhaustive_seconds\": {:.6}, \"pruned_seconds\": {:.6}, \
+             \"pruned_parallel_seconds\": {:.6}, \"speedup\": {:.2}, \
+             \"parallel_speedup\": {:.2}, \"frontier_identical\": {}, \
+             \"points_identical\": {}, \"modes_identical\": {}}}{}\n",
             p.app,
             p.stats.candidates,
             p.stats.evaluated,
             p.stats.skipped_saturated,
             p.stats.skipped_floor,
             p.stats.skip_ratio(),
+            p.waves,
+            p.speculative_evals,
             p.exhaustive_seconds,
             p.pruned_seconds,
+            p.pruned_parallel_seconds,
             p.speedup(),
+            p.parallel_speedup(),
             p.frontier_identical,
             p.points_identical,
+            p.modes_identical,
             if i + 1 < perfs.len() { "," } else { "" },
         ));
     }
     out.push_str(&format!(
-        "  ],\n  \"suite\": {{\"candidates\": {candidates}, \"evaluated\": {evaluated}, \
-         \"skipped\": {skipped}, \"skip_ratio\": {:.3}, \
+        "{indent}  ],\n{indent}  \"suite\": {{\"candidates\": {candidates}, \
+         \"evaluated\": {evaluated}, \"skipped\": {skipped}, \"skip_ratio\": {:.3}, \
+         \"waves\": {waves}, \"speculative_evals\": {speculative}, \
          \"exhaustive_seconds\": {exhaustive:.6}, \"pruned_seconds\": {pruned:.6}, \
-         \"speedup\": {:.2}, \"all_identical\": {all_identical}}}\n}}\n",
+         \"pruned_parallel_seconds\": {parallel:.6}, \"speedup\": {:.2}, \
+         \"parallel_speedup\": {:.2}, \"all_identical\": {all_identical}}}\n{indent}}}",
         skipped as f64 / candidates.max(1) as f64,
         exhaustive / pruned.max(f64::MIN_POSITIVE),
+        exhaustive / parallel.max(f64::MIN_POSITIVE),
     ));
     out
+}
+
+/// Renders the cycles- and energy-objective [`Grid4Perf`] rows as the
+/// `BENCH_grid4.json` document tracked at the workspace root.
+pub fn grid4_perf_json(cycles: &[Grid4Perf], energy: &[Grid4Perf]) -> String {
+    format!(
+        "{{\n  \"bench\": \"grid_sweep_l1_l2_l3_pruned\",\n  \"objectives\": {{\n    \
+         \"cycles\": {},\n    \"energy\": {}\n  }}\n}}\n",
+        grid4_objective_json(cycles, "    "),
+        grid4_objective_json(energy, "    "),
+    )
 }
 
 /// Shared-context vs per-point-rebuild timings for one application's
@@ -669,6 +820,33 @@ pub fn write_results(name: &str, content: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn env_parsing_rejects_malformed_values() {
+        use mhla_core::explore::SweepOptions;
+        // Pure parsers — no process-global env mutation (set_var racing a
+        // concurrent getenv in a sibling test would be UB on glibc).
+        assert_eq!(
+            parse_sweep_options(None, None).unwrap(),
+            SweepOptions::default()
+        );
+        assert!(parse_sweep_parallel(None).unwrap());
+
+        let opts = parse_sweep_options(Some("8"), Some("0")).unwrap();
+        assert_eq!(opts.chunk, 8);
+        assert!(!opts.parallel);
+        assert!(parse_sweep_options(Some("8"), Some("1")).unwrap().parallel);
+
+        for bad in ["zero", "-1", "0", "", "4x"] {
+            let err = parse_sweep_options(Some(bad), None).unwrap_err();
+            assert!(err.contains("MHLA_SWEEP_CHUNK"), "{err}");
+        }
+        for bad in ["2", "yes", "", "true"] {
+            let err = parse_sweep_parallel(Some(bad)).unwrap_err();
+            assert!(err.contains("MHLA_SWEEP_PARALLEL"), "{err}");
+            assert!(parse_sweep_options(None, Some(bad)).is_err());
+        }
+    }
 
     #[test]
     fn figure_shape_holds_on_a_small_app() {

@@ -36,6 +36,21 @@ impl Objective {
             } => energy_weight * cost.total_energy_pj() + cycle_weight * cost.total_cycles() as f64,
         }
     }
+
+    /// The objective's weight on the energy axis — the multiplier of the
+    /// gain-bound perturbation analysis. Zero for [`Objective::Cycles`]
+    /// (the score never sees energy); the *signed* weight for
+    /// [`Objective::Weighted`] — a negative weight inverts the
+    /// perturbation direction the one-sided margin rates assume, so
+    /// consumers must disarm (see
+    /// [`RunStats::allows_energy_growth`](crate::RunStats::allows_energy_growth)).
+    pub(crate) fn energy_weight(&self) -> f64 {
+        match self {
+            Objective::Cycles => 0.0,
+            Objective::Energy => 1.0,
+            Objective::Weighted { energy_weight, .. } => *energy_weight,
+        }
+    }
 }
 
 /// One candidate modification of an assignment.
@@ -169,19 +184,97 @@ pub fn greedy(model: &CostModel<'_>, config: &MhlaConfig) -> SearchOutcome {
 pub fn greedy_from(model: &CostModel<'_>, config: &MhlaConfig, start: Assignment) -> SearchOutcome {
     let options = enumerate_options(model, config);
     let mut cache: Vec<Option<CachedTrial>> = (0..options.len()).map(|_| None).collect();
-    greedy_search(model, config, start, &options, &mut cache, &mut 0)
+    greedy_search(
+        model,
+        config,
+        start,
+        &options,
+        &mut cache,
+        &mut SearchTrace::new(model.platform().layer_count(), false),
+    )
+}
+
+/// Decision-stability record of one greedy run: which layer capacities
+/// rejected probes, and how far every decision sits from flipping when the
+/// platform's per-access energies are perturbed.
+#[derive(Clone, Debug)]
+pub(crate) struct SearchTrace {
+    /// First-overflow layers of failed capacity probes (bitmask).
+    pub(crate) constrained_layers: u64,
+    /// Per layer: the run's *margin rate* — the largest write-energy
+    /// delta `δw_l` (pJ) the layer alone could absorb without flipping
+    /// any decision, were it the only layer growing. Growing scratchpad
+    /// capacities moves every contribution's energy by exactly
+    /// `Σ_l δw_l · energy_sensitivity[l]`
+    /// ([`ArrayContribution::energy_sensitivity`]); each decision — a
+    /// rejected move's gain staying `≤ 0`, the chosen move's gain staying
+    /// `> 0`, the chosen ratio staying the strict maximum — flips only if
+    /// the summed perturbation closes its margin, and it closes at a
+    /// known per-layer *risk rate* (the decision's one-sided sensitivity
+    /// at that layer). `margin_rates[l]` is the minimum over decisions of
+    /// `margin / risk_l`; joint growth of several layers is admitted when
+    /// `Σ_l energy_weight · δw_l / margin_rates[l] < 1` (each decision's
+    /// total perturbation is then a sub-unit convex combination of its
+    /// per-layer allowances). `INFINITY` where no decision is sensitive;
+    /// index 0 (the never-resized off-chip layer) is always `INFINITY`.
+    pub(crate) margin_rates: Vec<f64>,
+    /// Whether the margin bookkeeping runs at all. The rates are only
+    /// consulted under a positive energy weight, so the cycles objective
+    /// and throwaway traces (warm portfolio leg, [`greedy_from`]) skip
+    /// the per-move sensitivity work on the hot path entirely (the
+    /// conservative rates are then all `0.0` — admit nothing beyond
+    /// zero-perturbation growth).
+    pub(crate) track_margins: bool,
+}
+
+impl SearchTrace {
+    pub(crate) fn new(layer_count: usize, track_margins: bool) -> Self {
+        SearchTrace {
+            constrained_layers: 0,
+            margin_rates: if track_margins {
+                vec![f64::INFINITY; layer_count]
+            } else {
+                vec![0.0; layer_count]
+            },
+            track_margins,
+        }
+    }
+
+    /// Folds one decision into the per-layer rates: `margin ≥ 0` in score
+    /// units, `risk(l) ≥ 0` the decision's flip rate per unit `δw_l`, and
+    /// `tie_floor` the score magnitude below which a margin is treated as
+    /// an exact tie (zero rate at its risky layers). The replayed run
+    /// recomputes its scores in f64, so margins within rounding distance
+    /// of the score magnitude (~ulps) cannot be trusted to survive —
+    /// flooring them to zero keeps the admission rule sound where the
+    /// relative safety factor alone would reserve less headroom than the
+    /// noise.
+    fn fold(&mut self, margin: f64, tie_floor: f64, risk: impl Fn(usize) -> f64) {
+        let margin = if margin <= tie_floor { 0.0 } else { margin };
+        for l in 1..self.margin_rates.len() {
+            let r = risk(l);
+            if r > 0.0 {
+                self.margin_rates[l] = self.margin_rates[l].min(margin / r);
+            }
+        }
+    }
 }
 
 /// How the capacity constraints interacted with one greedy portfolio run —
 /// the facts the pruned grid sweep needs to recognize *capacity-saturated*
 /// points (see [`explore`](crate::explore)).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SearchStats {
     /// Bitmask (by layer index) of the layers at which a capacity probe of
     /// the cold (baseline-started) search first overflowed. A layer whose
     /// bit is clear never rejected a move: growing only such layers cannot
     /// change the search's trajectory.
     pub cold_constrained_layers: u64,
+    /// Per-layer decision-margin rates of the cold search — the
+    /// capacity-monotone *gain bounds* that let the pruned sweep's
+    /// saturation rule arm under the energy and weighted objectives (see
+    /// [`RunStats`](crate::RunStats) for the admission rule).
+    pub cold_margin_rates: Vec<f64>,
     /// The warm-started portfolio leg strictly beat the cold result and
     /// replaced it (can happen on deep hierarchies; the pruned sweep runs
     /// cold precisely so its results stay standalone-identical).
@@ -259,19 +352,20 @@ pub fn greedy_portfolio_stats(
 ) -> (SearchOutcome, SearchStats) {
     let options = &moves.moves;
     let mut cache: Vec<Option<CachedTrial>> = (0..options.len()).map(|_| None).collect();
+    // Margin rates are only consulted under a positive energy weight —
+    // skip the sensitivity bookkeeping otherwise (the cycles objective,
+    // and the common sweep paths that never read the margins).
+    let mut trace = SearchTrace::new(
+        model.platform().layer_count(),
+        config.objective.energy_weight() > 0.0,
+    );
+    let baseline = Assignment::baseline(model.program().array_count(), config.policy);
+    let cold = greedy_search(model, config, baseline, options, &mut cache, &mut trace);
     let mut stats = SearchStats {
-        cold_constrained_layers: 0,
+        cold_constrained_layers: trace.constrained_layers,
+        cold_margin_rates: trace.margin_rates,
         warm_overrode: false,
     };
-    let baseline = Assignment::baseline(model.program().array_count(), config.policy);
-    let cold = greedy_search(
-        model,
-        config,
-        baseline,
-        options,
-        &mut cache,
-        &mut stats.cold_constrained_layers,
-    );
     let Some(start) = warm else {
         return (cold, stats);
     };
@@ -282,7 +376,14 @@ pub fn greedy_portfolio_stats(
     if *start == cold.assignment {
         return (cold, stats);
     }
-    let warmed = greedy_search(model, config, start.clone(), options, &mut cache, &mut 0);
+    let warmed = greedy_search(
+        model,
+        config,
+        start.clone(),
+        options,
+        &mut cache,
+        &mut SearchTrace::new(model.platform().layer_count(), false),
+    );
     if config.objective.score(&warmed.cost) < config.objective.score(&cold.cost) {
         stats.warm_overrode = true;
         (warmed, stats)
@@ -313,6 +414,12 @@ struct CachedTrial {
     residents: Vec<(LayerId, mhla_lifetime::Resident)>,
 }
 
+/// The "free win" ratio scale: a move costing no extra on-chip bytes is
+/// ranked by `gain * FREE_WIN_SCALE`, a sized move by `gain / extra` — one
+/// formula, so a ratio's sensitivity to gain perturbations is its scale
+/// factor (used by the decision-margin bookkeeping below).
+const FREE_WIN_SCALE: f64 = 1e12;
+
 /// One greedy run over a fixed option list with a per-move trial cache.
 ///
 /// Candidate moves are priced through [`IncrementalCost`]: re-evaluating a
@@ -320,26 +427,56 @@ struct CachedTrial {
 /// the full [`CostModel::evaluate`] is never called inside the loop, and
 /// neither is the assignment cloned per candidate.
 ///
-/// `constrained_layers` accumulates (as a bitmask by layer index) the
-/// first-overflow layer of every failed capacity probe — the signal the
-/// pruned grid sweep uses to recognize which layers actually bound the
-/// search.
+/// `trace` accumulates the run's [`SearchTrace`]:
+///
+/// * the first-overflow layer of every failed capacity probe (bitmask) —
+///   the signal the pruned grid sweep uses to recognize which layers
+///   actually bound the search; and
+/// * the per-layer *decision-margin rates*. Every decision of the loop is
+///   a comparison of f64 scores: a rejected move's gain staying `<= 0`,
+///   the chosen move's gain staying `> 0`, and the chosen move's ratio
+///   staying the strict maximum. When scratchpad capacities grow, each
+///   contribution's energy moves by exactly `Σ_l δw_l · sensitivity[l]`,
+///   so each decision closes its margin at a per-layer *risk rate* — the
+///   one-sided (current − trial) sensitivity difference at that layer,
+///   scaled for ratio contests. [`SearchTrace::fold`] turns every
+///   decision into per-layer allowances. Exemptions, all exact: a layer
+///   at which the decision's risky-side sensitivity is zero (the gain
+///   cannot move toward the flip there — this subsumes trial states
+///   identical to the committed state), and ratio contests between moves
+///   with bitwise-equal sensitivity differences and equal scales (their
+///   gap is invariant under *any* capacity growth — the
+///   symmetric-twin-array case, where margins would otherwise read zero).
 fn greedy_search(
     model: &CostModel<'_>,
     config: &MhlaConfig,
     start: Assignment,
     options: &[Move],
     cache: &mut [Option<CachedTrial>],
-    constrained_layers: &mut u64,
+    trace: &mut SearchTrace,
 ) -> SearchOutcome {
     let mut inc = IncrementalCost::new(model, start);
     let mut current_score = config.objective.score(inc.cost());
     let mut current_size = inc.onchip_required();
     let mut steps = 0u64;
     let mut scratch = CostBreakdown::default();
+    let layer_count = model.platform().layer_count();
+    // Improving, feasible moves of the current step: (ratio, gain,
+    // ratio-scale) plus, in `svec_buf`, each contender's per-layer
+    // sensitivity difference (a flat reusable buffer, `layer_count`
+    // entries per contender) — the contest the chosen move must win with
+    // margin.
+    let mut contenders: Vec<(f64, f64, f64)> = Vec::new();
+    let mut svec_buf: Vec<f64> = Vec::new();
 
     loop {
         let mut best: Option<(f64, usize, u64)> = None;
+        let mut best_contender = 0usize;
+        contenders.clear();
+        svec_buf.clear();
+        // Margins within f64 rounding distance of the score scale are
+        // ties (see `SearchTrace::fold`).
+        let tie_floor = current_score.abs().max(1.0) * 1e-9;
         for (idx, mv) in options.iter().enumerate() {
             let array = mv.array();
             let (home, chain) = mv.state(inc.assignment().home(array));
@@ -362,29 +499,75 @@ fn greedy_search(
             inc.evaluate_with_contribution_into(array, &entry.contrib, &mut scratch);
             let gain = current_score - config.objective.score(&scratch);
             if gain <= 0.0 {
+                // The rejection must survive growth: its gain rises at
+                // layer `l` at rate `(cur − trial) sensitivity⁺`. Layers
+                // where the difference is `≤ 0` are risk-free (this
+                // covers trial states identical to the committed one).
+                if trace.track_margins {
+                    let cur = &inc.contribution(array).energy_sensitivity;
+                    let tr = &entry.contrib.energy_sensitivity;
+                    trace.fold(-gain, tie_floor, |l| (cur[l] - tr[l]).max(0.0));
+                }
                 continue;
             }
             let size = match inc.probe_required(array, &entry.residents) {
                 Ok(size) => size,
                 Err(layer) => {
-                    mark_layer(constrained_layers, layer);
+                    mark_layer(&mut trace.constrained_layers, layer);
                     continue; // some on-chip layer overflows
                 }
             };
             let extra = size.saturating_sub(current_size);
             // Ratio steering: free wins (no extra bytes) dominate any
             // sized move but are still ordered among themselves by gain.
-            let ratio = if extra == 0 {
-                gain * 1e12
+            let (ratio, scale) = if extra == 0 {
+                (gain * FREE_WIN_SCALE, FREE_WIN_SCALE)
             } else {
-                gain / extra as f64
+                (gain / extra as f64, 1.0 / extra as f64)
             };
+            if trace.track_margins {
+                let cur = inc.contribution(array);
+                svec_buf.extend(
+                    cur.energy_sensitivity
+                        .iter()
+                        .zip(&entry.contrib.energy_sensitivity)
+                        .map(|(c, t)| c - t),
+                );
+                contenders.push((ratio, gain, scale));
+            }
             if best.as_ref().is_none_or(|(r, ..)| ratio > *r) {
                 best = Some((ratio, idx, size));
+                best_contender = contenders.len().saturating_sub(1);
             }
         }
         match best {
-            Some((_, idx, size)) => {
+            Some((ratio_c, idx, size)) => {
+                // Margins of the selection: the chosen gain stays
+                // positive (it falls at layer `l` at rate
+                // `(−svec_c[l])⁺`), and the chosen ratio stays strictly
+                // above every other contender's (the gap closes at the
+                // chosen side's fall rate plus the other side's rise
+                // rate, each times its ratio scale) — unless the two
+                // moves' sensitivity differences and scales are
+                // identical, in which case the gap is invariant.
+                if trace.track_margins {
+                    let (_, gain_c, scale_c) = contenders[best_contender];
+                    let svec = |i: usize| &svec_buf[i * layer_count..(i + 1) * layer_count];
+                    let svec_c = svec(best_contender);
+                    trace.fold(gain_c, tie_floor, |l| (-svec_c[l]).max(0.0));
+                    for (i, &(ratio_i, _, scale_i)) in contenders.iter().enumerate() {
+                        if i == best_contender {
+                            continue;
+                        }
+                        let svec_i = svec(i);
+                        if scale_i == scale_c && svec_i == svec_c {
+                            continue; // gap invariant under any growth
+                        }
+                        trace.fold(ratio_c - ratio_i, tie_floor, |l| {
+                            scale_c * (-svec_c[l]).max(0.0) + scale_i * (svec_i[l]).max(0.0)
+                        });
+                    }
+                }
                 let mv = &options[idx];
                 let array = mv.array();
                 let (home, chain) = mv.state(inc.assignment().home(array));

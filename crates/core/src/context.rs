@@ -42,7 +42,12 @@ pub struct ProgramFacts<'p> {
     /// Per statement: executions (cached).
     pub(crate) stmt_execs: Vec<u64>,
     /// Per array: the (statement, access kind) pairs touching it, in
-    /// statement/access order.
+    /// statement/access order. Together with [`stmt_execs`](Self::stmt_execs)
+    /// these are the access totals behind every
+    /// [`ArrayContribution`](crate::ArrayContribution) — including its
+    /// per-layer energy sensitivities, the gain-bound data of the pruned
+    /// grid sweep's saturation rule
+    /// ([`RunStats`](crate::RunStats)).
     pub(crate) array_accesses: Vec<Vec<(StmtId, AccessKind)>>,
     /// Pure datapath cycles of one program run.
     pub(crate) total_compute: u64,

@@ -138,12 +138,25 @@ pub struct ArrayContribution {
     pub transfer_energy_pj: f64,
     /// Block-transfer instances of this array's chain.
     pub transfer_count: u64,
+    /// Per layer: how many *write-energy units* this contribution charges
+    /// the layer — `∂(energy)/∂(write energy of the layer)` under the
+    /// scratchpad scaling laws, where one CPU write or one DMA burst
+    /// element-end counts 1 and one CPU read counts
+    /// `1 / SRAM_WRITE_FACTOR` (reads scale in lock-step with writes:
+    /// `E_w = 1.2·E_r`, and burst energy equals write energy). When a
+    /// scratchpad layer is resized, this contribution's energy moves by
+    /// exactly `Σ_l δw_l · energy_sensitivity[l]` with `δw_l` the layer's
+    /// write-energy delta — the *gain-bound* data the pruned grid sweep's
+    /// energy-side saturation rule is built on (see
+    /// [`RunStats`](crate::RunStats)).
+    pub energy_sensitivity: Vec<f64>,
 }
 
 impl ArrayContribution {
     fn with_layers(layers: usize) -> Self {
         ArrayContribution {
             accesses_per_layer: vec![0; layers],
+            energy_sensitivity: vec![0.0; layers],
             ..ArrayContribution::default()
         }
     }
@@ -527,16 +540,71 @@ impl<'a> CostModel<'a> {
             c.cpu_access_cycles += execs * self.platform.access_cycles(layer);
             c.cpu_access_energy_pj += execs as f64 * l.access_energy_pj(kind == AccessKind::Write);
             c.accesses_per_layer[layer.index()] += execs;
+            c.energy_sensitivity[layer.index()] += if kind == AccessKind::Write {
+                execs as f64
+            } else {
+                execs as f64 / mhla_hierarchy::energy::SRAM_WRITE_FACTOR
+            };
         }
         let mut streams = Vec::new();
         self.chain_streams(array, home, chain, policy, &mut streams);
+        let has_dma = self.platform.dma().is_some();
         for stream in &streams {
             let (cycles, energy, count) = self.price_stream(stream);
             c.transfer_cycles += cycles;
             c.transfer_energy_pj += energy;
             c.transfer_count += count;
+            // Transfer sensitivity: each moved element is one read at the
+            // source and one write at the destination — at burst energy
+            // (= write energy) per end under DMA, at CPU read/write energy
+            // on the CPU-copy path. Element counts mirror `price_stream`
+            // exactly (integer division per instance kind).
+            let elem = self
+                .program
+                .array(stream.copy.candidate.array)
+                .elem
+                .bytes()
+                .max(1);
+            let steady_entries = stream.entries - stream.first_entries;
+            let mut elems = 0u64;
+            for (n, bytes) in [
+                (stream.first_entries, stream.full_bytes),
+                (steady_entries, stream.steady_bytes),
+                (stream.entries, stream.writeback_bytes),
+            ] {
+                if n == 0 || bytes == 0 {
+                    continue;
+                }
+                elems += n * (bytes / elem);
+            }
+            let src_units = if has_dma {
+                elems as f64
+            } else {
+                elems as f64 / mhla_hierarchy::energy::SRAM_WRITE_FACTOR
+            };
+            c.energy_sensitivity[stream.src.index()] += src_units;
+            c.energy_sensitivity[stream.dst.index()] += elems as f64;
         }
         c
+    }
+
+    /// The whole-assignment energy sensitivity: per layer, the sum of
+    /// every array's [`ArrayContribution::energy_sensitivity`] — how many
+    /// write-energy units the assignment's total energy moves per unit of
+    /// the layer's write-energy delta. Used by the driver to record a
+    /// decision margin for the baseline-fallback comparison.
+    pub fn assignment_energy_sensitivity(&self, assignment: &Assignment) -> Vec<f64> {
+        let mut sens = vec![0.0; self.platform.layer_count()];
+        for aid in 0..assignment.array_count() {
+            let array = ArrayId::from_index(aid);
+            let chain = assignment.copies_of(array);
+            let c =
+                self.array_contribution(array, assignment.home(array), &chain, assignment.policy());
+            for (total, s) in sens.iter_mut().zip(&c.energy_sensitivity) {
+                *total += s;
+            }
+        }
+        sens
     }
 
     /// Prices an assignment under the static model.
@@ -898,6 +966,13 @@ impl<'m, 'a> IncrementalCost<'m, 'a> {
     /// The working assignment.
     pub fn assignment(&self) -> &Assignment {
         &self.assignment
+    }
+
+    /// The cached contribution of one array's *committed* state — the
+    /// "current side" of the greedy search's gain computations (the margin
+    /// bookkeeping diffs its energy sensitivity against a trial's).
+    pub fn contribution(&self, array: ArrayId) -> &ArrayContribution {
+        &self.contribs[array.index()]
     }
 
     /// The cost of the working assignment (equals

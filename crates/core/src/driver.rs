@@ -69,7 +69,7 @@ impl MhlaResult {
 /// the pruned grid sweep ([`explore`](crate::explore)) uses to recognize
 /// *capacity-saturated* directions. Not part of [`MhlaResult`], so results
 /// stay byte-for-byte comparable across all run paths.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunStats {
     /// Bitmask (by layer index) of the layers whose capacity actively
     /// bound the run: a cold greedy probe first overflowed there, TE
@@ -79,6 +79,31 @@ pub struct RunStats {
     /// assignment, same TE schedule, equal cycles under a
     /// capacity-independent cycle landscape, and monotonically ≥ energy).
     pub constrained_layers: u64,
+    /// Per layer: the run's *gain-bound margin rate* — the largest
+    /// write-energy delta `δw_l` (pJ, at energy weight 1) the layer alone
+    /// could absorb without flipping any decision of the run. This is the
+    /// energy-side saturation rule's per-layer gain-bound data. Growing a
+    /// scratchpad raises its read/write/burst energies in lock-step
+    /// (`δw = 1.2·δr = δ_burst` under the scaling laws); every
+    /// contribution's energy then moves by exactly
+    /// `Σ_l δw_l · sensitivity[l]`
+    /// ([`ArrayContribution::energy_sensitivity`](crate::ArrayContribution)
+    /// — per-layer access-execution and transfer-volume totals of the
+    /// cost model), so every decision of the cold greedy search (and the
+    /// final baseline-fallback comparison) closes its margin at a known
+    /// per-layer risk rate; `gain_margin_rates[l]` is the minimum over
+    /// decisions of `margin / risk_l`. Joint growth is admitted by
+    /// [`allows_energy_growth`](Self::allows_energy_growth) when
+    /// `Σ_l energy_weight · δw_l / gain_margin_rates[l] < 1`: no decision
+    /// flips, the run replays move for move, cycles stay equal (within
+    /// one latency class) and energy can only rise — the growth is
+    /// dominated sight unseen. `INFINITY` where no decision is sensitive
+    /// (ties between sensitivity-identical twin moves are exempt — their
+    /// gaps are growth-invariant); `0.0` where some decision sits exactly
+    /// at a perturbable tie (only perturbation-free growth — the cycles
+    /// objective, or growth inside the sub-reference energy-clamp region
+    /// — replays then). Empty for untracked runs.
+    pub gain_margin_rates: Vec<f64>,
     /// The portfolio kept the cold result (the warm leg never overrode).
     /// Trivially true for cold runs (`warm = None`).
     pub cold_result_kept: bool,
@@ -98,11 +123,97 @@ impl RunStats {
                 .is_some_and(|bit| self.constrained_layers & bit == 0)
     }
 
+    /// Whether the run's decisions provably survive the given per-layer
+    /// write-energy growth — `deltas` being `(layer, δw_l)` pairs of the
+    /// grown scratchpads. Each decision's total perturbation is a convex
+    /// combination of its per-layer allowances, so growth is admitted
+    /// when `Σ_l energy_weight · δw_l / gain_margin_rates[l] < 1` (with a
+    /// small safety factor absorbing f64 rounding). A perturbation of
+    /// exactly zero — the cycles objective, or growth confined to the
+    /// sub-reference energy-clamp region — is always admitted; a layer
+    /// with no recorded rate (untracked run) admits nothing. A *negative*
+    /// energy weight inverts the perturbation direction the one-sided
+    /// risk rates were recorded under, so any nonzero perturbation is
+    /// refused outright (zero-delta growth still replays bit-identically
+    /// and is admitted).
+    pub fn allows_energy_growth<I>(&self, deltas: I, energy_weight: f64) -> bool
+    where
+        I: IntoIterator<Item = (mhla_hierarchy::LayerId, f64)>,
+    {
+        let mut budget = 0.0f64;
+        for (layer, delta_pj) in deltas {
+            if delta_pj <= 0.0 || energy_weight == 0.0 {
+                continue;
+            }
+            if energy_weight < 0.0 {
+                return false;
+            }
+            let rate = self
+                .gain_margin_rates
+                .get(layer.index())
+                .copied()
+                .unwrap_or(0.0);
+            if rate == 0.0 {
+                return false;
+            }
+            budget += energy_weight * delta_pj / rate;
+        }
+        budget < 1.0 - 1e-9
+    }
+
+    /// The largest capacity the given scratchpad layer (currently
+    /// `capacity_bytes`) could grow to *alone* without flipping any
+    /// decision of this run under the given energy weight — the
+    /// per-layer growth ceiling implied by
+    /// [`gain_margin_rates`](Self::gain_margin_rates), conservatively
+    /// rounded down so growth *to the ceiling itself* is admitted by
+    /// [`allows_energy_growth`](Self::allows_energy_growth) (diagnostics;
+    /// the pruned sweep checks joint growth against the summed budget
+    /// directly). Saturating: `u64::MAX` means unbounded. Latency-class
+    /// limits are *not* folded in.
+    pub fn energy_growth_ceiling(
+        &self,
+        layer: mhla_hierarchy::LayerId,
+        capacity_bytes: u64,
+        energy_weight: f64,
+    ) -> u64 {
+        use mhla_hierarchy::energy::{sram_write_pj, SRAM_ENERGY_EXPONENT, SRAM_REF_BYTES};
+        let ew = energy_weight.abs();
+        let rate = self
+            .gain_margin_rates
+            .get(layer.index())
+            .copied()
+            .unwrap_or(0.0);
+        if ew == 0.0 || rate == f64::INFINITY {
+            return u64::MAX;
+        }
+        if rate == 0.0 {
+            return capacity_bytes;
+        }
+        // Invert the clamped scaling law: the write (= burst) energy is the
+        // steepest of the three per-layer energies and the unit the rates
+        // are expressed in. E_w(c) = E_w(ref) · (c/ref)^α for c ≥ ref. The
+        // rate is shaved slightly so the ceiling itself sits strictly
+        // inside `allows_energy_growth`'s budget (its safety factor would
+        // otherwise refuse a capacity landing within rounding of the
+        // exact inversion).
+        let allowed = sram_write_pj(capacity_bytes) + (rate / ew) * (1.0 - 1e-6);
+        let ref_write = sram_write_pj(SRAM_REF_BYTES);
+        let ratio = (allowed / ref_write).powf(1.0 / SRAM_ENERGY_EXPONENT);
+        let ceiling = (SRAM_REF_BYTES as f64 * ratio).floor();
+        if ceiling >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (ceiling as u64).max(capacity_bytes)
+        }
+    }
+
     /// The conservative default for paths that do not track constraints
     /// (exhaustive search, the frozen reference flow): never saturated.
     fn unknown() -> Self {
         RunStats {
             constrained_layers: u64::MAX,
+            gain_margin_rates: Vec::new(),
             cold_result_kept: false,
             tracked: false,
         }
@@ -307,6 +418,47 @@ impl<'a> Mhla<'a> {
         // a local optimum worse than the out-of-the-box placement. A real
         // tool never returns an assignment worse than its input: fall back
         // to the baseline when it scores better.
+        //
+        // This comparison is itself a capacity-perturbable decision: both
+        // scores shift when scratchpad energies grow, by exactly the
+        // per-layer write-energy deltas times each assignment's energy
+        // sensitivity, so the gap closes at per-layer rate
+        // |sensitivity difference|. Its margin rates join the search's in
+        // `RunStats` so the pruned sweep's replay argument covers the
+        // fallback too (identical assignments are exempt — both sides
+        // perturb identically, as are layers with equal sensitivity).
+        // Only computed when a search trace exists — no tracked margin
+        // means no consumer.
+        let fallback_rates: Option<Vec<f64>> = if search_stats.is_none()
+            || self.config.objective.energy_weight() <= 0.0
+            || outcome.assignment == baseline.assignment
+        {
+            None
+        } else {
+            let out_sens = model.assignment_energy_sensitivity(&outcome.assignment);
+            let base_sens = model.assignment_energy_sensitivity(&baseline.assignment);
+            let base_score = self.config.objective.score(&baseline.cost);
+            let out_score = self.config.objective.score(&outcome.cost);
+            // Margins within f64 rounding distance of the score scale are
+            // ties (mirrors `SearchTrace::fold`'s tie floor).
+            let tie_floor = base_score.abs().max(out_score.abs()).max(1.0) * 1e-9;
+            let gap = (base_score - out_score).abs();
+            let gap = if gap <= tie_floor { 0.0 } else { gap };
+            Some(
+                out_sens
+                    .iter()
+                    .zip(&base_sens)
+                    .map(|(o, b)| {
+                        let risk = (o - b).abs();
+                        if risk > 0.0 {
+                            gap / risk
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect(),
+            )
+        };
         if self.config.objective.score(&baseline.cost) < self.config.objective.score(&outcome.cost)
         {
             outcome = baseline.clone();
@@ -323,13 +475,21 @@ impl<'a> Mhla<'a> {
             te::plan_with_stats(model, &outcome.assignment)
         };
         let stats = match search_stats {
-            Some(s) => RunStats {
-                constrained_layers: s.cold_constrained_layers
-                    | te_constrained
-                    | placement_constrained,
-                cold_result_kept: !s.warm_overrode,
-                tracked: true,
-            },
+            Some(mut s) => {
+                if let Some(fb) = fallback_rates {
+                    for (rate, f) in s.cold_margin_rates.iter_mut().zip(&fb) {
+                        *rate = rate.min(*f);
+                    }
+                }
+                RunStats {
+                    constrained_layers: s.cold_constrained_layers
+                        | te_constrained
+                        | placement_constrained,
+                    gain_margin_rates: s.cold_margin_rates,
+                    cold_result_kept: !s.warm_overrode,
+                    tracked: true,
+                }
+            }
             None => RunStats::unknown(),
         };
         let result = MhlaResult {

@@ -24,8 +24,14 @@
 //! [`sweep_grid_pruned`] is the sub-exhaustive production path for large
 //! grids: points that provably cannot contribute a Pareto point are
 //! skipped *without evaluation* (see its documentation for the two prune
-//! rules and the losslessness argument); `tests/prune_equivalence.rs`
-//! verifies the pruned frontier bit-for-bit against the exhaustive one.
+//! rules and the losslessness argument). The rules arm under all three
+//! [`Objective`](crate::Objective)s — the energy/weighted side rides on instrumented
+//! per-run *gain bounds* ([`RunStats`]) — and the loop
+//! executes in *frontier waves* whose cold evaluations run in parallel
+//! while skip decisions commit in lexicographic order, so frontiers and
+//! [`PruneStats`] are identical to the sequential point-by-point path;
+//! `tests/prune_equivalence.rs` verifies the pruned frontier bit-for-bit
+//! against the exhaustive one under every objective and both modes.
 //!
 //! [`sweep_cold`] keeps the frozen pre-optimization reference path:
 //! strictly sequential, every point re-analyzed and searched from scratch.
@@ -38,13 +44,16 @@
 
 use rayon::prelude::*;
 
-use mhla_hierarchy::{energy::sram_access_cycles, LayerId, Platform};
+use mhla_hierarchy::{
+    energy::{sram_access_cycles, sram_write_pj},
+    LayerId, Platform,
+};
 use mhla_ir::Program;
 
 use crate::context::ExplorationContext;
-use crate::driver::{Mhla, MhlaResult};
+use crate::driver::{Mhla, MhlaResult, RunStats};
 use crate::pareto;
-use crate::types::{Assignment, MhlaConfig, Objective, SearchStrategy};
+use crate::types::{Assignment, MhlaConfig, SearchStrategy};
 
 /// One point of the capacity sweep.
 #[derive(Clone, PartialEq, Debug)]
@@ -522,13 +531,136 @@ pub struct PrunedGridSweep {
     /// surfaces ([`GridSweep::pareto_cycles`] / `pareto_energy`) are
     /// point-for-point those of the exhaustive grid.
     pub sweep: GridSweep,
-    /// How many points were evaluated vs skipped, and why.
+    /// How many points were evaluated vs skipped, and why. Identical for
+    /// every [`PruneOptions`] — the wave structure changes wall time only.
     pub stats: PruneStats,
+    /// Dominance waves executed (each wave's cold evaluations run
+    /// concurrently under the parallel mode; a sequential run with
+    /// `wave == 1` degenerates to one wave per evaluated point).
+    pub waves: usize,
+    /// Wave members evaluated speculatively whose results were discarded
+    /// at commit time because an earlier member of the same wave enabled a
+    /// skip — the (bounded) price of evaluating a wave before committing
+    /// it. Always `0` when `wave == 1`.
+    pub speculative_evals: usize,
+}
+
+/// Default number of points one dominance wave of
+/// [`sweep_grid_pruned_with`] may evaluate concurrently (the default of
+/// [`PruneOptions::wave`]). Fixed — never derived from the machine's core
+/// count — so wave boundaries, and thus the speculation bookkeeping, are
+/// machine-independent (skip decisions and frontiers are invariant under
+/// the wave size anyway; see [`PruneOptions`]).
+pub const PRUNE_WAVE: usize = 16;
+
+/// Tuning knobs for [`sweep_grid_pruned_with`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PruneOptions {
+    /// Evaluate each wave's points on the `rayon` thread pool. Skip
+    /// decisions commit in lexicographic order either way, so results,
+    /// frontiers and [`PruneStats`] are identical with and without
+    /// parallelism — only wall time changes.
+    pub parallel: bool,
+    /// Maximum points per dominance wave (clamped to ≥ 1; default
+    /// [`PRUNE_WAVE`]). `wave == 1` is exactly the sequential
+    /// point-by-point loop. Larger waves expose more parallelism but can
+    /// evaluate a few points speculatively
+    /// ([`PrunedGridSweep::speculative_evals`]).
+    pub wave: usize,
+}
+
+impl Default for PruneOptions {
+    fn default() -> Self {
+        PruneOptions {
+            parallel: true,
+            wave: PRUNE_WAVE,
+        }
+    }
 }
 
 /// `q ≤ p` in every coordinate without being the same vector.
 fn caps_dominate(q: &[u64], p: &[u64]) -> bool {
     q != p && q.iter().zip(p).all(|(a, b)| a <= b)
+}
+
+/// The score-perturbation budget the growth from capacity `from` to
+/// capacity `to` spends at one scratchpad layer: its *write-energy* delta
+/// — the unit the gain-bound sensitivities are expressed in (reads scale
+/// as `δw / 1.2` and bursts as `δw` exactly, both folded into
+/// [`ArrayContribution::energy_sensitivity`](crate::ArrayContribution)).
+/// Zero inside the sub-reference clamp region, where growth leaves the
+/// whole cost model bit-identical.
+fn scratchpad_energy_delta_pj(from: u64, to: u64) -> f64 {
+    (sram_write_pj(to) - sram_write_pj(from)).max(0.0)
+}
+
+/// Every evaluated point: capacities and reported (cycles, energy) — the
+/// incumbents of the cost-floor rule.
+struct Evaluated {
+    capacities: Vec<u64>,
+    cycles: u64,
+    energy_pj: f64,
+}
+
+/// Rule-1 dominator candidates: evaluated points with at least one
+/// *growable* axis (per-axis, precomputed from the run's constrained-layer
+/// mask) plus the run's recorded gain-bound data. Points whose run was
+/// bound on every axis can never justify a skip and never enter this
+/// list, which keeps the per-candidate scan short — on fully
+/// capacity-bound apps it is empty. (Both scans are still linear in their
+/// list; a spatial index over the capacity lattice would be the next step
+/// for 10⁵+ grids.)
+struct Replayable {
+    capacities: Vec<u64>,
+    growable: Vec<bool>,
+    stats: RunStats,
+}
+
+impl Replayable {
+    /// Whether this evaluated run provably replays (and therefore
+    /// dominates on both surfaces) at the grown point `caps`: capacity
+    /// dominance, growth confined to never-binding axes inside one
+    /// scratchpad latency class, and the per-layer write-energy deltas
+    /// within the run's recorded gain-bound budget
+    /// ([`RunStats::allows_energy_growth`]).
+    fn replays_at(&self, caps: &[u64], layers: &[LayerId], energy_weight: f64) -> bool {
+        if !caps_dominate(&self.capacities, caps) {
+            return false;
+        }
+        for ((&qc, &pc), &growable) in self.capacities.iter().zip(caps).zip(&self.growable) {
+            if qc == pc {
+                continue;
+            }
+            if !growable || sram_access_cycles(qc) != sram_access_cycles(pc) {
+                return false;
+            }
+        }
+        self.stats.allows_energy_growth(
+            self.capacities
+                .iter()
+                .zip(caps)
+                .enumerate()
+                .filter(|(_, (qc, pc))| qc != pc)
+                .map(|(axis, (&qc, &pc))| (layers[axis], scratchpad_energy_delta_pj(qc, pc))),
+            energy_weight,
+        )
+    }
+}
+
+/// Why a candidate point was skipped without evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SkipRule {
+    Saturated,
+    Floor,
+}
+
+impl PruneStats {
+    fn record(&mut self, rule: SkipRule) {
+        match rule {
+            SkipRule::Saturated => self.skipped_saturated += 1,
+            SkipRule::Floor => self.skipped_floor += 1,
+        }
+    }
 }
 
 /// The sub-exhaustive grid sweep: like [`sweep_grid`], but capacity
@@ -538,32 +670,40 @@ fn caps_dominate(q: &[u64], p: &[u64]) -> bool {
 /// point, so [`GridSweep::pareto_cycles`] / `pareto_energy` of the result
 /// select exactly the frontier of the exhaustive grid
 /// (`tests/prune_equivalence.rs` asserts this bit-for-bit on all nine
-/// applications).
+/// applications, under all three objectives).
 ///
 /// Every evaluated point runs *cold* (no warm start), so each result is
 /// bit-identical to a standalone [`Mhla::run`] on the same platform — the
 /// canonical semantics the losslessness proof and the equivalence harness
 /// build on. Two prune rules apply, both conservative:
 ///
-/// 1. **Per-layer saturation.** Under the cycles objective with every
-///    axis inside one scratchpad latency class, per-access cycles and
-///    block-transfer times are capacity-independent — capacities enter
-///    the search only through *feasibility*, which is monotone (anything
-///    that fits keeps fitting as layers grow). Each evaluated run records
-///    which layers actually *bound* it
-///    ([`RunStats`](crate::RunStats)): the first-overflow layer of every
-///    failed greedy probe, every layer at which TE rejected an extension,
-///    every layer that turned an array away during direct placement. If
-///    point `p` differs from an evaluated point `q ≤ p` only on layers
-///    that never bound `q`'s run, the run at `p` replays `q`'s decision
-///    for decision — failed probes still fail (their overflow layer is
-///    unchanged), successful ones still succeed (capacities only grew) —
-///    yielding the same assignment and TE schedule, hence *equal cycles*
-///    and, because per-access energies are monotone in capacity, *no
-///    lower energy*. `p` is dominated by `q` on both surfaces and is
-///    skipped. Growth is additionally required to stay inside the grown
-///    layer's scratchpad latency class (the cycle landscape is only
-///    capacity-independent within one class), checked per point pair.
+/// 1. **Per-layer saturation with gain bounds.** Capacities enter the
+///    greedy search three ways: *feasibility* (monotone — anything that
+///    fits keeps fitting as layers grow), *per-access cycles* (constant
+///    inside one scratchpad latency class), and *per-access energies*
+///    (the clamped √-capacity scaling law). Each evaluated run records
+///    which layers actually *bound* it ([`RunStats`]):
+///    the first-overflow layer of every failed greedy probe, every layer
+///    at which TE rejected an extension, every layer that turned an array
+///    away during direct placement — plus the run's minimum *decision
+///    margin* per energy-sensitive operation
+///    ([`RunStats::gain_margin_rates`](crate::RunStats::gain_margin_rates)),
+///    an instrumented gain bound derived from the cost model's cached
+///    access and transfer-volume totals. If point `p` differs from an
+///    evaluated point `q ≤ p` only on layers that never bound `q`'s run,
+///    each staying inside its latency class, and the summed per-layer
+///    energy deltas (times the objective's energy weight) stay strictly
+///    below `q`'s margin, the run at `p` replays `q`'s decision for
+///    decision — failed probes still fail, successful ones still
+///    succeed, no gain comparison can flip — yielding the same
+///    assignment and TE schedule, hence *equal cycles* and, because
+///    per-access energies are monotone in capacity, *no lower energy*.
+///    `p` is dominated by `q` on both surfaces and is skipped. Under the
+///    cycles objective the energy weight is zero and the margin test is
+///    vacuous (the classic rule); under the energy/weighted objectives it
+///    arms wherever the margins allow — always for growth inside the
+///    sub-reference energy-clamp region (zero delta), and beyond it
+///    whenever no decision of `q`'s run sat close to a tie.
 /// 2. **Cost floor.** [`CostModel::cost_floor`](crate::CostModel::cost_floor)
 ///    bounds any assignment's cycles and energy from below using only the
 ///    point's layer parameters. If some evaluated point with
@@ -574,9 +714,28 @@ fn caps_dominate(q: &[u64], p: &[u64]) -> bool {
 /// Both rules only ever skip points dominated by an *evaluated* point, so
 /// dominance transitivity keeps every surface intact (anything a skipped
 /// point would dominate is already dominated by its dominator). When the
-/// preconditions of rule 1 do not hold (energy/weighted objective or a
-/// non-greedy strategy), the rule disarms itself and the sweep degrades
-/// towards exhaustive — never towards a wrong frontier.
+/// preconditions of rule 1 do not hold (a non-greedy strategy, or margins
+/// too tight for the requested growth), the rule disarms itself and the
+/// sweep degrades towards exhaustive — never towards a wrong frontier.
+///
+/// # Frontier waves
+///
+/// The loop runs in *dominance waves* ([`PruneOptions`]): each wave
+/// collects, in lexicographic order, a run of consecutive points that are
+/// not skippable given the committed evaluations (stopping at the wave
+/// cap and at the first skippable point), evaluates the wave's cold
+/// searches — in parallel under `rayon` when [`PruneOptions::parallel`]
+/// is set — and then commits the results in lexicographic order,
+/// re-applying the skip rules as it goes: a member whose skip was enabled
+/// by an earlier member of the same wave is recorded as skipped and its
+/// speculative evaluation discarded. Because a point is only
+/// skip-*finalized* when every lexicographically earlier point has been
+/// committed, each decision sees exactly the evaluated set the sequential
+/// point-by-point loop would have seen: skip decisions, [`PruneStats`],
+/// evaluated points and both frontiers are **identical for every wave
+/// size and thread fan-out** — only wall time (and the
+/// [`PrunedGridSweep::speculative_evals`] bookkeeping) changes. This is
+/// the default path; use [`sweep_grid_pruned_with`] to tune.
 ///
 /// # Panics
 ///
@@ -587,6 +746,17 @@ pub fn sweep_grid_pruned(
     platform: &Platform,
     axes: &[GridAxis],
     config: &MhlaConfig,
+) -> PrunedGridSweep {
+    sweep_grid_pruned_with(program, platform, axes, config, PruneOptions::default())
+}
+
+/// [`sweep_grid_pruned`] with explicit [`PruneOptions`].
+pub fn sweep_grid_pruned_with(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+    opts: PruneOptions,
 ) -> PrunedGridSweep {
     let layers: Vec<LayerId> = axes.iter().map(|a| a.layer).collect();
     let axis_caps: Vec<Vec<u64>> = axes
@@ -600,109 +770,161 @@ pub fn sweep_grid_pruned(
                 points: Vec::new(),
             },
             stats: PruneStats::default(),
+            waves: 0,
+            speculative_evals: 0,
         };
     }
 
     let ctx = ExplorationContext::new(program, platform, config.clone());
 
-    // The saturation rule is valid only while the search's cycle landscape
-    // is capacity-independent: cycles objective (access latencies and
-    // block-transfer times do not scale with capacity inside one latency
-    // class; energies do) and greedy strategy (the instrumented search).
-    // The latency-class condition is checked per point pair, per differing
-    // axis, so axes may span latency break-points — pruning simply never
-    // crosses one.
-    let saturation_armed =
-        config.objective == Objective::Cycles && config.strategy == SearchStrategy::Greedy;
+    // The saturation rule needs the instrumented greedy search (the only
+    // strategy recording constraint masks and decision margins). The
+    // objective no longer disarms it: the energy weight below scales the
+    // gain-bound test, which is vacuous for cycles (weight 0) and
+    // margin-guarded otherwise.
+    let saturation_armed = config.strategy == SearchStrategy::Greedy;
+    // The signed energy weight: zero makes the gain landscape exactly
+    // capacity-independent (the classic cycles-only rule falls out as
+    // the degenerate case); a negative weight makes
+    // `RunStats::allows_energy_growth` refuse every nonzero perturbation
+    // (the one-sided margin rates do not cover that direction), leaving
+    // only bit-identical zero-delta replays.
+    let energy_weight = config.objective.energy_weight();
+    let wave_cap = opts.wave.max(1);
 
+    let order = cartesian(&axis_caps);
     let mut stats = PruneStats {
-        candidates: axis_caps.iter().map(Vec::len).product(),
+        candidates: order.len(),
         ..PruneStats::default()
     };
-    // Every evaluated point: capacities and reported (cycles, energy) —
-    // the incumbents of the cost-floor rule.
-    struct Evaluated {
-        capacities: Vec<u64>,
-        cycles: u64,
-        energy_pj: f64,
-    }
-    // Rule-1 dominator candidates: evaluated points with at least one
-    // *growable* axis (per-axis, precomputed from the run's
-    // constrained-layer mask). Points whose run was bound on every axis
-    // can never justify a skip and never enter this list, which keeps the
-    // per-candidate scan short — on fully capacity-bound apps it is
-    // empty. (Both scans are still linear in their list; a spatial index
-    // over the capacity lattice would be the next step for 10⁵+ grids.)
-    struct Replayable {
-        capacities: Vec<u64>,
-        growable: Vec<bool>,
-    }
     let mut seen: Vec<Evaluated> = Vec::new();
     let mut replayable: Vec<Replayable> = Vec::new();
     let mut points: Vec<GridPoint> = Vec::new();
+    let mut waves = 0usize;
+    let mut speculative_evals = 0usize;
 
-    for capacities in cartesian(&axis_caps) {
-        // Rule 1: an evaluated q ≤ p whose run was not bound by any layer
-        // on which p grows — with every grown layer staying inside its
-        // scratchpad latency class — would replay identically at p.
+    // Per-candidate cost floors, memoized: a point's floor depends only
+    // on its capacities, but its skip rules can run several times (wave
+    // re-examinations, the commit re-check), and building the resized
+    // platform per check is pure allocation waste.
+    let mut floors: Vec<Option<crate::cost::CostFloor>> = vec![None; order.len()];
+    // The skip rules against the *committed* evaluations. Rule 1 first,
+    // rule 2 second (the bookkeeping attributes a skip to the first rule
+    // that fires); the rule-2 energy scan only runs once the cycles scan
+    // has found a dominator — a miss on either side keeps the point.
+    let skip_rule = |i: usize,
+                     seen: &[Evaluated],
+                     replayable: &[Replayable],
+                     floors: &mut [Option<crate::cost::CostFloor>]| {
+        let caps: &[u64] = &order[i];
         if saturation_armed
-            && replayable.iter().any(|q| {
-                caps_dominate(&q.capacities, &capacities)
-                    && q.capacities.iter().zip(&capacities).zip(&q.growable).all(
-                        |((&qc, &pc), &growable)| {
-                            qc == pc
-                                || (growable && sram_access_cycles(qc) == sram_access_cycles(pc))
-                        },
-                    )
-            })
+            && replayable
+                .iter()
+                .any(|q| q.replays_at(caps, &layers, energy_weight))
         {
-            stats.skipped_saturated += 1;
-            continue;
+            return Some(SkipRule::Saturated);
         }
-        let sizes: Vec<(LayerId, u64)> = layers
-            .iter()
-            .copied()
-            .zip(capacities.iter().copied())
-            .collect();
-        let pf = platform.with_layer_capacities(&sizes);
-        // Rule 2: incumbents at or below the point's cost floor. The
-        // energy scan only runs once the cycles scan has found a
-        // dominator — a miss on either side keeps the point.
-        let floor = ctx.cost_model(&pf).cost_floor();
+        let floor = *floors[i].get_or_insert_with(|| {
+            let sizes: Vec<(LayerId, u64)> =
+                layers.iter().copied().zip(caps.iter().copied()).collect();
+            ctx.cost_model(&platform.with_layer_capacities(&sizes))
+                .cost_floor()
+        });
         let floor_dominated = seen
             .iter()
-            .any(|q| caps_dominate(&q.capacities, &capacities) && q.cycles <= floor.cycles)
-            && seen.iter().any(|q| {
-                caps_dominate(&q.capacities, &capacities) && q.energy_pj <= floor.energy_pj
-            });
-        if floor_dominated {
-            stats.skipped_floor += 1;
-            continue;
-        }
+            .any(|q| caps_dominate(&q.capacities, caps) && q.cycles <= floor.cycles)
+            && seen
+                .iter()
+                .any(|q| caps_dominate(&q.capacities, caps) && q.energy_pj <= floor.energy_pj);
+        floor_dominated.then_some(SkipRule::Floor)
+    };
+    let evaluate = |caps: &[u64]| -> (MhlaResult, RunStats) {
+        let sizes: Vec<(LayerId, u64)> = layers.iter().copied().zip(caps.iter().copied()).collect();
+        let pf = platform.with_layer_capacities(&sizes);
+        Mhla::with_context(&ctx, &pf).run_with_stats(None, Some(ctx.moves()))
+    };
 
-        let mhla = Mhla::with_context(&ctx, &pf);
-        let (result, run) = mhla.run_with_stats(None, Some(ctx.moves()));
-        if saturation_armed {
-            let growable: Vec<bool> = layers.iter().map(|&l| run.allows_growth_of(l)).collect();
-            if growable.iter().any(|&g| g) {
-                replayable.push(Replayable {
-                    capacities: capacities.clone(),
-                    growable,
-                });
+    let mut next = 0usize;
+    while next < order.len() {
+        // --- Wave selection: walk the lexicographic order from the
+        // cursor. While the wave is empty, every earlier point has been
+        // committed, so a skip decision here sees exactly the sequential
+        // loop's evaluated set and is final. Once a member is selected,
+        // later skips can no longer be finalized (the member's own result
+        // is pending) — the wave stops there and the point is re-examined
+        // next wave. Points merely capacity-dominated by a pending member
+        // do join the wave; if the member's commit turns out to enable
+        // their skip, the commit pass below discards their evaluation as
+        // speculative (measured: a handful per app on the default grid).
+        let mut wave: Vec<usize> = Vec::new();
+        while next < order.len() && wave.len() < wave_cap {
+            match skip_rule(next, &seen, &replayable, &mut floors) {
+                Some(rule) => {
+                    if !wave.is_empty() {
+                        break;
+                    }
+                    stats.record(rule);
+                    next += 1;
+                }
+                None => {
+                    wave.push(next);
+                    next += 1;
+                }
             }
         }
-        seen.push(Evaluated {
-            capacities: capacities.clone(),
-            cycles: result.mhla_te_cycles(),
-            energy_pj: result.mhla_energy_pj(),
-        });
-        stats.evaluated += 1;
-        points.push(GridPoint { capacities, result });
+        if wave.is_empty() {
+            continue; // the scan consumed pure skips up to the end
+        }
+        waves += 1;
+
+        // --- Cold evaluations of the wave, order-preserving.
+        let runs: Vec<(MhlaResult, RunStats)> = if opts.parallel && wave.len() > 1 {
+            wave.par_iter().map(|&i| evaluate(&order[i])).collect()
+        } else {
+            wave.iter().map(|&i| evaluate(&order[i])).collect()
+        };
+
+        // --- Deterministic commit in lexicographic order. A member whose
+        // skip rules now fire (an earlier member's commit enabled them)
+        // is recorded as skipped and its speculative result discarded —
+        // exactly the sequential decision, since at this position every
+        // earlier point is committed.
+        let mut committed_in_wave = false;
+        for (&i, (result, run)) in wave.iter().zip(runs) {
+            let capacities = order[i].clone();
+            if committed_in_wave {
+                if let Some(rule) = skip_rule(i, &seen, &replayable, &mut floors) {
+                    stats.record(rule);
+                    speculative_evals += 1;
+                    continue;
+                }
+            }
+            if saturation_armed {
+                let growable: Vec<bool> = layers.iter().map(|&l| run.allows_growth_of(l)).collect();
+                if growable.iter().any(|&g| g) {
+                    replayable.push(Replayable {
+                        capacities: capacities.clone(),
+                        growable,
+                        stats: run,
+                    });
+                }
+            }
+            seen.push(Evaluated {
+                capacities: capacities.clone(),
+                cycles: result.mhla_te_cycles(),
+                energy_pj: result.mhla_energy_pj(),
+            });
+            stats.evaluated += 1;
+            points.push(GridPoint { capacities, result });
+            committed_in_wave = true;
+        }
     }
 
     PrunedGridSweep {
         sweep: GridSweep { layers, points },
         stats,
+        waves,
+        speculative_evals,
     }
 }
 

@@ -1,0 +1,208 @@
+//! Randomized, always-valid program generation for property tests
+//! (enabled by the `arbitrary` cargo feature).
+//!
+//! The equivalence guarantees of the exploration layer — pruned sweeps
+//! bit-identical to exhaustive ones, context-backed runs bit-identical to
+//! fresh ones — are stated for *arbitrary* programs, but hand-written
+//! fixtures only ever exercise a few loop shapes. This module provides a
+//! bounded [`proptest`] strategy over small loop nests built through
+//! [`ProgramBuilder`]: 1–3 perfectly nested loop levels, 1–3 arrays,
+//! statements at arbitrary levels with affine read/write accesses and
+//! varying compute weights.
+//!
+//! Generation is *spec-first*: [`program_specs`] draws a plain-data
+//! [`ProgramSpec`] (printable on failure, so a failing case can be
+//! reconstructed by hand — the offline proptest stand-in does not
+//! shrink), and [`ProgramSpec::build`] deterministically turns it into a
+//! validated [`Program`]. Array extents are derived from the generated
+//! access patterns (coefficients are non-negative, so the maximum index
+//! is reached at the loop upper bounds), which makes every generated
+//! program pass [`Program::validate`] by construction.
+
+use proptest::prelude::*;
+
+use crate::{AffineExpr, ElemType, Program, ProgramBuilder};
+
+/// Maximum loop-nest depth of a generated program (and the length of
+/// [`AccessSpec::coeffs`]).
+pub const MAX_DEPTH: usize = 3;
+
+/// One generated array access.
+#[derive(Clone, Debug)]
+pub struct AccessSpec {
+    /// Selects the accessed array (taken modulo the program's array
+    /// count).
+    pub array: u8,
+    /// Write instead of read.
+    pub write: bool,
+    /// Per loop level, the iterator's coefficient in the (1-D) index
+    /// expression; levels deeper than the statement's are ignored.
+    pub coeffs: [i64; MAX_DEPTH],
+    /// Constant offset of the index expression.
+    pub offset: u8,
+}
+
+/// One generated statement.
+#[derive(Clone, Debug)]
+pub struct StmtSpec {
+    /// Loop level the statement sits in (clamped to the innermost level;
+    /// level 0 is the outermost loop).
+    pub level: u8,
+    /// Pure datapath cycles per execution.
+    pub compute: u8,
+    /// The statement's accesses (1–2).
+    pub accesses: Vec<AccessSpec>,
+}
+
+/// A complete generated program description: what [`program_specs`]
+/// draws and [`ProgramSpec::build`] materializes.
+#[derive(Clone, Debug)]
+pub struct ProgramSpec {
+    /// Number of arrays (1–3).
+    pub arrays: u8,
+    /// Trip count per loop level, outermost first (the nest depth is
+    /// `trips.len()`).
+    pub trips: Vec<i64>,
+    /// The statements (each clamped into the nest).
+    pub stmts: Vec<StmtSpec>,
+}
+
+impl ProgramSpec {
+    /// The nest depth.
+    fn depth(&self) -> usize {
+        self.trips.len().clamp(1, MAX_DEPTH)
+    }
+
+    /// The loop level a statement actually lands in.
+    fn stmt_level(&self, s: &StmtSpec) -> usize {
+        (s.level as usize).min(self.depth() - 1)
+    }
+
+    /// The largest value an access's index expression reaches (all
+    /// coefficients are non-negative, so it is attained at the loop
+    /// upper bounds).
+    fn max_index(&self, level: usize, access: &AccessSpec) -> i64 {
+        let mut max = access.offset as i64;
+        for (j, &trip) in self.trips.iter().enumerate().take(level + 1) {
+            max += access.coeffs[j].max(0) * (trip - 1).max(0);
+        }
+        max
+    }
+
+    /// Deterministically builds (and validates) the described program.
+    pub fn build(&self) -> Program {
+        let depth = self.depth();
+        let arrays = self.arrays.clamp(1, 3) as usize;
+        // Array extents cover every generated access; element types cycle
+        // through a few sizes so byte footprints vary.
+        let mut extents = vec![1i64; arrays];
+        for s in &self.stmts {
+            let level = self.stmt_level(s);
+            for a in &s.accesses {
+                let idx = a.array as usize % arrays;
+                extents[idx] = extents[idx].max(self.max_index(level, a) + 1);
+            }
+        }
+        let elems = [ElemType::U8, ElemType::I16, ElemType::I32];
+        let mut b = ProgramBuilder::new("generated");
+        let ids: Vec<_> = extents
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| b.array(format!("a{i}"), &[e as u64], elems[i % elems.len()]))
+            .collect();
+        let mut loops = Vec::with_capacity(depth);
+        for (lvl, &trip) in self.trips.iter().enumerate().take(depth) {
+            loops.push(b.begin_loop(format!("l{lvl}"), 0, trip.max(1), 1));
+            for s in self.stmts.iter().filter(|s| self.stmt_level(s) == lvl) {
+                let mut sb = b.stmt("s").compute_cycles(s.compute as u64);
+                for a in &s.accesses {
+                    let mut idx = AffineExpr::constant_expr(a.offset as i64);
+                    for (j, &l) in loops.iter().enumerate() {
+                        idx = idx + AffineExpr::scaled_var(l, a.coeffs[j].max(0));
+                    }
+                    let array = ids[a.array as usize % arrays];
+                    sb = if a.write {
+                        sb.write(array, vec![idx])
+                    } else {
+                        sb.read(array, vec![idx])
+                    };
+                }
+                sb.finish();
+            }
+        }
+        for _ in 0..depth {
+            b.end_loop();
+        }
+        b.finish()
+    }
+}
+
+/// Strategy over [`AccessSpec`]s.
+fn access_specs() -> impl Strategy<Value = AccessSpec> {
+    (
+        0u8..=2,
+        any::<bool>(),
+        proptest::prop::array::uniform3(0i64..=3),
+        0u8..=15,
+    )
+        .prop_map(|(array, write, coeffs, offset)| AccessSpec {
+            array,
+            write,
+            coeffs,
+            offset,
+        })
+}
+
+/// Strategy over [`StmtSpec`]s.
+fn stmt_specs() -> impl Strategy<Value = StmtSpec> {
+    (
+        0u8..=2,
+        0u8..=8,
+        proptest::prop::collection::vec(access_specs(), 1..=2usize),
+    )
+        .prop_map(|(level, compute, accesses)| StmtSpec {
+            level,
+            compute,
+            accesses,
+        })
+}
+
+/// The bounded program-spec strategy: 1–3 nested loops of 2–6 iterations,
+/// 1–3 arrays, 1–4 statements of 1–2 affine accesses each.
+pub fn program_specs() -> impl Strategy<Value = ProgramSpec> {
+    (
+        1u8..=3,
+        proptest::prop::collection::vec(2i64..=6, 1..=MAX_DEPTH),
+        proptest::prop::collection::vec(stmt_specs(), 1..=4usize),
+    )
+        .prop_map(|(arrays, trips, stmts)| ProgramSpec {
+            arrays,
+            trips,
+            stmts,
+        })
+}
+
+/// Strategy over validated [`Program`]s (see [`program_specs`]).
+pub fn programs() -> impl Strategy<Value = Program> {
+    program_specs().prop_map(|spec| spec.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every generated program validates, stays within the documented
+        /// bounds, and its accesses stay inside the declared extents.
+        #[test]
+        fn generated_programs_are_valid_and_bounded(spec in program_specs()) {
+            let p = spec.build();
+            prop_assert!(p.validate().is_ok());
+            prop_assert!(p.loop_count() >= 1 && p.loop_count() <= MAX_DEPTH);
+            prop_assert!(p.array_count() >= 1 && p.array_count() <= 3);
+            prop_assert!(p.stmt_count() <= 4);
+        }
+    }
+}

@@ -49,6 +49,8 @@
 #![warn(missing_docs)]
 
 mod analysis;
+#[cfg(feature = "arbitrary")]
+pub mod arbitrary;
 mod builder;
 mod display;
 mod expr;

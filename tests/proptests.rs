@@ -1,0 +1,147 @@
+//! Equivalence properties on *randomized* programs — the exploration
+//! layer's guarantees are stated for arbitrary programs, not just the
+//! nine hand-written apps, so they are checked here against the bounded
+//! generator of `mhla_ir::arbitrary` (small loop nests, arrays and affine
+//! access patterns built through the public `ProgramBuilder`):
+//!
+//! * the pruned grid sweep's evaluated points and both Pareto frontiers
+//!   are bit-identical to the exhaustive Cartesian product, under all
+//!   three objectives, in both sequential and parallel wave modes (with
+//!   identical `PruneStats` across modes);
+//! * a context-backed run (`Mhla::with_context`) is bit-identical to a
+//!   fresh standalone run at every platform point, under all three
+//!   objectives.
+//!
+//! CI runs this suite with a fixed `PROPTEST_SEED` as the generator smoke
+//! step; locally the (deterministic, per-test-name) default seed applies.
+
+use mhla::core::explore::{
+    sweep_grid_pruned_with, sweep_grid_with, GridAxis, PruneOptions, SweepOptions,
+};
+use mhla::core::{ExplorationContext, Mhla, MhlaConfig, Objective};
+use mhla::hierarchy::{LayerId, Platform};
+use mhla::ir::arbitrary::{program_specs, ProgramSpec};
+use mhla_bench::grid_frontier_points;
+use proptest::prelude::*;
+
+/// The three objectives every property is checked under.
+const OBJECTIVES: [Objective; 3] = [
+    Objective::Cycles,
+    Objective::Energy,
+    Objective::Weighted {
+        energy_weight: 0.5,
+        cycle_weight: 0.5,
+    },
+];
+
+/// A small three-level grid whose capacities straddle the generated
+/// programs' array footprints (tens to a few hundred bytes), so probes
+/// genuinely fail at some points and succeed at others.
+fn small_axes() -> Vec<GridAxis> {
+    vec![
+        GridAxis::new(LayerId(1), vec![128u64, 256, 1024]),
+        GridAxis::new(LayerId(2), vec![64u64, 128]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pruned ≡ exhaustive on random programs: evaluated points
+    /// bit-identical, frontiers bit-identical, PruneStats identical
+    /// between the sequential and parallel wave modes.
+    #[test]
+    fn pruned_equals_exhaustive_on_random_programs(spec in program_specs()) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        for objective in OBJECTIVES {
+            let config = MhlaConfig { objective, ..MhlaConfig::default() };
+            let full = sweep_grid_with(
+                &program,
+                &platform,
+                &axes,
+                &config,
+                SweepOptions { warm_start: false, ..SweepOptions::default() },
+            );
+            let sequential = sweep_grid_pruned_with(
+                &program,
+                &platform,
+                &axes,
+                &config,
+                PruneOptions { parallel: false, wave: 1 },
+            );
+            let parallel = sweep_grid_pruned_with(
+                &program,
+                &platform,
+                &axes,
+                &config,
+                PruneOptions::default(),
+            );
+            prop_assert_eq!(
+                &sequential.stats, &parallel.stats,
+                "PruneStats diverge between modes under {:?}", objective
+            );
+            prop_assert_eq!(
+                &sequential.sweep, &parallel.sweep,
+                "evaluated points diverge between modes under {:?}", objective
+            );
+            // Every evaluated pruned point is a point of the exhaustive
+            // grid, bit-identical.
+            for pp in &parallel.sweep.points {
+                let ep = full
+                    .points
+                    .iter()
+                    .find(|ep| ep.capacities == pp.capacities);
+                prop_assert!(ep.is_some_and(|ep| ep.result == pp.result),
+                    "pruned point {:?} diverges under {:?}", pp.capacities, objective);
+            }
+            prop_assert_eq!(
+                grid_frontier_points(&full, &full.pareto_cycles()),
+                grid_frontier_points(&parallel.sweep, &parallel.sweep.pareto_cycles()),
+                "cycles frontier diverges under {:?}", objective
+            );
+            prop_assert_eq!(
+                grid_frontier_points(&full, &full.pareto_energy()),
+                grid_frontier_points(&parallel.sweep, &parallel.sweep.pareto_energy()),
+                "energy frontier diverges under {:?}", objective
+            );
+        }
+    }
+
+    /// Context-backed runs ≡ fresh standalone runs on random programs.
+    #[test]
+    fn context_equals_fresh_on_random_programs(spec in program_specs()) {
+        let program = spec.build();
+        let base = Platform::embedded_default(1024);
+        for objective in OBJECTIVES {
+            let config = MhlaConfig { objective, ..MhlaConfig::default() };
+            let ctx = ExplorationContext::new(&program, &base, config.clone());
+            for capacity in [64u64, 192, 1024] {
+                let pf = base.with_layer_capacity(LayerId(1), capacity);
+                let fresh = Mhla::new(&program, &pf, config.clone()).run();
+                let shared = Mhla::with_context(&ctx, &pf).run_with(None, Some(ctx.moves()));
+                prop_assert_eq!(
+                    &fresh, &shared,
+                    "context-backed run diverges at {capacity} B under {:?}", objective
+                );
+            }
+        }
+    }
+}
+
+/// The generator itself is exercised once outside the proptest macro so a
+/// plain `cargo test proptests` failure names it directly.
+#[test]
+fn generator_smoke() {
+    // A fixed spec builds a deterministic, valid program.
+    let spec = ProgramSpec {
+        arrays: 2,
+        trips: vec![4, 3],
+        stmts: vec![],
+    };
+    let p = spec.build();
+    assert!(p.validate().is_ok());
+    assert_eq!(p.loop_count(), 2);
+    assert_eq!(p.array_count(), 2);
+}
