@@ -14,8 +14,8 @@
 //! clear error (exit code 2) instead of silently falling back.
 
 use mhla_bench::{
-    default_grid4_axes, grid4_perf_json, measure_grid4_perf, measure_grid4_perf_with,
-    sweep_options_from_env, write_results, Grid4Perf,
+    default_grid4_axes, grid4_perf_json, measure_grid4_improving, measure_grid4_perf,
+    measure_grid4_perf_with, sweep_options_from_env, write_results, Grid4Perf, ImprovingGrid4Perf,
 };
 use mhla_core::explore::{sweep_grid_pruned_with, PruneOptions};
 use mhla_core::{report, MhlaConfig, Objective};
@@ -77,6 +77,48 @@ fn print_table(title: &str, perfs: &[Grid4Perf]) {
     println!();
 }
 
+fn print_improving_table(title: &str, perfs: &[ImprovingGrid4Perf]) -> bool {
+    println!("{title}");
+    println!(
+        "{:<18} {:>6} {:>10} {:>9} {:>9} {:>10} {:>11} {:>10} {:>9} {:>9}",
+        "application",
+        "points",
+        "cold-eval",
+        "imp-eval",
+        "wins",
+        "improved",
+        "max-delta",
+        "dominates",
+        "cold [ms]",
+        "imp [ms]"
+    );
+    for p in perfs {
+        println!(
+            "{:<18} {:>6} {:>10} {:>9} {:>9} {:>10} {:>10.2}% {:>10} {:>9.3} {:>9.3}",
+            p.app,
+            p.points,
+            p.cold_evals,
+            p.improving_evals,
+            p.seed_wins,
+            p.improved_points,
+            p.max_improvement_pct,
+            p.dominates,
+            p.cold_seconds * 1e3,
+            p.improving_seconds * 1e3,
+        );
+    }
+    let all_dominate = perfs.iter().all(|p| p.dominates);
+    let improved: usize = perfs.iter().map(|p| p.improved_points).sum();
+    let points: usize = perfs.iter().map(|p| p.points).sum();
+    println!(
+        "suite: {improved}/{points} points strictly improved; \
+         dominance check (improving >= cold everywhere): {}",
+        if all_dominate { "PASS" } else { "FAIL" },
+    );
+    println!();
+    all_dominate
+}
+
 fn main() {
     // Validates both tuning variables up front (hard error on malformed
     // values); only the parallel flag is meaningful to this binary.
@@ -102,6 +144,25 @@ fn main() {
         &energy,
     );
 
+    // The mode comparison: cold (frozen) vs improving (neighbor-seeded
+    // portfolio). The dominance check is the mode's machine-checked
+    // guarantee — a FAIL here is a bug, and the process exits nonzero so
+    // the CI smoke leg catches it.
+    let cycles_improving = measure_grid4_improving(2, &MhlaConfig::default());
+    let cycles_ok = print_improving_table(
+        "L1xL2xL3 grid sweep, Objective::Cycles: cold vs improving mode (SearchMode::Improving)",
+        &cycles_improving,
+    );
+    let energy_improving = measure_grid4_improving(2, &energy_config);
+    let energy_ok = print_improving_table(
+        "L1xL2xL3 grid sweep, Objective::Energy: cold vs improving mode (SearchMode::Improving)",
+        &energy_improving,
+    );
+    if !(cycles_ok && energy_ok) {
+        eprintln!("error: improving-mode dominance check failed");
+        std::process::exit(1);
+    }
+
     // The joint three-axis frontier of one representative app.
     let app = mhla_apps::hierarchical_me::app();
     let grid = sweep_grid_pruned_with(
@@ -124,7 +185,7 @@ fn main() {
         &report::grid_csv(&grid.sweep),
     );
 
-    let json = grid4_perf_json(&cycles, &energy);
+    let json = grid4_perf_json(&cycles, &energy, &cycles_improving, &energy_improving);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_grid4.json");

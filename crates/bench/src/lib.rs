@@ -549,6 +549,7 @@ pub fn measure_grid4_perf_with(repeats: usize, config: &mhla_core::MhlaConfig) -
     let sequential_opts = PruneOptions {
         parallel: false,
         wave: 1,
+        ..PruneOptions::default()
     };
     sweep_suite()
         .iter()
@@ -621,6 +622,196 @@ pub fn measure_grid4_perf_with(repeats: usize, config: &mhla_core::MhlaConfig) -
         .collect()
 }
 
+/// Improving-vs-cold comparison for one application's four-level grid:
+/// the mode-tagged eval counts and frontier deltas of
+/// [`SearchMode`](mhla_core::explore::SearchMode) — `Cold` (the frozen
+/// semantics) against `Improving` (the neighbor-seeded portfolio whose
+/// results dominate-or-equal the cold ones on the objective surface).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ImprovingGrid4Perf {
+    /// Application name.
+    pub app: String,
+    /// Grid points per sweep.
+    pub points: usize,
+    /// Greedy search legs of the cold sweep (one per point).
+    pub cold_evals: usize,
+    /// Greedy search legs of the improving sweep (cold leg + distinct
+    /// warm seeds per point).
+    pub improving_evals: usize,
+    /// Points whose committed result came from a warm seed — strict
+    /// objective improvements over the cold search by construction.
+    pub seed_wins: usize,
+    /// Points whose improving objective score is strictly below the cold
+    /// one (equals [`seed_wins`](Self::seed_wins); asserted).
+    pub improved_points: usize,
+    /// Largest per-point relative objective improvement, percent.
+    pub max_improvement_pct: f64,
+    /// Largest relative improvement the improving objective frontier
+    /// offers over a cold frontier point, percent (0 when the frontiers
+    /// coincide) — from [`mhla_core::pareto::front_deltas`].
+    pub frontier_max_delta_pct: f64,
+    /// The machine-checked guarantee: every point scores ≤ its cold
+    /// counterpart and the improving objective frontier dominates-or-
+    /// equals the cold one.
+    pub dominates: bool,
+    /// Best-of-`repeats` wall time of the (sequential) cold sweep,
+    /// seconds.
+    pub cold_seconds: f64,
+    /// Best-of-`repeats` wall time of the improving sweep, seconds.
+    pub improving_seconds: f64,
+}
+
+/// Measures cold-vs-improving four-level grid sweeps over [`sweep_suite`]
+/// under an explicit [`MhlaConfig`], best of `repeats` runs per mode,
+/// verifying the dominance guarantee per app.
+///
+/// [`MhlaConfig`]: mhla_core::MhlaConfig
+pub fn measure_grid4_improving(
+    repeats: usize,
+    config: &mhla_core::MhlaConfig,
+) -> Vec<ImprovingGrid4Perf> {
+    use mhla_core::explore::{sweep_grid_run, SearchMode, SweepOptions};
+    use mhla_core::{pareto, report};
+
+    let axes = default_grid4_axes();
+    let platform = Platform::four_level_default();
+    // Sequential cold reference: the improving scheduler is sequential by
+    // construction, so the timing delta isolates the extra portfolio legs.
+    let cold_opts = SweepOptions {
+        warm_start: false,
+        parallel: false,
+        ..SweepOptions::default()
+    };
+    let improving_opts = SweepOptions {
+        mode: SearchMode::Improving,
+        ..SweepOptions::default()
+    };
+    sweep_suite()
+        .iter()
+        .map(|app| {
+            let mut cold_s = f64::INFINITY;
+            let mut improving_s = f64::INFINITY;
+            let mut cold = None;
+            let mut improving = None;
+            for _ in 0..repeats.max(1) {
+                let t = std::time::Instant::now();
+                cold = Some(sweep_grid_run(
+                    &app.program,
+                    &platform,
+                    &axes,
+                    config,
+                    cold_opts,
+                ));
+                cold_s = cold_s.min(t.elapsed().as_secs_f64());
+                let t = std::time::Instant::now();
+                improving = Some(sweep_grid_run(
+                    &app.program,
+                    &platform,
+                    &axes,
+                    config,
+                    improving_opts,
+                ));
+                improving_s = improving_s.min(t.elapsed().as_secs_f64());
+            }
+            let (cold, improving) = (cold.expect("ran"), improving.expect("ran"));
+            let objective = &config.objective;
+            let mut improved = 0usize;
+            let mut max_improvement_pct = 0.0f64;
+            let mut per_point_ok = improving.sweep.points.len() == cold.sweep.points.len();
+            for (imp, base) in improving.sweep.points.iter().zip(&cold.sweep.points) {
+                let (si, sc) = (
+                    imp.objective_score(objective),
+                    base.objective_score(objective),
+                );
+                per_point_ok &= imp.capacities == base.capacities && si <= sc;
+                if si < sc {
+                    improved += 1;
+                    max_improvement_pct = max_improvement_pct.max(100.0 * (1.0 - si / sc));
+                }
+            }
+            let imp_front = report::objective_coords(
+                &improving.sweep,
+                &improving.sweep.pareto_objective(objective),
+                objective,
+            );
+            let cold_front = report::objective_coords(
+                &cold.sweep,
+                &cold.sweep.pareto_objective(objective),
+                objective,
+            );
+            let deltas = pareto::front_deltas(&imp_front, &cold_front);
+            let frontier_ok = deltas.iter().all(|&d| d >= 0.0);
+            let frontier_max_delta_pct = deltas
+                .iter()
+                .zip(&cold_front)
+                .map(|(&d, q)| 100.0 * d / q[q.len() - 1].max(f64::MIN_POSITIVE))
+                .fold(0.0f64, f64::max);
+            assert_eq!(
+                improved,
+                improving.seed_wins,
+                "{}: seed wins must be exactly the strict improvements",
+                app.name()
+            );
+            ImprovingGrid4Perf {
+                app: app.name().to_string(),
+                points: cold.sweep.points.len(),
+                cold_evals: cold.evals,
+                improving_evals: improving.evals,
+                seed_wins: improving.seed_wins,
+                improved_points: improved,
+                max_improvement_pct,
+                frontier_max_delta_pct,
+                dominates: per_point_ok && frontier_ok,
+                cold_seconds: cold_s,
+                improving_seconds: improving_s,
+            }
+        })
+        .collect()
+}
+
+/// Renders one objective's [`ImprovingGrid4Perf`] rows as a JSON object
+/// (apps + suite totals), used by [`grid4_perf_json`]'s per-objective
+/// `improving` section.
+fn grid4_improving_json(perfs: &[ImprovingGrid4Perf], indent: &str) -> String {
+    let cold: f64 = perfs.iter().map(|p| p.cold_seconds).sum();
+    let improving: f64 = perfs.iter().map(|p| p.improving_seconds).sum();
+    let points: usize = perfs.iter().map(|p| p.points).sum();
+    let cold_evals: usize = perfs.iter().map(|p| p.cold_evals).sum();
+    let improving_evals: usize = perfs.iter().map(|p| p.improving_evals).sum();
+    let seed_wins: usize = perfs.iter().map(|p| p.seed_wins).sum();
+    let improved: usize = perfs.iter().map(|p| p.improved_points).sum();
+    let all_dominate = perfs.iter().all(|p| p.dominates);
+    let mut out = format!("{{\n{indent}  \"apps\": [\n");
+    for (i, p) in perfs.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}    {{\"name\": \"{}\", \"points\": {}, \"cold_evals\": {}, \
+             \"improving_evals\": {}, \"seed_wins\": {}, \"improved_points\": {}, \
+             \"max_improvement_pct\": {:.3}, \"frontier_max_delta_pct\": {:.3}, \
+             \"dominates\": {}, \"cold_seconds\": {:.6}, \"improving_seconds\": {:.6}}}{}\n",
+            p.app,
+            p.points,
+            p.cold_evals,
+            p.improving_evals,
+            p.seed_wins,
+            p.improved_points,
+            p.max_improvement_pct,
+            p.frontier_max_delta_pct,
+            p.dominates,
+            p.cold_seconds,
+            p.improving_seconds,
+            if i + 1 < perfs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "{indent}  ],\n{indent}  \"suite\": {{\"points\": {points}, \
+         \"cold_evals\": {cold_evals}, \"improving_evals\": {improving_evals}, \
+         \"seed_wins\": {seed_wins}, \"improved_points\": {improved}, \
+         \"cold_seconds\": {cold:.6}, \"improving_seconds\": {improving:.6}, \
+         \"all_dominate\": {all_dominate}}}\n{indent}}}",
+    ));
+    out
+}
+
 /// Renders one objective's [`Grid4Perf`] rows as a JSON object (apps +
 /// suite totals), used by [`grid4_perf_json`] per objective section.
 fn grid4_objective_json(perfs: &[Grid4Perf], indent: &str) -> String {
@@ -678,14 +869,25 @@ fn grid4_objective_json(perfs: &[Grid4Perf], indent: &str) -> String {
     out
 }
 
-/// Renders the cycles- and energy-objective [`Grid4Perf`] rows as the
-/// `BENCH_grid4.json` document tracked at the workspace root.
-pub fn grid4_perf_json(cycles: &[Grid4Perf], energy: &[Grid4Perf]) -> String {
+/// Renders the cycles- and energy-objective [`Grid4Perf`] rows plus the
+/// per-objective [`ImprovingGrid4Perf`] mode comparison as the
+/// `BENCH_grid4.json` document tracked at the workspace root. Each
+/// objective section carries the pruned-vs-exhaustive data under `pruned`
+/// and the mode-tagged eval counts / frontier deltas under `improving`.
+pub fn grid4_perf_json(
+    cycles: &[Grid4Perf],
+    energy: &[Grid4Perf],
+    cycles_improving: &[ImprovingGrid4Perf],
+    energy_improving: &[ImprovingGrid4Perf],
+) -> String {
     format!(
         "{{\n  \"bench\": \"grid_sweep_l1_l2_l3_pruned\",\n  \"objectives\": {{\n    \
-         \"cycles\": {},\n    \"energy\": {}\n  }}\n}}\n",
-        grid4_objective_json(cycles, "    "),
-        grid4_objective_json(energy, "    "),
+         \"cycles\": {{\n      \"pruned\": {},\n      \"improving\": {}\n    }},\n    \
+         \"energy\": {{\n      \"pruned\": {},\n      \"improving\": {}\n    }}\n  }}\n}}\n",
+        grid4_objective_json(cycles, "      "),
+        grid4_improving_json(cycles_improving, "      "),
+        grid4_objective_json(energy, "      "),
+        grid4_improving_json(energy_improving, "      "),
     )
 }
 

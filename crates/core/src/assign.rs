@@ -275,10 +275,23 @@ pub struct SearchStats {
     /// saturation rule arm under the energy and weighted objectives (see
     /// [`RunStats`](crate::RunStats) for the admission rule).
     pub cold_margin_rates: Vec<f64>,
-    /// The warm-started portfolio leg strictly beat the cold result and
-    /// replaced it (can happen on deep hierarchies; the pruned sweep runs
-    /// cold precisely so its results stay standalone-identical).
-    pub warm_overrode: bool,
+    /// Which external warm seed's leg won the portfolio: `Some(k)` when
+    /// the leg started from `seeds[k]` strictly beat the cold result and
+    /// replaced it (can happen on deep hierarchies; the pruned grid sweep
+    /// runs cold precisely so its results stay standalone-identical),
+    /// `None` when the cold (baseline-started) leg was kept.
+    pub winning_seed: Option<usize>,
+    /// Greedy searches executed: the cold leg plus one per *distinct*
+    /// warm seed (seeds equal to the cold fixed point or to an earlier
+    /// seed provably return an already-known result and are skipped).
+    pub legs: usize,
+}
+
+impl SearchStats {
+    /// Whether a warm-started leg overrode the cold result.
+    pub fn warm_overrode(&self) -> bool {
+        self.winning_seed.is_some()
+    }
 }
 
 /// Greedy search portfolio: always runs the cold (baseline-started)
@@ -350,6 +363,35 @@ pub fn greedy_portfolio_stats(
     warm: Option<&Assignment>,
     moves: &MoveSet,
 ) -> (SearchOutcome, SearchStats) {
+    match warm {
+        Some(w) => greedy_portfolio_seeded(model, config, &[w], moves),
+        None => greedy_portfolio_seeded(model, config, &[], moves),
+    }
+}
+
+/// The greedy portfolio over an arbitrary list of external warm seeds —
+/// the search primitive of the improving sweep mode
+/// ([`SearchMode::Improving`](crate::explore::SearchMode)).
+///
+/// The cold (baseline-started) leg always runs first; each *distinct*
+/// seed then gets its own leg continuing from that assignment (seeds must
+/// be feasible — the sweeps pass committed results of componentwise
+/// smaller capacity points, which stay feasible as layers grow). The
+/// returned outcome is the best-scoring leg, with ties resolved toward
+/// the cold leg first and then toward the earliest seed, so the result is
+/// deterministic and *provably scores no worse than the cold search* —
+/// the dominance guarantee the improving sweeps build on.
+/// [`SearchStats::winning_seed`] reports which seed (if any) won.
+///
+/// With an empty or all-duplicate seed list this is exactly the cold
+/// search (one leg), and with one seed it is exactly the classic warm
+/// portfolio of [`greedy_portfolio_stats`].
+pub fn greedy_portfolio_seeded(
+    model: &CostModel<'_>,
+    config: &MhlaConfig,
+    seeds: &[&Assignment],
+    moves: &MoveSet,
+) -> (SearchOutcome, SearchStats) {
     let options = &moves.moves;
     let mut cache: Vec<Option<CachedTrial>> = (0..options.len()).map(|_| None).collect();
     // Margin rates are only consulted under a positive energy weight —
@@ -361,34 +403,48 @@ pub fn greedy_portfolio_stats(
     );
     let baseline = Assignment::baseline(model.program().array_count(), config.policy);
     let cold = greedy_search(model, config, baseline, options, &mut cache, &mut trace);
+    let cold_score = config.objective.score(&cold.cost);
     let mut stats = SearchStats {
         cold_constrained_layers: trace.constrained_layers,
         cold_margin_rates: trace.margin_rates,
-        warm_overrode: false,
+        winning_seed: None,
+        legs: 1,
     };
-    let Some(start) = warm else {
-        return (cold, stats);
-    };
-    // A greedy result is a fixed point: searching from it goes nowhere. If
-    // the warm start coincides with the cold solution (the common case in
-    // a capacity sweep — adjacent points often share the optimum), the
-    // warm search provably returns it unchanged, so skip it.
-    if *start == cold.assignment {
-        return (cold, stats);
+    // A greedy result is a fixed point: searching from it goes nowhere.
+    // Seeds coinciding with the cold solution (the common case in a
+    // capacity sweep — adjacent points often share the optimum) or with
+    // an already-searched seed provably return a known result unchanged,
+    // so they are skipped without a leg.
+    let mut ran: Vec<&Assignment> = Vec::new();
+    let mut best_warm: Option<(usize, SearchOutcome, f64)> = None;
+    for (k, &seed) in seeds.iter().enumerate() {
+        if *seed == cold.assignment || ran.contains(&seed) {
+            continue;
+        }
+        ran.push(seed);
+        let warmed = greedy_search(
+            model,
+            config,
+            seed.clone(),
+            options,
+            &mut cache,
+            &mut SearchTrace::new(model.platform().layer_count(), false),
+        );
+        stats.legs += 1;
+        let score = config.objective.score(&warmed.cost);
+        // Strict `<` on both contests: ties keep the cold result (the
+        // bit-identical-to-standalone guarantee of the cold sweeps) and,
+        // among warm legs, the earliest seed (determinism).
+        if score < cold_score && best_warm.as_ref().is_none_or(|(_, _, s)| score < *s) {
+            best_warm = Some((k, warmed, score));
+        }
     }
-    let warmed = greedy_search(
-        model,
-        config,
-        start.clone(),
-        options,
-        &mut cache,
-        &mut SearchTrace::new(model.platform().layer_count(), false),
-    );
-    if config.objective.score(&warmed.cost) < config.objective.score(&cold.cost) {
-        stats.warm_overrode = true;
-        (warmed, stats)
-    } else {
-        (cold, stats)
+    match best_warm {
+        Some((k, warmed, _)) => {
+            stats.winning_seed = Some(k);
+            (warmed, stats)
+        }
+        None => (cold, stats),
     }
 }
 

@@ -107,6 +107,16 @@ pub struct RunStats {
     /// The portfolio kept the cold result (the warm leg never overrode).
     /// Trivially true for cold runs (`warm = None`).
     pub cold_result_kept: bool,
+    /// Which external warm seed's leg won the portfolio (index into the
+    /// seed list handed to [`Mhla::run_with_seeds`]); `None` when the
+    /// cold leg was kept (always `None` for untracked runs). The improving
+    /// sweep mode uses this to report which grid neighbor seeded each
+    /// point's winning search.
+    pub winning_seed: Option<usize>,
+    /// Greedy search legs executed by the portfolio (cold leg + distinct
+    /// warm seeds); `0` for untracked runs. The sweeps aggregate this into
+    /// their per-mode evaluation counts.
+    pub search_legs: usize,
     /// The run tracked constraints at all (greedy strategy only; other
     /// strategies report `false` and are never treated as saturated).
     pub tracked: bool,
@@ -215,6 +225,8 @@ impl RunStats {
             constrained_layers: u64::MAX,
             gain_margin_rates: Vec::new(),
             cold_result_kept: false,
+            winning_seed: None,
+            search_legs: 0,
             tracked: false,
         }
     }
@@ -368,15 +380,35 @@ impl<'a> Mhla<'a> {
         warm: Option<&Assignment>,
         moves: Option<&assign::MoveSet>,
     ) -> (MhlaResult, RunStats) {
+        match warm {
+            Some(w) => self.run_with_seeds(&[w], moves),
+            None => self.run_with_seeds(&[], moves),
+        }
+    }
+
+    /// [`run_with_stats`](Mhla::run_with_stats) over an arbitrary list of
+    /// external warm seeds — the per-point search of
+    /// [`SearchMode::Improving`](crate::explore::SearchMode). The cold leg
+    /// always runs, every distinct seed gets a warm leg, and the best leg
+    /// wins (ties prefer cold, then the earliest seed), so the result
+    /// provably scores no worse than [`run`](Mhla::run) under the
+    /// configured objective. [`RunStats::winning_seed`] names the winner.
+    /// Non-greedy strategies ignore the seeds (the portfolio is a greedy
+    /// construct) and behave exactly like [`run`](Mhla::run).
+    pub fn run_with_seeds(
+        &self,
+        seeds: &[&Assignment],
+        moves: Option<&assign::MoveSet>,
+    ) -> (MhlaResult, RunStats) {
         let model = self.cost_model();
         let (outcome, stats) = match (self.config.strategy, moves) {
             (crate::types::SearchStrategy::Greedy, Some(m)) => {
-                let (o, s) = assign::greedy_portfolio_stats(&model, &self.config, warm, m);
+                let (o, s) = assign::greedy_portfolio_seeded(&model, &self.config, seeds, m);
                 (o, Some(s))
             }
             (crate::types::SearchStrategy::Greedy, None) => {
                 let m = assign::enumerate_moves(&model, &self.config);
-                let (o, s) = assign::greedy_portfolio_stats(&model, &self.config, warm, &m);
+                let (o, s) = assign::greedy_portfolio_seeded(&model, &self.config, seeds, &m);
                 (o, Some(s))
             }
             _ => (assign::search(&model, &self.config), None),
@@ -486,7 +518,9 @@ impl<'a> Mhla<'a> {
                         | te_constrained
                         | placement_constrained,
                     gain_margin_rates: s.cold_margin_rates,
-                    cold_result_kept: !s.warm_overrode,
+                    cold_result_kept: s.winning_seed.is_none(),
+                    winning_seed: s.winning_seed,
+                    search_legs: s.legs,
                     tracked: true,
                 }
             }

@@ -71,7 +71,7 @@ mod driver;
 mod types;
 
 pub use classify::{classify_arrays, ArrayClass};
-pub use context::{ExplorationContext, ProgramFacts};
+pub use context::{ExplorationContext, ProgramFacts, SeedCache};
 pub use cost::{
     ArrayContribution, CostBreakdown, CostFloor, CostModel, IncrementalCost, LayerUsage,
 };

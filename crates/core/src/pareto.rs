@@ -222,6 +222,52 @@ fn sweep_3d(points: &[Vec<f64>], reps: &[usize]) -> Vec<bool> {
     survive
 }
 
+/// Per-point slack of one point set against a reference set, for points
+/// of the form `(budget coordinates…, objective)` — the *delta report*
+/// behind the improving-vs-cold frontier comparisons.
+///
+/// For every reference point `q` in `theirs`, the returned entry is
+/// `q.objective − min{ p.objective : p ∈ ours, p.budget ≤ q.budget }` —
+/// how much better (`> 0`), equal (`0`) or worse (`< 0`) `ours` does
+/// within `q`'s budget. `NEG_INFINITY` when no point of `ours` fits the
+/// budget at all (`ours` trails unconditionally there).
+///
+/// # Panics
+///
+/// Panics if the points do not all share one nonzero dimension.
+pub fn front_deltas(ours: &[Vec<f64>], theirs: &[Vec<f64>]) -> Vec<f64> {
+    check_dims(ours);
+    check_dims(theirs);
+    if let (Some(p), Some(q)) = (ours.first(), theirs.first()) {
+        assert_eq!(p.len(), q.len(), "front_deltas: dimension mismatch");
+        assert!(!p.is_empty(), "front_deltas: zero-dimensional points");
+    }
+    theirs
+        .iter()
+        .map(|q| {
+            let (budget, objective) = q.split_at(q.len() - 1);
+            ours.iter()
+                .filter(|p| le(&p[..budget.len()], budget))
+                .map(|p| objective[0] - p[p.len() - 1])
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect()
+}
+
+/// Whether the point set `ours` *dominates-or-equals* the reference set
+/// `theirs`: every reference point is matched by some point of `ours`
+/// with every coordinate ≤ (minimization). Equivalent to every
+/// [`front_deltas`] entry being ≥ 0 — the machine check of the improving
+/// sweep mode's "dominates, never trails" guarantee. Trivially true for
+/// an empty `theirs`.
+///
+/// # Panics
+///
+/// Panics as [`front_deltas`] does.
+pub fn front_dominates(ours: &[Vec<f64>], theirs: &[Vec<f64>]) -> bool {
+    front_deltas(ours, theirs).iter().all(|&d| d >= 0.0)
+}
+
 /// ≥ 4-D fallback: lex-sorted incumbent cull. Every dominator is itself on
 /// the running front (dominance is transitive), so each point is tested
 /// against the front only — `O(n·f·d)` after the sort.
@@ -309,5 +355,32 @@ mod tests {
     #[should_panic(expected = "same dimension")]
     fn mixed_dimensions_are_rejected() {
         let _ = front(&pts(&[&[1.0], &[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn front_deltas_report_improvement_match_and_trail() {
+        let ours = pts(&[&[1.0, 5.0], &[2.0, 3.0]]);
+        let theirs = pts(&[&[1.0, 6.0], &[2.0, 3.0], &[3.0, 1.0]]);
+        let d = front_deltas(&ours, &theirs);
+        assert_eq!(d, vec![1.0, 0.0, -2.0]);
+        assert!(!front_dominates(&ours, &theirs));
+        // Dominance holds exactly when every delta is non-negative.
+        assert!(front_dominates(&ours, &theirs[..2]));
+        // A reference point below every budget has no qualifying match.
+        let tiny = pts(&[&[0.5, 0.5]]);
+        assert_eq!(front_deltas(&ours, &tiny), vec![f64::NEG_INFINITY]);
+        assert!(!front_dominates(&ours, &tiny));
+        // Empty reference: trivially dominated.
+        assert!(front_dominates(&ours, &[]));
+    }
+
+    #[test]
+    fn front_dominance_is_reflexive_and_respects_strict_improvement() {
+        let a = pts(&[&[1.0, 4.0], &[2.0, 2.0]]);
+        assert!(front_dominates(&a, &a));
+        let better = pts(&[&[1.0, 3.0], &[2.0, 2.0]]);
+        assert!(front_dominates(&better, &a));
+        assert!(!front_dominates(&a, &better));
+        assert!(front_deltas(&better, &a).iter().any(|&d| d > 0.0));
     }
 }

@@ -92,6 +92,7 @@ fn grid_options_do_not_change_results() {
                     warm_start,
                     parallel,
                     chunk,
+                    ..SweepOptions::default()
                 };
                 let g = sweep_grid_with(&app.program, &platform, &axes, &config, opts);
                 assert_eq!(g.points.len(), reference.points.len());

@@ -16,9 +16,10 @@
 //! step; locally the (deterministic, per-test-name) default seed applies.
 
 use mhla::core::explore::{
-    sweep_grid_pruned_with, sweep_grid_with, GridAxis, PruneOptions, SweepOptions,
+    sweep_grid_pruned_with, sweep_grid_run, sweep_grid_with, GridAxis, PruneOptions, SearchMode,
+    SweepOptions,
 };
-use mhla::core::{ExplorationContext, Mhla, MhlaConfig, Objective};
+use mhla::core::{pareto, report, ExplorationContext, Mhla, MhlaConfig, Objective};
 use mhla::hierarchy::{LayerId, Platform};
 use mhla::ir::arbitrary::{program_specs, ProgramSpec};
 use mhla_bench::grid_frontier_points;
@@ -69,7 +70,7 @@ proptest! {
                 &platform,
                 &axes,
                 &config,
-                PruneOptions { parallel: false, wave: 1 },
+                PruneOptions { parallel: false, wave: 1, ..PruneOptions::default() },
             );
             let parallel = sweep_grid_pruned_with(
                 &program,
@@ -105,6 +106,69 @@ proptest! {
                 grid_frontier_points(&full, &full.pareto_energy()),
                 grid_frontier_points(&parallel.sweep, &parallel.sweep.pareto_energy()),
                 "energy frontier diverges under {:?}", objective
+            );
+        }
+    }
+
+    /// The improving mode's dominance guarantee on random programs: at
+    /// every grid point the improving objective score is ≤ the cold one,
+    /// and the improving objective Pareto frontier dominates-or-equals
+    /// the cold frontier (`pareto::front_dominates`) — under all three
+    /// objectives.
+    #[test]
+    fn improving_dominates_cold_on_random_programs(spec in program_specs()) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        for objective in OBJECTIVES {
+            let config = MhlaConfig { objective, ..MhlaConfig::default() };
+            let cold = sweep_grid_with(
+                &program,
+                &platform,
+                &axes,
+                &config,
+                SweepOptions { warm_start: false, ..SweepOptions::default() },
+            );
+            let run = sweep_grid_run(
+                &program,
+                &platform,
+                &axes,
+                &config,
+                SweepOptions { mode: SearchMode::Improving, ..SweepOptions::default() },
+            );
+            prop_assert_eq!(run.sweep.points.len(), cold.points.len());
+            let mut improved = 0usize;
+            for (imp, base) in run.sweep.points.iter().zip(&cold.points) {
+                prop_assert_eq!(&imp.capacities, &base.capacities);
+                let (si, sc) = (
+                    imp.objective_score(&objective),
+                    base.objective_score(&objective),
+                );
+                prop_assert!(
+                    si <= sc,
+                    "improving score {} > cold {} at {:?} under {:?}",
+                    si, sc, imp.capacities, objective
+                );
+                improved += usize::from(si < sc);
+            }
+            prop_assert_eq!(
+                improved, run.seed_wins,
+                "seed wins must be exactly the strict improvements under {:?}", objective
+            );
+            prop_assert!(
+                pareto::front_dominates(
+                    &report::objective_coords(
+                        &run.sweep,
+                        &run.sweep.pareto_objective(&objective),
+                        &objective,
+                    ),
+                    &report::objective_coords(
+                        &cold,
+                        &cold.pareto_objective(&objective),
+                        &objective,
+                    ),
+                ),
+                "improving frontier trails the cold one under {:?}", objective
             );
         }
     }

@@ -41,6 +41,7 @@ fn prune_opts_from_env() -> PruneOptions {
         Ok(false) => PruneOptions {
             parallel: false,
             wave: 1,
+            ..PruneOptions::default()
         },
         Err(e) => panic!("{e}"),
     }
@@ -203,6 +204,7 @@ fn parallel_and_sequential_wave_modes_are_identical() {
                 PruneOptions {
                     parallel: false,
                     wave: 1,
+                    ..PruneOptions::default()
                 },
             );
             assert_eq!(
@@ -216,10 +218,12 @@ fn parallel_and_sequential_wave_modes_are_identical() {
                 PruneOptions {
                     parallel: true,
                     wave: 4,
+                    ..PruneOptions::default()
                 },
                 PruneOptions {
                     parallel: false,
                     wave: 16,
+                    ..PruneOptions::default()
                 },
             ] {
                 let other = sweep_grid_pruned_with(

@@ -65,6 +65,7 @@ fn sweep_options_do_not_change_results() {
                     warm_start,
                     parallel,
                     chunk,
+                    ..SweepOptions::default()
                 };
                 let s = sweep_with(&app.program, &platform, LayerId(1), &caps, &config, opts);
                 assert_eq!(s.points.len(), reference.points.len());
