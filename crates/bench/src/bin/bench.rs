@@ -12,18 +12,29 @@
 //! * `MHLA_SWEEP_CHUNK=<n>` — points per warm-started chunk (default 4).
 //! * `MHLA_SWEEP_PARALLEL=0` — disable the thread fan-out.
 //!
-//! Malformed values are rejected with a clear error (exit code 2) —
-//! a typo'd tuning run must not silently measure the defaults.
+//! Malformed values are rejected with a typed [`MhlaError`] on stderr
+//! (exit code 2) — a typo'd tuning run must not silently measure the
+//! defaults.
+
+use std::process::ExitCode;
 
 use mhla_bench::{measure_sweep_perf_with, sweep_options_from_env, sweep_perf_json};
 use mhla_core::explore::SweepOptions;
+use mhla_core::MhlaError;
 
-fn main() {
-    let opts = sweep_options_from_env().unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
-    let perfs = measure_sweep_perf_with(5, opts);
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), MhlaError> {
+    let opts = sweep_options_from_env()?;
+    let perfs = measure_sweep_perf_with(5, opts.clone());
 
     println!("tradeoff sweep: cold (oracle, sequential) vs fast (incremental, warm, parallel)");
     println!(
@@ -70,4 +81,5 @@ fn main() {
     } else {
         println!("non-default options: BENCH_sweep.json left untouched");
     }
+    Ok(())
 }

@@ -6,13 +6,29 @@
 //! workspace root.
 //!
 //! Run with `cargo run --release -p mhla-bench --bin grid`.
+//!
+//! The frontier demo goes through the fallible entry point
+//! ([`try_sweep_grid`]); a rejected ingress prints the typed error on
+//! stderr and exits with code 2.
+
+use std::process::ExitCode;
 
 use mhla_bench::{default_grid_axes, grid_perf_json, measure_grid_perf, write_results};
-use mhla_core::explore::sweep_grid;
-use mhla_core::{report, MhlaConfig};
+use mhla_core::explore::try_sweep_grid;
+use mhla_core::{report, MhlaConfig, MhlaError};
 use mhla_hierarchy::Platform;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), MhlaError> {
     let perfs = measure_grid_perf(5);
 
     println!("L1xL2 grid sweep: per-point rebuild vs shared exploration context");
@@ -43,12 +59,12 @@ fn main() {
     // The joint-sizing frontier of one representative app (Figure-2/3
     // style artifact, dropped under results/).
     let app = mhla_apps::hierarchical_me::app();
-    let grid = sweep_grid(
+    let grid = try_sweep_grid(
         &app.program,
         &Platform::three_level_default(),
         &default_grid_axes(),
         &MhlaConfig::default(),
-    );
+    )?;
     println!();
     println!(
         "{}: L1xL2 Pareto frontier (C = cycles front, E = energy front)",
@@ -68,4 +84,5 @@ fn main() {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("note: could not write BENCH_grid.json: {e}"),
     }
+    Ok(())
 }

@@ -11,14 +11,26 @@
 //!
 //! `MHLA_SWEEP_PARALLEL=0` selects the sequential mode for the frontier
 //! CSV run; malformed values of the tuning variables are rejected with a
-//! clear error (exit code 2) instead of silently falling back.
+//! typed error on stderr (exit code 2) instead of silently falling back.
+//!
+//! `MHLA_SWEEP_MAX_EVALS=<n>` switches the binary into the
+//! budget-interrupt smoke mode: one app's pruned sweep runs under the
+//! given evaluation budget, the completion status is printed, and the
+//! interrupted run is resumed and checked bit-for-bit against the
+//! uninterrupted sweep — the CI leg that proves a budgeted exploration
+//! exits cleanly with a certified partial frontier.
+
+use std::process::ExitCode;
 
 use mhla_bench::{
     default_grid4_axes, grid4_perf_json, measure_grid4_improving, measure_grid4_perf,
     measure_grid4_perf_with, sweep_options_from_env, write_results, Grid4Perf, ImprovingGrid4Perf,
 };
-use mhla_core::explore::{sweep_grid_pruned_with, PruneOptions};
-use mhla_core::{report, MhlaConfig, Objective};
+use mhla_core::explore::{
+    sweep_grid_pruned_with, try_sweep_grid_pruned_resume, try_sweep_grid_pruned_with, PruneOptions,
+    SweepOptions, SweepStatus,
+};
+use mhla_core::{report, MhlaConfig, MhlaError, Objective};
 use mhla_hierarchy::Platform;
 
 fn print_table(title: &str, perfs: &[Grid4Perf]) {
@@ -119,15 +131,95 @@ fn print_improving_table(title: &str, perfs: &[ImprovingGrid4Perf]) -> bool {
     all_dominate
 }
 
-fn main() {
-    // Validates both tuning variables up front (hard error on malformed
-    // values); only the parallel flag is meaningful to this binary.
-    let parallel = sweep_options_from_env()
-        .unwrap_or_else(|e| {
+/// The budget-interrupt smoke: one app's pruned sweep under the
+/// environment's evaluation budget. Prints the completion status, then
+/// resumes the interrupted run and checks it point-for-point against the
+/// uninterrupted sweep. Panics (nonzero exit) on any mismatch — this is
+/// the machine-checked half of the "certified partial frontier"
+/// guarantee that CI exercises.
+fn budget_smoke(opts: &SweepOptions) -> Result<(), MhlaError> {
+    let app = mhla_apps::hierarchical_me::app();
+    let platform = Platform::four_level_default();
+    let axes = default_grid4_axes();
+    let config = MhlaConfig::default();
+
+    let budgeted = PruneOptions {
+        parallel: opts.parallel,
+        budget: opts.budget.clone(),
+        ..PruneOptions::default()
+    };
+    let partial = try_sweep_grid_pruned_with(&app.program, &platform, &axes, &config, &budgeted)?;
+    match partial.status {
+        SweepStatus::Complete => println!(
+            "budget smoke [{}]: status Complete within budget — {} evaluated of {} candidates",
+            app.name(),
+            partial.stats.evaluated,
+            partial.stats.candidates,
+        ),
+        SweepStatus::Stopped { cause, next_lex } => println!(
+            "budget smoke [{}]: status Stopped({cause:?}) at lex cursor {next_lex} — \
+             {} evaluated of {} candidates, partial cycle frontier {} point(s)",
+            app.name(),
+            partial.stats.evaluated,
+            partial.stats.candidates,
+            partial.sweep.pareto_cycles().len(),
+        ),
+    }
+
+    let unlimited = PruneOptions {
+        parallel: opts.parallel,
+        ..PruneOptions::default()
+    };
+    let resumed = try_sweep_grid_pruned_resume(
+        &app.program,
+        &platform,
+        &axes,
+        &config,
+        &unlimited,
+        &partial,
+    )?;
+    let full = try_sweep_grid_pruned_with(&app.program, &platform, &axes, &config, &unlimited)?;
+    assert!(
+        resumed.status.is_complete(),
+        "resumed sweep must run to completion"
+    );
+    assert_eq!(
+        resumed.sweep, full.sweep,
+        "resumed sweep must match the uninterrupted run bit-for-bit"
+    );
+    assert_eq!(
+        resumed.stats, full.stats,
+        "resume must not change the stats"
+    );
+    println!(
+        "budget smoke [{}]: resume reproduces the uninterrupted sweep bit-for-bit \
+         ({} points, cycle front {}, energy front {})",
+        app.name(),
+        full.sweep.points.len(),
+        full.sweep.pareto_cycles().len(),
+        full.sweep.pareto_energy().len(),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
-        })
-        .parallel;
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), MhlaError> {
+    // Validates the tuning variables up front (hard error on malformed
+    // values); a budget in the environment switches to the smoke mode.
+    let opts = sweep_options_from_env()?;
+    if !opts.budget.is_unlimited() {
+        return budget_smoke(&opts);
+    }
+    let parallel = opts.parallel;
 
     let cycles = measure_grid4_perf(3);
     print_table(
@@ -193,4 +285,5 @@ fn main() {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("note: could not write BENCH_grid4.json: {e}"),
     }
+    Ok(())
 }

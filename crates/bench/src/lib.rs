@@ -282,7 +282,7 @@ pub fn measure_sweep_perf_with(
                     LayerId(1),
                     &caps,
                     &config,
-                    opts,
+                    opts.clone(),
                 ));
                 fast_s = fast_s.min(t.elapsed().as_secs_f64());
             }
@@ -346,19 +346,23 @@ pub fn sweep_perf_json(perfs: &[SweepPerf]) -> String {
 }
 
 /// Strict parsing of the sweep tuning environment variables
-/// (`MHLA_SWEEP_CHUNK`, `MHLA_SWEEP_PARALLEL`).
+/// (`MHLA_SWEEP_CHUNK`, `MHLA_SWEEP_PARALLEL`, `MHLA_SWEEP_MAX_EVALS`).
 ///
 /// # Errors
 ///
-/// Malformed values are *rejected* with a descriptive message instead of
+/// Malformed values are *rejected* with a typed
+/// [`MhlaError::InvalidOptions`](mhla_core::MhlaError) instead of
 /// silently falling back to defaults — a typo'd tuning run must not
 /// masquerade as a default-configuration measurement. `MHLA_SWEEP_CHUNK`
 /// must parse as a positive integer; `MHLA_SWEEP_PARALLEL` must be `0`
-/// (sequential) or `1` (parallel, the default).
-pub fn sweep_options_from_env() -> Result<mhla_core::explore::SweepOptions, String> {
+/// (sequential) or `1` (parallel, the default); `MHLA_SWEEP_MAX_EVALS`
+/// must parse as a positive integer and caps the sweep's evaluation
+/// budget ([`ExploreBudget`](mhla_core::explore::ExploreBudget)).
+pub fn sweep_options_from_env() -> Result<mhla_core::explore::SweepOptions, mhla_core::MhlaError> {
     parse_sweep_options(
         env_value("MHLA_SWEEP_CHUNK")?.as_deref(),
         env_value("MHLA_SWEEP_PARALLEL")?.as_deref(),
+        env_value("MHLA_SWEEP_MAX_EVALS")?.as_deref(),
     )
 }
 
@@ -369,17 +373,30 @@ pub fn sweep_options_from_env() -> Result<mhla_core::explore::SweepOptions, Stri
 ///
 /// Any value other than `0` or `1` is rejected (see
 /// [`sweep_options_from_env`]).
-pub fn sweep_parallel_from_env() -> Result<bool, String> {
+pub fn sweep_parallel_from_env() -> Result<bool, mhla_core::MhlaError> {
     parse_sweep_parallel(env_value("MHLA_SWEEP_PARALLEL")?.as_deref())
+}
+
+/// Strict parsing of `MHLA_SWEEP_MAX_EVALS` alone (`None` when unset);
+/// shared by the grid harnesses' budget-interrupt smoke mode.
+///
+/// # Errors
+///
+/// Any value that is not a positive integer is rejected (see
+/// [`sweep_options_from_env`]).
+pub fn sweep_max_evals_from_env() -> Result<Option<usize>, mhla_core::MhlaError> {
+    parse_sweep_max_evals(env_value("MHLA_SWEEP_MAX_EVALS")?.as_deref())
 }
 
 /// Reads one environment variable, distinguishing "absent" from
 /// "unreadable" (non-unicode).
-fn env_value(name: &str) -> Result<Option<String>, String> {
+fn env_value(name: &str) -> Result<Option<String>, mhla_core::MhlaError> {
     match std::env::var(name) {
         Ok(v) => Ok(Some(v)),
         Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(e) => Err(format!("{name} unreadable: {e}")),
+        Err(e) => Err(mhla_core::MhlaError::InvalidOptions {
+            what: format!("{name} unreadable: {e}"),
+        }),
     }
 }
 
@@ -388,29 +405,46 @@ fn env_value(name: &str) -> Result<Option<String>, String> {
 fn parse_sweep_options(
     chunk: Option<&str>,
     parallel: Option<&str>,
-) -> Result<mhla_core::explore::SweepOptions, String> {
+    max_evals: Option<&str>,
+) -> Result<mhla_core::explore::SweepOptions, mhla_core::MhlaError> {
     let mut opts = mhla_core::explore::SweepOptions::default();
     if let Some(v) = chunk {
         match v.parse::<usize>() {
             Ok(n) if n >= 1 => opts.chunk = n,
             _ => {
-                return Err(format!(
-                    "MHLA_SWEEP_CHUNK must be a positive integer, got {v:?}"
-                ))
+                return Err(mhla_core::MhlaError::InvalidOptions {
+                    what: format!("MHLA_SWEEP_CHUNK must be a positive integer, got {v:?}"),
+                })
             }
         }
     }
     opts.parallel = parse_sweep_parallel(parallel)?;
+    opts.budget.max_evals = parse_sweep_max_evals(max_evals)?;
     Ok(opts)
 }
 
 /// The pure parsing behind [`sweep_parallel_from_env`].
-fn parse_sweep_parallel(value: Option<&str>) -> Result<bool, String> {
+fn parse_sweep_parallel(value: Option<&str>) -> Result<bool, mhla_core::MhlaError> {
     match value {
         None => Ok(true),
         Some("0") => Ok(false),
         Some("1") => Ok(true),
-        Some(v) => Err(format!("MHLA_SWEEP_PARALLEL must be 0 or 1, got {v:?}")),
+        Some(v) => Err(mhla_core::MhlaError::InvalidOptions {
+            what: format!("MHLA_SWEEP_PARALLEL must be 0 or 1, got {v:?}"),
+        }),
+    }
+}
+
+/// The pure parsing behind [`sweep_max_evals_from_env`].
+fn parse_sweep_max_evals(value: Option<&str>) -> Result<Option<usize>, mhla_core::MhlaError> {
+    match value {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(mhla_core::MhlaError::InvalidOptions {
+                what: format!("MHLA_SWEEP_MAX_EVALS must be a positive integer, got {v:?}"),
+            }),
+        },
     }
 }
 
@@ -567,7 +601,7 @@ pub fn measure_grid4_perf_with(repeats: usize, config: &mhla_core::MhlaConfig) -
                     &platform,
                     &axes,
                     config,
-                    opts,
+                    opts.clone(),
                 ));
                 exhaustive_s = exhaustive_s.min(t.elapsed().as_secs_f64());
                 let t = std::time::Instant::now();
@@ -576,7 +610,7 @@ pub fn measure_grid4_perf_with(repeats: usize, config: &mhla_core::MhlaConfig) -
                     &platform,
                     &axes,
                     config,
-                    sequential_opts,
+                    sequential_opts.clone(),
                 ));
                 pruned_s = pruned_s.min(t.elapsed().as_secs_f64());
                 let t = std::time::Instant::now();
@@ -700,7 +734,7 @@ pub fn measure_grid4_improving(
                     &platform,
                     &axes,
                     config,
-                    cold_opts,
+                    cold_opts.clone(),
                 ));
                 cold_s = cold_s.min(t.elapsed().as_secs_f64());
                 let t = std::time::Instant::now();
@@ -709,7 +743,7 @@ pub fn measure_grid4_improving(
                     &platform,
                     &axes,
                     config,
-                    improving_opts,
+                    improving_opts.clone(),
                 ));
                 improving_s = improving_s.min(t.elapsed().as_secs_f64());
             }
@@ -1029,24 +1063,36 @@ mod tests {
         // Pure parsers — no process-global env mutation (set_var racing a
         // concurrent getenv in a sibling test would be UB on glibc).
         assert_eq!(
-            parse_sweep_options(None, None).unwrap(),
+            parse_sweep_options(None, None, None).unwrap(),
             SweepOptions::default()
         );
         assert!(parse_sweep_parallel(None).unwrap());
 
-        let opts = parse_sweep_options(Some("8"), Some("0")).unwrap();
+        let opts = parse_sweep_options(Some("8"), Some("0"), None).unwrap();
         assert_eq!(opts.chunk, 8);
         assert!(!opts.parallel);
-        assert!(parse_sweep_options(Some("8"), Some("1")).unwrap().parallel);
+        assert!(
+            parse_sweep_options(Some("8"), Some("1"), None)
+                .unwrap()
+                .parallel
+        );
+        let budgeted = parse_sweep_options(None, None, Some("5")).unwrap();
+        assert_eq!(budgeted.budget.max_evals, Some(5));
 
         for bad in ["zero", "-1", "0", "", "4x"] {
-            let err = parse_sweep_options(Some(bad), None).unwrap_err();
-            assert!(err.contains("MHLA_SWEEP_CHUNK"), "{err}");
+            let err = parse_sweep_options(Some(bad), None, None).unwrap_err();
+            assert!(
+                matches!(err, mhla_core::MhlaError::InvalidOptions { .. }),
+                "{err}"
+            );
+            assert!(err.to_string().contains("MHLA_SWEEP_CHUNK"), "{err}");
+            let err = parse_sweep_max_evals(Some(bad)).unwrap_err();
+            assert!(err.to_string().contains("MHLA_SWEEP_MAX_EVALS"), "{err}");
         }
         for bad in ["2", "yes", "", "true"] {
             let err = parse_sweep_parallel(Some(bad)).unwrap_err();
-            assert!(err.contains("MHLA_SWEEP_PARALLEL"), "{err}");
-            assert!(parse_sweep_options(None, Some(bad)).is_err());
+            assert!(err.to_string().contains("MHLA_SWEEP_PARALLEL"), "{err}");
+            assert!(parse_sweep_options(None, Some(bad), None).is_err());
         }
     }
 

@@ -548,6 +548,9 @@ fn greedy_search(
                     residents: model.array_residents(array, home, chain),
                 });
             }
+            // Internal invariant, not user-reachable: the branch above
+            // fills the slot before this read.
+            #[allow(clippy::expect_used)]
             let entry = cache[idx].as_ref().expect("just filled");
             // Gain first, capacity second: both are pure filters, so the
             // order cannot change the chosen move, and the cheap gain test

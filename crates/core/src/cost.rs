@@ -814,6 +814,10 @@ impl OccupancyLedger {
     /// Index of an endpoint in the precomputed time set. Every resident
     /// the cost model can produce has its endpoints in the set.
     fn time_index(&self, t: u64) -> usize {
+        // Internal invariant, not user-reachable: ProgramFacts
+        // precomputes the endpoint set of every resident the cost model
+        // can produce.
+        #[allow(clippy::expect_used)]
         self.times
             .binary_search(&t)
             .expect("resident endpoint missing from precomputed occupancy times")

@@ -10,6 +10,7 @@ use crate::assign;
 use crate::classify::classify_arrays;
 use crate::context::{ExplorationContext, ProgramFacts};
 use crate::cost::{CostBreakdown, CostModel};
+use crate::error::MhlaError;
 use crate::te::{self, TeSchedule};
 use crate::types::{Assignment, MhlaConfig};
 
@@ -255,6 +256,26 @@ impl<'a> Mhla<'a> {
         Mhla::with_reuse(program, platform, config, reuse)
     }
 
+    /// Fallible [`new`](Mhla::new): validates the program
+    /// ([`Program::validate`]), the platform and the configuration
+    /// *before* running the reuse analysis, so malformed inputs arriving
+    /// from outside the process are rejected with a typed error instead
+    /// of panicking somewhere inside the analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`MhlaError::InvalidProgram`] /
+    /// [`InvalidOptions`](MhlaError::InvalidOptions) /
+    /// [`InvalidObjective`](MhlaError::InvalidObjective).
+    pub fn try_new(
+        program: &'a Program,
+        platform: &'a Platform,
+        config: MhlaConfig,
+    ) -> Result<Self, MhlaError> {
+        crate::error::validate_run_ingress(program, platform, &config)?;
+        Ok(Mhla::new(program, platform, config))
+    }
+
     /// Prepares a run over a shared [`ExplorationContext`]: the reuse
     /// analysis, array classification, program facts and TE caches all
     /// come from the context instead of being re-derived, so constructing
@@ -339,6 +360,58 @@ impl<'a> Mhla<'a> {
     /// a 2005 toolchain produced without the MHLA tool.
     pub fn run(&self) -> MhlaResult {
         self.run_from(None)
+    }
+
+    /// Fallible [`run`](Mhla::run): re-validates the run's ingress (the
+    /// checks are cheap relative to the search) so a run prepared through
+    /// the infallible constructors still gets the typed boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_new`](Mhla::try_new).
+    pub fn try_run(&self) -> Result<MhlaResult, MhlaError> {
+        self.try_run_with_seeds(&[], None).map(|(r, _)| r)
+    }
+
+    /// Fallible [`run_with_stats`](Mhla::run_with_stats): validated
+    /// ingress plus a capacity/shape check of the warm-start assignment.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_new`](Mhla::try_new), plus
+    /// [`MhlaError::InvalidOptions`] for a warm assignment that does not
+    /// fit this program/platform.
+    pub fn try_run_with_stats(
+        &self,
+        warm: Option<&Assignment>,
+        moves: Option<&assign::MoveSet>,
+    ) -> Result<(MhlaResult, RunStats), MhlaError> {
+        match warm {
+            Some(w) => self.try_run_with_seeds(&[w], moves),
+            None => self.try_run_with_seeds(&[], moves),
+        }
+    }
+
+    /// Fallible [`run_with_seeds`](Mhla::run_with_seeds): validated
+    /// ingress plus a shape check of every seed assignment (layer ids in
+    /// range, copies consistent with the reuse analysis).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run_with_stats`](Mhla::try_run_with_stats).
+    pub fn try_run_with_seeds(
+        &self,
+        seeds: &[&Assignment],
+        moves: Option<&assign::MoveSet>,
+    ) -> Result<(MhlaResult, RunStats), MhlaError> {
+        crate::error::validate_run_ingress(self.program, self.platform, &self.config)?;
+        for (i, seed) in seeds.iter().enumerate() {
+            seed.validate(&self.reuse, self.platform.layer_count())
+                .map_err(|e| MhlaError::InvalidOptions {
+                    what: format!("seed assignment {i}: {e}"),
+                })?;
+        }
+        Ok(self.run_with_seeds(seeds, moves))
     }
 
     /// [`run`](Mhla::run), optionally warm-starting the greedy search from

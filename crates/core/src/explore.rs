@@ -65,6 +65,10 @@
 //! [`pareto::front`] — the sort-based sweep that replaced the seed's
 //! all-pairs dominance scan.
 
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use rayon::prelude::*;
 
 use mhla_hierarchy::{
@@ -75,8 +79,193 @@ use mhla_ir::Program;
 
 use crate::context::{ExplorationContext, SeedCache};
 use crate::driver::{Mhla, MhlaResult, RunStats};
+use crate::error::{self, MhlaError};
 use crate::pareto;
 use crate::types::{Assignment, MhlaConfig, Objective, SearchStrategy};
+
+/// Why a budgeted sweep stopped early (see [`SweepStatus::Stopped`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopCause {
+    /// [`ExploreBudget::max_evals`] committed evaluations were reached.
+    /// The only *deterministic* stop: the committed prefix is a pure
+    /// function of the inputs, independent of wall time and scheduling.
+    MaxEvals,
+    /// [`ExploreBudget::deadline`] passed.
+    Deadline,
+    /// [`ExploreBudget::cancel`] was raised.
+    Cancelled,
+}
+
+/// How far a (possibly budgeted) sweep got.
+///
+/// `Stopped` carries everything needed to resume deterministically: the
+/// first lexicographic grid index **not** decided yet. Every point before
+/// `next_lex` is fully committed (evaluated, or — in the pruned sweep —
+/// skip-finalized), so the partial result's Pareto accessors select a
+/// *certified* frontier: provably the exact front of the decided prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SweepStatus {
+    /// The whole grid was covered.
+    #[default]
+    Complete,
+    /// The budget ran out (or the sweep was cancelled) first.
+    Stopped {
+        /// What stopped the sweep.
+        cause: StopCause,
+        /// First lexicographic grid index not yet decided — pass the run
+        /// back to the matching `try_*_resume` entry point to continue
+        /// from exactly here.
+        next_lex: usize,
+    },
+}
+
+impl SweepStatus {
+    /// Whether the sweep covered the whole grid.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SweepStatus::Complete)
+    }
+
+    /// The resume cursor of a stopped sweep (`None` when complete).
+    pub fn next_lex(&self) -> Option<usize> {
+        match *self {
+            SweepStatus::Complete => None,
+            SweepStatus::Stopped { next_lex, .. } => Some(next_lex),
+        }
+    }
+}
+
+/// A work bound for the sweep schedulers, threaded through
+/// [`SweepOptions::budget`] / [`PruneOptions::budget`]. All three limits
+/// are optional and combine; the default is unlimited.
+///
+/// On exhaustion the sweep does **not** error: it stops at a
+/// fully-committed lexicographic prefix and returns its result with
+/// [`SweepStatus::Stopped`] — a certified partial frontier plus the
+/// resume cursor. Callers that need an all-or-nothing answer use
+/// [`GridSweepRun::require_complete`] /
+/// [`PrunedGridSweep::require_complete`] to turn a stop into a typed
+/// [`MhlaError`].
+#[derive(Clone, Debug, Default)]
+pub struct ExploreBudget {
+    /// Maximum grid points *committed* in this call (speculatively
+    /// evaluated but discarded wave members do not count). Deterministic:
+    /// the same inputs stop at the same point on every machine.
+    pub max_evals: Option<usize>,
+    /// Hard wall-clock deadline. Checked between point evaluations; an
+    /// in-flight evaluation is never aborted, so the sweep can overshoot
+    /// by roughly one point (one wave, when parallel).
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation: raise the flag from another thread and
+    /// the sweep stops at the next check, returning the committed prefix.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl ExploreBudget {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        ExploreBudget::default()
+    }
+
+    /// A pure evaluation-count budget — the deterministic limit the
+    /// resume tests replay against.
+    pub fn max_evals(n: usize) -> Self {
+        ExploreBudget {
+            max_evals: Some(n),
+            ..ExploreBudget::default()
+        }
+    }
+
+    /// Whether no limit is set at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_evals.is_none() && self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Whether the budget stops further evaluations after `committed`
+    /// points. The deterministic cause is checked first so tests
+    /// replaying a `max_evals` stop never race the clock.
+    fn stop(&self, committed: usize) -> Option<StopCause> {
+        if let Some(max) = self.max_evals {
+            if committed >= max {
+                return Some(StopCause::MaxEvals);
+            }
+        }
+        self.stop_timed()
+    }
+
+    /// The wall-clock half of [`stop`](Self::stop) — what the parallel
+    /// scheduler's tasks poll between points (`max_evals` is enforced
+    /// there by deterministic truncation instead).
+    fn stop_timed(&self) -> Option<StopCause> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Some(StopCause::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopCause::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Whether any wall-clock limit is set (the parallel scheduler only
+    /// polls the clock when one is).
+    fn is_timed(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+}
+
+impl PartialEq for ExploreBudget {
+    /// Cancellation flags compare by identity ([`Arc::ptr_eq`]) — two
+    /// budgets are interchangeable only when they observe the *same*
+    /// flag.
+    fn eq(&self, other: &Self) -> bool {
+        self.max_evals == other.max_evals
+            && self.deadline == other.deadline
+            && match (&self.cancel, &other.cancel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+/// The stop cause a parallel scheduler's tasks agree on: the first task
+/// to observe a deadline/cancellation records it here; everyone else
+/// winds down. (`0` = none, `1` = deadline, `2` = cancelled.)
+struct TripFlag(AtomicU8);
+
+impl TripFlag {
+    fn new() -> Self {
+        TripFlag(AtomicU8::new(0))
+    }
+
+    fn tripped(&self) -> bool {
+        self.0.load(Ordering::Relaxed) != 0
+    }
+
+    fn trip(&self, cause: StopCause) {
+        let code = match cause {
+            StopCause::Deadline => 1,
+            StopCause::Cancelled => 2,
+            // MaxEvals is enforced by deterministic truncation, never
+            // through the trip flag.
+            StopCause::MaxEvals => return,
+        };
+        let _ = self
+            .0
+            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    fn cause(&self) -> Option<StopCause> {
+        match self.0.load(Ordering::Relaxed) {
+            1 => Some(StopCause::Deadline),
+            2 => Some(StopCause::Cancelled),
+            _ => None,
+        }
+    }
+}
 
 /// One point of the capacity sweep.
 #[derive(Clone, PartialEq, Debug)]
@@ -230,7 +419,7 @@ pub enum SeedOrigin {
 }
 
 /// Tuning knobs for [`sweep_with`] and [`sweep_grid_with`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SweepOptions {
     /// Warm-start each point (within a chunk) from its predecessor's
     /// assignment along the innermost axis. Applies to the greedy strategy
@@ -258,6 +447,10 @@ pub struct SweepOptions {
     /// The search mode (default [`SearchMode::Cold`] — the frozen,
     /// bit-identical semantics).
     pub mode: SearchMode,
+    /// The exploration budget (default unlimited). On exhaustion the
+    /// sweep stops at a fully-committed lexicographic prefix and reports
+    /// it through [`GridSweepRun::status`] — see [`ExploreBudget`].
+    pub budget: ExploreBudget,
 }
 
 impl Default for SweepOptions {
@@ -267,6 +460,7 @@ impl Default for SweepOptions {
             parallel: true,
             chunk: SWEEP_CHUNK,
             mode: SearchMode::Cold,
+            budget: ExploreBudget::default(),
         }
     }
 }
@@ -332,21 +526,83 @@ pub fn sweep_with(
     config: &MhlaConfig,
     opts: SweepOptions,
 ) -> Sweep {
+    match try_sweep_with(program, platform, layer, capacities, config, &opts) {
+        Ok(run) => run.sweep,
+        Err(e) => panic!("sweep_with: {e}"),
+    }
+}
+
+/// Fallible [`sweep`]: validates the program, platform and configuration
+/// up front and returns a typed [`MhlaError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`MhlaError::InvalidProgram`] / [`InvalidOptions`](MhlaError::InvalidOptions) /
+/// [`InvalidObjective`](MhlaError::InvalidObjective) on bad ingress,
+/// [`MhlaError::InfeasiblePoint`] on an impossible sweep axis.
+pub fn try_sweep(
+    program: &Program,
+    platform: &Platform,
+    layer: LayerId,
+    capacities: &[u64],
+    config: &MhlaConfig,
+) -> Result<Sweep, MhlaError> {
+    try_sweep_with(
+        program,
+        platform,
+        layer,
+        capacities,
+        config,
+        &SweepOptions::default(),
+    )
+    .map(|run| run.sweep)
+}
+
+/// Result of [`try_sweep_with`]: the 1-D sweep plus how far it got (a
+/// budgeted sweep can stop early — see [`SweepStatus`]).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepRun {
+    /// The evaluated points (a lexicographic — here: ascending-capacity —
+    /// prefix of the full sweep when [`status`](Self::status) is
+    /// [`SweepStatus::Stopped`]).
+    pub sweep: Sweep,
+    /// Whether the sweep covered every capacity.
+    pub status: SweepStatus,
+}
+
+/// Fallible [`sweep_with`]: validated ingress, budget-aware result.
+///
+/// # Errors
+///
+/// As [`try_sweep`]. Budget exhaustion is *not* an error — it is
+/// reported through [`SweepRun::status`].
+pub fn try_sweep_with(
+    program: &Program,
+    platform: &Platform,
+    layer: LayerId,
+    capacities: &[u64],
+    config: &MhlaConfig,
+    opts: &SweepOptions,
+) -> Result<SweepRun, MhlaError> {
     let axis = GridAxis {
         layer,
         capacities: capacities.to_vec(),
     };
-    let grid = sweep_grid_with(program, platform, &[axis], config, opts);
-    Sweep {
-        points: grid
-            .points
-            .into_iter()
-            .map(|p| SweepPoint {
-                capacity: p.capacities[0],
-                result: p.result,
-            })
-            .collect(),
-    }
+    let run = try_sweep_grid_run(program, platform, &[axis], config, opts)?;
+    Ok(SweepRun {
+        sweep: Sweep {
+            points: run
+                .sweep
+                .points
+                .into_iter()
+                .map(|p| SweepPoint {
+                    capacity: p.capacities[0],
+                    result: p.result,
+                })
+                .collect(),
+        },
+        status: run.status,
+    })
 }
 
 fn clean_capacities(capacities: &[u64]) -> Vec<u64> {
@@ -538,6 +794,21 @@ pub fn sweep_grid_with(
     sweep_grid_run(program, platform, axes, config, opts).sweep
 }
 
+/// Fallible [`sweep_grid`]: validated ingress, typed errors.
+///
+/// # Errors
+///
+/// As [`try_sweep`].
+pub fn try_sweep_grid(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+) -> Result<GridSweep, MhlaError> {
+    try_sweep_grid_run(program, platform, axes, config, &SweepOptions::default())
+        .map(|run| run.sweep)
+}
+
 /// Result of [`sweep_grid_run`]: the grid sweep plus the engine's
 /// per-mode bookkeeping — the data the `grid4` bench's mode columns and
 /// the improving-vs-cold comparisons are built from.
@@ -559,6 +830,43 @@ pub struct GridSweepRun {
     /// override is reported as [`SeedOrigin::Axis`] of the innermost axis
     /// (the chain dimension).
     pub winners: Vec<Option<SeedOrigin>>,
+    /// Points of the full Cartesian product (what a complete run
+    /// evaluates).
+    pub candidates: usize,
+    /// How far the sweep got. Always [`SweepStatus::Complete`] under an
+    /// unlimited [`SweepOptions::budget`]; when `Stopped`, the points are
+    /// the fully-committed lexicographic prefix `order[..next_lex]` —
+    /// the sweep's Pareto accessors then select the *certified* partial
+    /// frontier of exactly that prefix, and
+    /// [`try_sweep_grid_resume`] continues from `next_lex`
+    /// deterministically.
+    pub status: SweepStatus,
+}
+
+impl GridSweepRun {
+    /// The run if it completed, a typed error if it was interrupted —
+    /// for callers that need an all-or-nothing answer.
+    ///
+    /// # Errors
+    ///
+    /// [`MhlaError::BudgetExhausted`] / [`MhlaError::Cancelled`].
+    pub fn require_complete(self) -> Result<Self, MhlaError> {
+        match self.status {
+            SweepStatus::Complete => Ok(self),
+            SweepStatus::Stopped {
+                cause: StopCause::Cancelled,
+                ..
+            } => Err(MhlaError::Cancelled {
+                committed: self.sweep.points.len(),
+                total: self.candidates,
+            }),
+            SweepStatus::Stopped { cause, .. } => Err(MhlaError::BudgetExhausted {
+                cause,
+                committed: self.sweep.points.len(),
+                total: self.candidates,
+            }),
+        }
+    }
 }
 
 /// [`sweep_grid_with`], additionally reporting which search legs ran and
@@ -570,13 +878,40 @@ pub fn sweep_grid_run(
     config: &MhlaConfig,
     opts: SweepOptions,
 ) -> GridSweepRun {
+    match try_sweep_grid_run(program, platform, axes, config, &opts) {
+        Ok(run) => run,
+        Err(e) => panic!("sweep_grid_run: {e}"),
+    }
+}
+
+/// Fallible [`sweep_grid_run`]: validates the program
+/// ([`Program::validate`]), the platform, the configuration and the axes
+/// up front, then runs the budget-aware scheduler for the selected
+/// [`SearchMode`].
+///
+/// # Errors
+///
+/// As [`try_sweep`]. Budget exhaustion is *not* an error — the run comes
+/// back `Ok` with [`SweepStatus::Stopped`] and a certified partial
+/// frontier (see [`GridSweepRun::status`]); use
+/// [`GridSweepRun::require_complete`] to promote a stop into a typed
+/// error.
+pub fn try_sweep_grid_run(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+    opts: &SweepOptions,
+) -> Result<GridSweepRun, MhlaError> {
+    error::validate_run_ingress(program, platform, config)?;
+    error::validate_axes(platform, axes)?;
     let layers: Vec<LayerId> = axes.iter().map(|a| a.layer).collect();
     let axis_caps: Vec<Vec<u64>> = axes
         .iter()
         .map(|a| clean_capacities(&a.capacities))
         .collect();
     if axis_caps.is_empty() || axis_caps.iter().any(Vec::is_empty) {
-        return GridSweepRun {
+        return Ok(GridSweepRun {
             sweep: GridSweep {
                 layers,
                 points: Vec::new(),
@@ -584,7 +919,9 @@ pub fn sweep_grid_run(
             evals: 0,
             seed_wins: 0,
             winners: Vec::new(),
-        };
+            candidates: 0,
+            status: SweepStatus::Complete,
+        });
     }
 
     // Everything capacity-independent — reuse analysis, program facts, TE
@@ -592,10 +929,119 @@ pub fn sweep_grid_run(
     // every point.
     let ctx = ExplorationContext::new(program, platform, config.clone());
     let engine = SweepEngine::new(&ctx, platform, &layers, &axis_caps);
-    match opts.mode {
-        SearchMode::Cold => engine.run_chunked(opts),
-        SearchMode::Improving => engine.run_lex(),
+    Ok(match opts.mode {
+        SearchMode::Cold => engine.run_chunked(opts, 0),
+        SearchMode::Improving => engine.run_lex(&opts.budget, 0, &[]),
+    })
+}
+
+/// Resumes a stopped [`try_sweep_grid_run`] from its recorded cursor and
+/// returns the *merged* run (prior points plus the continuation), again
+/// budget-aware: `opts.budget` bounds the continuation, so repeated
+/// resumes cover the grid in installments.
+///
+/// Must be called with the same program/platform/axes/config/options the
+/// prior run used (checked where cheaply possible). Resuming a
+/// [`SweepStatus::Complete`] run returns it unchanged.
+///
+/// In [`SearchMode::Improving`] the continuation replays the committed
+/// seed state, so the merged run — including its
+/// [`evals`](GridSweepRun::evals)/[`winners`](GridSweepRun::winners)
+/// bookkeeping — is bit-identical to the uninterrupted run. In
+/// [`SearchMode::Cold`] the merged *points* (and therefore all
+/// frontiers) are bit-identical, but warm chains restart at the resume
+/// boundary, so the leg/winner bookkeeping of the boundary chunk may
+/// differ from an uninterrupted run's.
+///
+/// # Errors
+///
+/// As [`try_sweep`], plus [`MhlaError::InvalidOptions`] when `prior`
+/// does not match the given axes (different layers, or points that are
+/// not the expected lexicographic prefix).
+pub fn try_sweep_grid_resume(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+    opts: &SweepOptions,
+    prior: &GridSweepRun,
+) -> Result<GridSweepRun, MhlaError> {
+    error::validate_run_ingress(program, platform, config)?;
+    error::validate_axes(platform, axes)?;
+    let start = match prior.status {
+        SweepStatus::Complete => return Ok(prior.clone()),
+        SweepStatus::Stopped { next_lex, .. } => next_lex,
+    };
+    let layers: Vec<LayerId> = axes.iter().map(|a| a.layer).collect();
+    let axis_caps: Vec<Vec<u64>> = axes
+        .iter()
+        .map(|a| clean_capacities(&a.capacities))
+        .collect();
+    let ctx = ExplorationContext::new(program, platform, config.clone());
+    let engine = SweepEngine::new(&ctx, platform, &layers, &axis_caps);
+    check_resume_prefix(
+        &layers,
+        &engine.order,
+        &prior.sweep.layers,
+        prior.sweep.points.iter().map(|p| p.capacities.as_slice()),
+        prior.sweep.points.len(),
+        start,
+    )?;
+    let cont = match opts.mode {
+        SearchMode::Cold => engine.run_chunked(opts, start),
+        SearchMode::Improving => engine.run_lex(&opts.budget, start, &prior.sweep.points),
+    };
+    let mut points = prior.sweep.points.clone();
+    points.extend(cont.sweep.points);
+    let mut winners = prior.winners.clone();
+    winners.extend(cont.winners);
+    Ok(GridSweepRun {
+        sweep: GridSweep { layers, points },
+        evals: prior.evals + cont.evals,
+        seed_wins: prior.seed_wins + cont.seed_wins,
+        winners,
+        candidates: cont.candidates,
+        status: cont.status,
+    })
+}
+
+/// The shared sanity check of the resume entry points: the prior run
+/// must have been produced on the same grid (same layers) and its points
+/// must sit where the recorded cursor says they do.
+fn check_resume_prefix<'p>(
+    layers: &[LayerId],
+    order: &[Vec<u64>],
+    prior_layers: &[LayerId],
+    prior_points: impl Iterator<Item = &'p [u64]>,
+    prior_count: usize,
+    next_lex: usize,
+) -> Result<(), MhlaError> {
+    if prior_layers != layers {
+        return Err(MhlaError::InvalidOptions {
+            what: "resume: the prior run swept different layers".into(),
+        });
     }
+    if next_lex > order.len() || prior_count > next_lex {
+        return Err(MhlaError::InvalidOptions {
+            what: format!(
+                "resume: cursor {next_lex} / {} points do not fit a {}-point grid",
+                prior_count,
+                order.len()
+            ),
+        });
+    }
+    // The evaluated points are a lexicographic subsequence of the decided
+    // prefix (the pruned sweep skips some of it), so one merge walk
+    // verifies membership in linear time.
+    let mut cursor = order[..next_lex].iter();
+    for caps in prior_points {
+        if !cursor.any(|o| o == caps) {
+            return Err(MhlaError::InvalidOptions {
+                what: "resume: a prior point is not on the grid's decided prefix".into(),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// The shared sweep engine: one implementation of axis handling, the
@@ -702,28 +1148,92 @@ impl<'e> SweepEngine<'e> {
         seeds
     }
 
+    /// An empty run over this engine's grid with the given status — what
+    /// the schedulers return when the budget stops them before the first
+    /// point.
+    fn empty_run(&self, status: SweepStatus) -> GridSweepRun {
+        GridSweepRun {
+            sweep: GridSweep {
+                layers: self.layers.to_vec(),
+                points: Vec::new(),
+            },
+            evals: 0,
+            seed_wins: 0,
+            winners: Vec::new(),
+            candidates: self.order.len(),
+            status,
+        }
+    }
+
     /// The cold exhaustive scheduler: the last axis is the warm-start
     /// dimension — a task is one chunk of it under one fixed prefix of
     /// the outer axes. Tasks are independent, so their parallel schedule
     /// cannot affect results. Bit-identical to the pre-engine
     /// `sweep_grid_with` by construction.
-    fn run_chunked(&self, opts: SweepOptions) -> GridSweepRun {
+    ///
+    /// Covers the lexicographic range from `start` (0 on a fresh run, the
+    /// resume cursor on a continuation) and returns only the new points.
+    /// `max_evals` is enforced by deterministic truncation of the range;
+    /// deadline/cancellation by a shared trip flag the tasks poll between
+    /// points — either way only the longest committed lexicographic run
+    /// from `start` is returned, so the result is always a certified
+    /// prefix. Skipping and re-chunking never change point *results*
+    /// (each is the warm/cold portfolio, chunk-invariant by the
+    /// determinism guarantee of [`SweepOptions::chunk`]); only the
+    /// leg/winner bookkeeping of a resume's boundary chunk can differ
+    /// from an uninterrupted run's.
+    fn run_chunked(&self, opts: &SweepOptions, start: usize) -> GridSweepRun {
+        let total = self.order.len();
+        let budget = &opts.budget;
+        if start >= total {
+            return self.empty_run(SweepStatus::Complete);
+        }
+        // Preset stops: an exhausted eval budget, a raised flag, a past
+        // deadline — return the empty continuation without evaluating.
+        if let Some(cause) = budget.stop(0) {
+            return self.empty_run(SweepStatus::Stopped {
+                cause,
+                next_lex: start,
+            });
+        }
+        let end = budget
+            .max_evals
+            .map_or(total, |m| total.min(start.saturating_add(m)));
+
         let (outer, innermost) = self.axis_caps.split_at(self.axis_caps.len() - 1);
         let innermost = &innermost[0];
+        let n_in = innermost.len();
         let prefixes = cartesian(outer);
-        let chunk = opts.chunk.max(1).min(innermost.len());
-        let tasks: Vec<(&[u64], &[u64])> = prefixes
+        let chunk = opts.chunk.max(1).min(n_in);
+        let tasks: Vec<(usize, &[u64], &[u64])> = prefixes
             .iter()
-            .flat_map(|p| innermost.chunks(chunk).map(move |c| (p.as_slice(), c)))
+            .enumerate()
+            .flat_map(|(pi, p)| {
+                innermost
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(move |(ci, c)| (pi * n_in + ci * chunk, p.as_slice(), c))
+            })
+            .filter(|&(base, _, c)| base + c.len() > start && base < end)
             .collect();
         // A warm-chain override is attributed to the chain's axis.
         let chain_axis = self.axis_caps.len() - 1;
+        let timed = budget.is_timed();
+        let trip = TripFlag::new();
 
-        let run_task = |task: &(&[u64], &[u64])| -> Vec<(GridPoint, usize, Option<SeedOrigin>)> {
-            let (prefix, caps) = *task;
-            let mut warm: Option<Assignment> = None;
-            caps.iter()
-                .map(|&cap| {
+        let run_task =
+            |task: &(usize, &[u64], &[u64])| -> Vec<(usize, GridPoint, usize, Option<SeedOrigin>)> {
+                let &(base, prefix, caps) = task;
+                let mut warm: Option<Assignment> = None;
+                let mut out = Vec::with_capacity(caps.len());
+                for (k, &cap) in caps.iter().enumerate() {
+                    let idx = base + k;
+                    if idx < start {
+                        continue; // already committed by the prior run
+                    }
+                    if idx >= end || (timed && trip.tripped()) {
+                        break;
+                    }
                     let mut capacities = prefix.to_vec();
                     capacities.push(cap);
                     let (result, stats) = self.evaluate(
@@ -734,33 +1244,73 @@ impl<'e> SweepEngine<'e> {
                         warm = Some(result.assignment.clone());
                     }
                     let winner = stats.winning_seed.map(|_| SeedOrigin::Axis(chain_axis));
-                    (GridPoint { capacities, result }, stats.search_legs, winner)
-                })
-                .collect()
-        };
+                    out.push((
+                        idx,
+                        GridPoint { capacities, result },
+                        stats.search_legs,
+                        winner,
+                    ));
+                    if timed {
+                        if let Some(cause) = budget.stop_timed() {
+                            trip.trip(cause);
+                            break;
+                        }
+                    }
+                }
+                out
+            };
 
-        let per_task: Vec<Vec<(GridPoint, usize, Option<SeedOrigin>)>> = if opts.parallel {
+        type TaskPoint = (usize, GridPoint, usize, Option<SeedOrigin>);
+        let per_task: Vec<Vec<TaskPoint>> = if opts.parallel {
             tasks.par_iter().map(run_task).collect()
         } else {
             tasks.iter().map(run_task).collect()
         };
+        // Commit the longest contiguous lexicographic run from `start`;
+        // anything a tripped task left beyond a gap is discarded (only
+        // deadline/cancel trips can create gaps — `max_evals` truncation
+        // is exact).
         let mut sweep = GridSweep {
             layers: self.layers.to_vec(),
-            points: Vec::with_capacity(self.order.len()),
+            points: Vec::with_capacity(end - start),
         };
         let (mut evals, mut seed_wins) = (0usize, 0usize);
-        let mut winners = Vec::with_capacity(self.order.len());
-        for (point, legs, winner) in per_task.into_iter().flatten() {
-            evals += legs;
-            seed_wins += usize::from(winner.is_some());
-            winners.push(winner);
-            sweep.points.push(point);
+        let mut winners = Vec::with_capacity(end - start);
+        let mut next_lex = start;
+        'commit: for task_points in per_task {
+            for (idx, point, legs, winner) in task_points {
+                if idx != next_lex {
+                    break 'commit;
+                }
+                evals += legs;
+                seed_wins += usize::from(winner.is_some());
+                winners.push(winner);
+                sweep.points.push(point);
+                next_lex += 1;
+            }
         }
+        let status = if next_lex >= total {
+            SweepStatus::Complete
+        } else if next_lex >= end {
+            SweepStatus::Stopped {
+                cause: StopCause::MaxEvals,
+                next_lex,
+            }
+        } else {
+            // Short of the range end: a task tripped on the clock or the
+            // flag (the flag records the first observed cause).
+            SweepStatus::Stopped {
+                cause: trip.cause().unwrap_or(StopCause::Deadline),
+                next_lex,
+            }
+        };
         GridSweepRun {
             sweep,
             evals,
             seed_wins,
             winners,
+            candidates: total,
+            status,
         }
     }
 
@@ -772,13 +1322,27 @@ impl<'e> SweepEngine<'e> {
     /// prototype (strict improvements over the cold search on 4-level
     /// stacks) that this mode makes a first-class, dominance-guaranteed
     /// semantics.
-    fn run_lex(&self) -> GridSweepRun {
+    /// Covers the lexicographic range from `start`, replaying the seed
+    /// state of the committed `prior` points first, and returns only the
+    /// new points. Because this scheduler is strictly sequential, a
+    /// resumed run re-enters exactly the state the uninterrupted run had
+    /// at `start` — the merged result (points *and* bookkeeping) is
+    /// bit-identical to the uninterrupted one.
+    fn run_lex(&self, budget: &ExploreBudget, start: usize, prior: &[GridPoint]) -> GridSweepRun {
         let mut cache = SeedCache::new();
-        let mut prev: Option<Vec<u64>> = None;
-        let mut points = Vec::with_capacity(self.order.len());
-        let mut winners = Vec::with_capacity(self.order.len());
+        for p in prior {
+            cache.commit(&p.capacities, p.result.assignment.clone());
+        }
+        let mut prev: Option<Vec<u64>> = prior.last().map(|p| p.capacities.clone());
+        let mut points = Vec::with_capacity(self.order.len() - start.min(self.order.len()));
+        let mut winners = Vec::with_capacity(points.capacity());
         let (mut evals, mut seed_wins) = (0usize, 0usize);
-        for caps in &self.order {
+        let mut status = SweepStatus::Complete;
+        for (i, caps) in self.order.iter().enumerate().skip(start) {
+            if let Some(cause) = budget.stop(points.len()) {
+                status = SweepStatus::Stopped { cause, next_lex: i };
+                break;
+            }
             let pf = self.platform_at(caps);
             let (result, stats, winner) = {
                 let seeds = self.gather_seeds(&pf, caps, &cache, prev.as_deref());
@@ -802,6 +1366,8 @@ impl<'e> SweepEngine<'e> {
             evals,
             seed_wins,
             winners,
+            candidates: self.order.len(),
+            status,
         }
     }
 }
@@ -859,6 +1425,51 @@ pub struct PrunedGridSweep {
     /// Points whose committed result came from a warm seed instead of the
     /// cold leg — always `0` in [`SearchMode::Cold`].
     pub seed_wins: usize,
+    /// How far the sweep got. When `Stopped`, every point before
+    /// `next_lex` is *decided* — evaluated or skip-finalized against
+    /// committed evaluations inside the prefix — so the losslessness
+    /// argument applies to the prefix verbatim: the result's Pareto
+    /// accessors select the certified frontier of the decided prefix,
+    /// and [`try_sweep_grid_pruned_resume`] continues deterministically.
+    pub status: SweepStatus,
+    /// Resume state of a stopped run (empty when
+    /// [`status`](Self::status) is [`SweepStatus::Complete`], so
+    /// resumed-to-complete runs compare equal to uninterrupted ones).
+    checkpoint: PruneCheckpoint,
+}
+
+impl PrunedGridSweep {
+    /// The run if it completed, a typed error if it was interrupted —
+    /// for callers that need an all-or-nothing answer.
+    ///
+    /// # Errors
+    ///
+    /// [`MhlaError::BudgetExhausted`] / [`MhlaError::Cancelled`].
+    pub fn require_complete(self) -> Result<Self, MhlaError> {
+        match self.status {
+            SweepStatus::Complete => Ok(self),
+            SweepStatus::Stopped {
+                cause: StopCause::Cancelled,
+                ..
+            } => Err(MhlaError::Cancelled {
+                committed: self.stats.evaluated,
+                total: self.stats.candidates,
+            }),
+            SweepStatus::Stopped { cause, .. } => Err(MhlaError::BudgetExhausted {
+                cause,
+                committed: self.stats.evaluated,
+                total: self.stats.candidates,
+            }),
+        }
+    }
+}
+
+/// What a stopped pruned sweep carries to resume exactly: the rule-1
+/// replay candidates of its committed evaluations (everything else —
+/// incumbents, seeds, floors — is rebuilt from the points).
+#[derive(Clone, PartialEq, Debug, Default)]
+struct PruneCheckpoint {
+    replayable: Vec<Replayable>,
 }
 
 /// Default number of points one dominance wave of
@@ -870,7 +1481,7 @@ pub struct PrunedGridSweep {
 pub const PRUNE_WAVE: usize = 16;
 
 /// Tuning knobs for [`sweep_grid_pruned_with`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct PruneOptions {
     /// Evaluate each wave's points on the `rayon` thread pool. Skip
     /// decisions commit in lexicographic order either way, so results,
@@ -892,6 +1503,14 @@ pub struct PruneOptions {
     /// visibility) and the prune hooks switch to their mode-aware forms —
     /// see [`sweep_grid_pruned`]'s *Improving mode* section.
     pub mode: SearchMode,
+    /// The exploration budget (default unlimited): `max_evals` bounds
+    /// *committed* evaluations — prune skips are free, discarded
+    /// speculative wave members do not count — and the stop lands on a
+    /// fully-decided lexicographic prefix, so the partial frontier stays
+    /// certified (see [`PrunedGridSweep::status`]). Like every other
+    /// prune result property, the stop point is identical for every
+    /// `wave`/`parallel` setting.
+    pub budget: ExploreBudget,
 }
 
 impl Default for PruneOptions {
@@ -900,6 +1519,7 @@ impl Default for PruneOptions {
             parallel: true,
             wave: PRUNE_WAVE,
             mode: SearchMode::Cold,
+            budget: ExploreBudget::default(),
         }
     }
 }
@@ -954,6 +1574,7 @@ fn floor_objective_score(objective: &Objective, floor: &crate::cost::CostFloor) 
 /// capacity-bound apps it is empty. (Both scans are still linear in their
 /// list; a spatial index over the capacity lattice would be the next step
 /// for 10⁵+ grids.)
+#[derive(Clone, PartialEq, Debug)]
 struct Replayable {
     capacities: Vec<u64>,
     growable: Vec<bool>,
@@ -1127,13 +1748,53 @@ pub fn sweep_grid_pruned_with(
     config: &MhlaConfig,
     opts: PruneOptions,
 ) -> PrunedGridSweep {
+    match try_sweep_grid_pruned_with(program, platform, axes, config, &opts) {
+        Ok(run) => run,
+        Err(e) => panic!("sweep_grid_pruned_with: {e}"),
+    }
+}
+
+/// Fallible [`sweep_grid_pruned`]: validated ingress, typed errors.
+///
+/// # Errors
+///
+/// As [`try_sweep`].
+pub fn try_sweep_grid_pruned(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+) -> Result<PrunedGridSweep, MhlaError> {
+    try_sweep_grid_pruned_with(program, platform, axes, config, &PruneOptions::default())
+}
+
+/// Fallible [`sweep_grid_pruned_with`]: validates the program, platform,
+/// configuration and axes up front, then runs the budget-aware prune-wave
+/// scheduler.
+///
+/// # Errors
+///
+/// As [`try_sweep`]. Budget exhaustion is *not* an error — the run comes
+/// back `Ok` with [`SweepStatus::Stopped`] and a certified partial
+/// frontier (see [`PrunedGridSweep::status`]); use
+/// [`PrunedGridSweep::require_complete`] to promote a stop into a typed
+/// error.
+pub fn try_sweep_grid_pruned_with(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+    opts: &PruneOptions,
+) -> Result<PrunedGridSweep, MhlaError> {
+    error::validate_run_ingress(program, platform, config)?;
+    error::validate_axes(platform, axes)?;
     let layers: Vec<LayerId> = axes.iter().map(|a| a.layer).collect();
     let axis_caps: Vec<Vec<u64>> = axes
         .iter()
         .map(|a| clean_capacities(&a.capacities))
         .collect();
     if axis_caps.is_empty() || axis_caps.iter().any(Vec::is_empty) {
-        return PrunedGridSweep {
+        return Ok(PrunedGridSweep {
             sweep: GridSweep {
                 layers,
                 points: Vec::new(),
@@ -1143,12 +1804,71 @@ pub fn sweep_grid_pruned_with(
             speculative_evals: 0,
             search_legs: 0,
             seed_wins: 0,
-        };
+            status: SweepStatus::Complete,
+            checkpoint: PruneCheckpoint::default(),
+        });
     }
 
     let ctx = ExplorationContext::new(program, platform, config.clone());
     let engine = SweepEngine::new(&ctx, platform, &layers, &axis_caps);
-    engine.run_pruned(opts)
+    Ok(engine.run_pruned(opts, None))
+}
+
+/// Resumes a stopped [`try_sweep_grid_pruned_with`] from its recorded
+/// cursor and returns the *merged* run, again budget-aware. Must be
+/// called with the same program/platform/axes/config/options the prior
+/// run used (checked where cheaply possible); resuming a complete run
+/// returns it unchanged.
+///
+/// The merged run's points, [`PruneStats`], status and frontiers are
+/// bit-identical to the uninterrupted run's (the stop lands on a decided
+/// prefix and the continuation replays the committed state); only the
+/// wave bookkeeping ([`PrunedGridSweep::waves`],
+/// [`speculative_evals`](PrunedGridSweep::speculative_evals), and in
+/// parallel cold mode [`search_legs`](PrunedGridSweep::search_legs))
+/// reflects the actual two-installment schedule.
+///
+/// # Errors
+///
+/// As [`try_sweep`], plus [`MhlaError::InvalidOptions`] when `prior`
+/// does not match the given axes.
+pub fn try_sweep_grid_pruned_resume(
+    program: &Program,
+    platform: &Platform,
+    axes: &[GridAxis],
+    config: &MhlaConfig,
+    opts: &PruneOptions,
+    prior: &PrunedGridSweep,
+) -> Result<PrunedGridSweep, MhlaError> {
+    error::validate_run_ingress(program, platform, config)?;
+    error::validate_axes(platform, axes)?;
+    let next_lex = match prior.status {
+        SweepStatus::Complete => return Ok(prior.clone()),
+        SweepStatus::Stopped { next_lex, .. } => next_lex,
+    };
+    let layers: Vec<LayerId> = axes.iter().map(|a| a.layer).collect();
+    let axis_caps: Vec<Vec<u64>> = axes
+        .iter()
+        .map(|a| clean_capacities(&a.capacities))
+        .collect();
+    let ctx = ExplorationContext::new(program, platform, config.clone());
+    let engine = SweepEngine::new(&ctx, platform, &layers, &axis_caps);
+    check_resume_prefix(
+        &layers,
+        &engine.order,
+        &prior.sweep.layers,
+        prior.sweep.points.iter().map(|p| p.capacities.as_slice()),
+        prior.sweep.points.len(),
+        next_lex,
+    )?;
+    if prior.stats.candidates != engine.order.len()
+        || prior.stats.evaluated != prior.sweep.points.len()
+    {
+        return Err(MhlaError::InvalidOptions {
+            what: "resume: the prior run's bookkeeping does not match this grid".into(),
+        });
+    }
+    Ok(engine.run_pruned(opts, Some(prior)))
 }
 
 impl<'e> SweepEngine<'e> {
@@ -1156,10 +1876,17 @@ impl<'e> SweepEngine<'e> {
     /// dominance waves over the lexicographic order, with skip decisions
     /// committed sequentially and the prune hooks dispatched on the
     /// [`SearchMode`].
-    fn run_pruned(&self, opts: PruneOptions) -> PrunedGridSweep {
+    ///
+    /// With a `prior` run (a continuation), the committed state —
+    /// incumbents, replay candidates, improving seeds, the cursor and
+    /// the skip bookkeeping — is rebuilt first and the scan restarts at
+    /// the recorded cursor; the merged result is returned. The budget
+    /// bounds the *continuation's* committed evaluations.
+    fn run_pruned(&self, opts: &PruneOptions, prior: Option<&PrunedGridSweep>) -> PrunedGridSweep {
         let config = self.ctx.config();
         let order = &self.order;
         let layers = self.layers;
+        let budget = &opts.budget;
 
         // The saturation rule needs the instrumented greedy search (the
         // only strategy recording constraint masks and decision margins).
@@ -1179,19 +1906,44 @@ impl<'e> SweepEngine<'e> {
         // innermost-axis seed is the member before it.
         let wave_cap = if improving { 1 } else { opts.wave.max(1) };
 
-        let mut stats = PruneStats {
-            candidates: order.len(),
-            ..PruneStats::default()
-        };
-        let mut seen: Vec<Evaluated> = Vec::new();
-        let mut replayable: Vec<Replayable> = Vec::new();
-        let mut points: Vec<GridPoint> = Vec::new();
-        let mut waves = 0usize;
-        let mut speculative_evals = 0usize;
-        let mut search_legs = 0usize;
-        let mut seed_wins = 0usize;
+        // A continuation rebuilds the committed state from the prior run:
+        // incumbents and improving seeds from its points, replay
+        // candidates from its checkpoint, counters carried forward.
+        let mut stats = prior.map_or(
+            PruneStats {
+                candidates: order.len(),
+                ..PruneStats::default()
+            },
+            |p| p.stats,
+        );
+        let mut replayable: Vec<Replayable> =
+            prior.map_or_else(Vec::new, |p| p.checkpoint.replayable.clone());
+        let mut points: Vec<GridPoint> = prior.map_or_else(Vec::new, |p| p.sweep.points.clone());
+        let mut seen: Vec<Evaluated> = points
+            .iter()
+            .map(|p| Evaluated {
+                capacities: p.capacities.clone(),
+                cycles: p.cycles(),
+                energy_pj: p.energy_pj(),
+                score: config.objective.score(&p.result.assignment_cost),
+            })
+            .collect();
+        let mut waves = prior.map_or(0usize, |p| p.waves);
+        let mut speculative_evals = prior.map_or(0usize, |p| p.speculative_evals);
+        let mut search_legs = prior.map_or(0usize, |p| p.search_legs);
+        let mut seed_wins = prior.map_or(0usize, |p| p.seed_wins);
         let mut seeds = SeedCache::new();
         let mut last_committed: Option<Vec<u64>> = None;
+        if opts.mode == SearchMode::Improving {
+            for p in &points {
+                seeds.commit(&p.capacities, p.result.assignment.clone());
+            }
+            last_committed = points.last().map(|p| p.capacities.clone());
+        }
+        let start = prior.and_then(|p| p.status.next_lex()).unwrap_or(0);
+        // Committed evaluations are what the budget counts; the prior
+        // run's are already paid for.
+        let base_evaluated = stats.evaluated;
 
         // Per-candidate cost floors, memoized: a point's floor depends
         // only on its capacities, but its skip rules can run several
@@ -1237,8 +1989,9 @@ impl<'e> SweepEngine<'e> {
             floor_dominated.then_some(SkipRule::Floor)
         };
 
-        let mut next = 0usize;
-        while next < order.len() {
+        let mut next = start;
+        let mut status = SweepStatus::Complete;
+        'waves: while next < order.len() {
             // --- Wave selection: walk the lexicographic order from the
             // cursor. While the wave is empty, every earlier point has
             // been committed, so a skip decision here sees exactly the
@@ -1261,6 +2014,26 @@ impl<'e> SweepEngine<'e> {
                         next += 1;
                     }
                     None => {
+                        // The budget gates evaluations only — skips stay
+                        // free, before and after exhaustion. A stop is
+                        // *final* only on an empty wave, where the exact
+                        // committed count is known and every earlier
+                        // point is decided: the stop point is therefore
+                        // wave-invariant (pending members over-count by
+                        // at most their eventual speculative discards,
+                        // which merely pauses selection one round).
+                        if let Some(cause) =
+                            budget.stop(stats.evaluated - base_evaluated + wave.len())
+                        {
+                            if wave.is_empty() {
+                                status = SweepStatus::Stopped {
+                                    cause,
+                                    next_lex: next,
+                                };
+                                break 'waves;
+                            }
+                            break;
+                        }
                         wave.push(next);
                         next += 1;
                     }
@@ -1346,6 +2119,13 @@ impl<'e> SweepEngine<'e> {
             }
         }
 
+        // Only a stopped run needs resume state; leaving it empty on
+        // completion keeps resumed-to-complete runs `PartialEq`-equal to
+        // uninterrupted ones.
+        let checkpoint = match status {
+            SweepStatus::Complete => PruneCheckpoint::default(),
+            SweepStatus::Stopped { .. } => PruneCheckpoint { replayable },
+        };
         PrunedGridSweep {
             sweep: GridSweep {
                 layers: layers.to_vec(),
@@ -1356,6 +2136,8 @@ impl<'e> SweepEngine<'e> {
             speculative_evals,
             search_legs,
             seed_wins,
+            status,
+            checkpoint,
         }
     }
 }

@@ -56,10 +56,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The engine boundary is fallible: user-reachable paths return typed
+// [`MhlaError`]s instead of panicking. Surviving `expect`s are internal
+// invariants, each carrying an explicit `#[allow]` + justification.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod assign;
 pub mod context;
 pub mod cost;
+pub mod error;
 pub mod explore;
 pub mod multitask;
 pub mod pareto;
@@ -76,6 +82,9 @@ pub use cost::{
     ArrayContribution, CostBreakdown, CostFloor, CostModel, IncrementalCost, LayerUsage,
 };
 pub use driver::{Mhla, MhlaResult, RunStats};
+pub use error::{
+    validate_config, validate_objective, validate_platform, validate_program, MhlaError,
+};
 pub use types::{
     Assignment, AssignmentError, MhlaConfig, Objective, SearchStrategy, SelectedCopy,
     TransferPolicy,

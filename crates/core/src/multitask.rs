@@ -19,6 +19,7 @@ use mhla_hierarchy::Platform;
 use mhla_ir::Program;
 
 use crate::driver::{Mhla, MhlaResult};
+use crate::error::{self, MhlaError};
 use crate::types::{MhlaConfig, Objective};
 
 /// Result of a multi-task partitioning run.
@@ -65,15 +66,56 @@ pub fn partition_scratchpad(
     config: &MhlaConfig,
     granularity: u64,
 ) -> MultiTaskResult {
-    assert!(!tasks.is_empty(), "need at least one task");
-    assert!(granularity > 0, "granularity must be positive");
+    match try_partition_scratchpad(tasks, platform, config, granularity) {
+        Ok(r) => r,
+        Err(e) => panic!("partition_scratchpad: {e}"),
+    }
+}
+
+/// Fallible [`partition_scratchpad`]: validates every task program, the
+/// platform and the configuration up front and reports unusable inputs
+/// as typed errors instead of panicking.
+///
+/// # Errors
+///
+/// [`MhlaError::InvalidProgram`] for a structurally broken task,
+/// [`MhlaError::InvalidOptions`] for an empty task set, a zero or
+/// oversized granularity, an unbounded scratchpad layer or a bad
+/// configuration, [`MhlaError::InvalidObjective`] for degenerate
+/// weights.
+pub fn try_partition_scratchpad(
+    tasks: &[&Program],
+    platform: &Platform,
+    config: &MhlaConfig,
+    granularity: u64,
+) -> Result<MultiTaskResult, MhlaError> {
+    if tasks.is_empty() {
+        return Err(MhlaError::InvalidOptions {
+            what: "need at least one task".into(),
+        });
+    }
+    if granularity == 0 {
+        return Err(MhlaError::InvalidOptions {
+            what: "granularity must be positive".into(),
+        });
+    }
+    error::validate_platform(platform)?;
+    for task in tasks {
+        error::validate_program(task)?;
+        error::validate_config(task, config)?;
+    }
     let layer = platform.closest();
-    let capacity = platform
-        .layer(layer)
-        .capacity
-        .expect("closest layer must be bounded to partition it");
+    let Some(capacity) = platform.layer(layer).capacity else {
+        return Err(MhlaError::InvalidOptions {
+            what: "closest layer must be bounded to partition it".into(),
+        });
+    };
     let slots = (capacity / granularity) as usize;
-    assert!(slots > 0, "granularity exceeds the scratchpad capacity");
+    if slots == 0 {
+        return Err(MhlaError::InvalidOptions {
+            what: "granularity exceeds the scratchpad capacity".into(),
+        });
+    }
 
     // Evaluate each task at every candidate partition size. Index 0 means
     // "no on-chip partition" (modelled as a 1-byte scratchpad, which fits
@@ -135,10 +177,10 @@ pub fn partition_scratchpad(
         results.push(evaluated[t][s].1.clone());
     }
     results.reverse();
-    MultiTaskResult {
+    Ok(MultiTaskResult {
         partitions,
         results,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@
 
 use proptest::prelude::*;
 
-use crate::{AffineExpr, ElemType, Program, ProgramBuilder};
+use crate::ids::{LoopId, NodeId, StmtId};
+use crate::program::{Access, AccessKind, ArrayDecl, Statement};
+use crate::{AffineExpr, ArrayId, ElemType, Program, ProgramBuilder};
 
 /// Maximum loop-nest depth of a generated program (and the length of
 /// [`AccessSpec::coeffs`]).
@@ -187,6 +189,111 @@ pub fn programs() -> impl Strategy<Value = Program> {
     program_specs().prop_map(|spec| spec.build())
 }
 
+/// A structural corruption applicable to any generated program.
+///
+/// Each variant produces a program that *always* fails
+/// [`Program::validate`] (the engine's no-panic property tests assert
+/// every `try_` entry point rejects it with a typed error instead of
+/// crashing). `Program`'s arenas are crate-private by design — this is
+/// the only supported way to materialize invalid programs, and it exists
+/// solely for testing the fallible boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Corruption {
+    /// A root references a statement id past the arena
+    /// (`ValidateError::DanglingId`).
+    DanglingRootStmt,
+    /// The first root appears twice (`ValidateError::SharedNode`).
+    DuplicatedRoot,
+    /// A statement exists in the arena but not in the tree
+    /// (`ValidateError::UnreachableNode`).
+    OrphanStmt,
+    /// A new root statement uses the innermost iterator from outside its
+    /// loop (`ValidateError::IteratorOutOfScope`).
+    RogueIterator,
+    /// The first access gains an extra subscript
+    /// (`ValidateError::RankMismatch` — generated arrays have rank 1).
+    ExtraSubscript,
+    /// The first loop's step becomes zero (`ValidateError::BadLoopStep`).
+    ZeroStep,
+    /// A second array reuses the first array's name
+    /// (`ValidateError::DuplicateArrayName`).
+    DuplicateArrayName,
+}
+
+impl Corruption {
+    /// Every corruption, for exhaustive sweeps and `prop_oneof` draws.
+    pub const ALL: [Corruption; 7] = [
+        Corruption::DanglingRootStmt,
+        Corruption::DuplicatedRoot,
+        Corruption::OrphanStmt,
+        Corruption::RogueIterator,
+        Corruption::ExtraSubscript,
+        Corruption::ZeroStep,
+        Corruption::DuplicateArrayName,
+    ];
+
+    /// Returns a corrupted copy of `p`. The input must be a generated
+    /// program (≥ 1 loop, ≥ 1 statement with ≥ 1 access, rank-1 arrays —
+    /// everything [`programs`] guarantees); the output fails
+    /// [`Program::validate`].
+    pub fn apply(self, p: &Program) -> Program {
+        let mut p = p.clone();
+        match self {
+            Corruption::DanglingRootStmt => {
+                p.roots
+                    .push(NodeId::Stmt(StmtId::from_index(p.stmts.len())));
+            }
+            Corruption::DuplicatedRoot => {
+                p.roots.push(p.roots[0]);
+            }
+            Corruption::OrphanStmt => {
+                p.stmts.push(Statement {
+                    name: "orphan".into(),
+                    accesses: vec![],
+                    compute_cycles: 1,
+                });
+            }
+            Corruption::RogueIterator => {
+                p.stmts.push(Statement {
+                    name: "rogue".into(),
+                    accesses: vec![Access {
+                        array: ArrayId::from_index(0),
+                        kind: AccessKind::Read,
+                        index: vec![AffineExpr::var(LoopId::from_index(0))],
+                    }],
+                    compute_cycles: 1,
+                });
+                p.roots
+                    .push(NodeId::Stmt(StmtId::from_index(p.stmts.len() - 1)));
+            }
+            Corruption::ExtraSubscript => {
+                p.stmts[0].accesses[0]
+                    .index
+                    .push(AffineExpr::constant_expr(0));
+            }
+            Corruption::ZeroStep => {
+                p.loops[0].step = 0;
+            }
+            Corruption::DuplicateArrayName => {
+                let name = p.arrays[0].name.clone();
+                p.arrays.push(ArrayDecl {
+                    name,
+                    dims: vec![1],
+                    elem: ElemType::U8,
+                });
+            }
+        }
+        p
+    }
+}
+
+/// Strategy over (valid program, corruption) pairs — the raw material of
+/// the no-panic suite.
+pub fn corrupted_programs() -> impl Strategy<Value = (Program, Corruption)> {
+    (programs(), 0u8..Corruption::ALL.len() as u8)
+        .prop_map(|(p, i)| (p, Corruption::ALL[i as usize]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +310,17 @@ mod tests {
             prop_assert!(p.loop_count() >= 1 && p.loop_count() <= MAX_DEPTH);
             prop_assert!(p.array_count() >= 1 && p.array_count() <= 3);
             prop_assert!(p.stmt_count() <= 4);
+        }
+
+        /// Every corruption turns every generated program invalid — the
+        /// precondition the engine's no-panic suite builds on.
+        #[test]
+        fn every_corruption_invalidates(spec in program_specs()) {
+            let p = spec.build();
+            for c in Corruption::ALL {
+                let bad = c.apply(&p);
+                prop_assert!(bad.validate().is_err(), "{c:?} left the program valid");
+            }
         }
     }
 }

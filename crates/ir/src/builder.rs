@@ -151,6 +151,27 @@ impl ProgramBuilder {
     /// [`Program::validate`] — both indicate construction bugs in the
     /// caller, not runtime conditions.
     pub fn finish(self) -> Program {
+        match self.try_finish() {
+            Ok(program) => program,
+            Err(e) => panic!("builder produced invalid program: {e}"),
+        }
+    }
+
+    /// Fallible [`finish`](Self::finish): returns the validation failure
+    /// as a typed [`ValidateError`](crate::ValidateError) instead of panicking — for builders
+    /// driven by external input (parsers, generators) where a malformed
+    /// program is a data condition, not a bug.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ValidateError`](crate::ValidateError) of [`Program::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Still panics on unclosed loops: an unbalanced
+    /// [`begin_loop`](Self::begin_loop)/[`end_loop`](Self::end_loop)
+    /// sequence is a construction bug in the calling code.
+    pub fn try_finish(self) -> Result<Program, crate::ValidateError> {
         assert!(
             self.open.is_empty(),
             "finish() with {} unclosed loop(s)",
@@ -163,10 +184,8 @@ impl ProgramBuilder {
             stmts: self.stmts,
             roots: self.roots,
         };
-        if let Err(e) = program.validate() {
-            panic!("builder produced invalid program: {e}");
-        }
-        program
+        program.validate()?;
+        Ok(program)
     }
 
     fn attach(&mut self, node: NodeId) {

@@ -94,7 +94,7 @@ fn grid_options_do_not_change_results() {
                     chunk,
                     ..SweepOptions::default()
                 };
-                let g = sweep_grid_with(&app.program, &platform, &axes, &config, opts);
+                let g = sweep_grid_with(&app.program, &platform, &axes, &config, opts.clone());
                 assert_eq!(g.points.len(), reference.points.len());
                 for (a, b) in g.points.iter().zip(&reference.points) {
                     assert_eq!(a.result, b.result, "{opts:?}");

@@ -1,0 +1,352 @@
+//! The fallible boundary's two contracts, checked on randomized inputs:
+//!
+//! 1. **No panic on corrupted programs.** Arbitrary valid programs from
+//!    `mhla_ir::arbitrary` are structurally corrupted (dangling ids, rank
+//!    mismatches, shared/orphaned nodes, rogue iterators, zero steps,
+//!    duplicate array names — `Corruption::ALL`) and fed to every `try_`
+//!    entry point. Each must return `Err(MhlaError::InvalidProgram(_))`;
+//!    none may panic (`catch_unwind` guards every call).
+//!
+//! 2. **Certified partial frontiers under budgets.** An interrupted sweep
+//!    (`ExploreBudget::max_evals`, a preset cancel flag, or an expired
+//!    deadline) stops at a fully-committed lexicographic prefix: its
+//!    points are bit-identical to the unbudgeted run's prefix, its Pareto
+//!    accessors select exactly the frontier of that prefix, and resuming
+//!    from the partial result reproduces the full, unbudgeted sweep.
+//!
+//! CI runs this suite in release mode (the `no_panic` leg); locally the
+//! deterministic per-test-name seed applies.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mhla::core::explore::{
+    try_sweep_grid_pruned_resume, try_sweep_grid_pruned_with, try_sweep_grid_resume,
+    try_sweep_grid_run, try_sweep_with, ExploreBudget, GridAxis, GridSweep, PruneOptions,
+    SearchMode, StopCause, SweepOptions, SweepStatus,
+};
+use mhla::core::multitask::try_partition_scratchpad;
+use mhla::core::{Mhla, MhlaConfig, MhlaError};
+use mhla::hierarchy::{LayerId, Platform};
+use mhla::ir::arbitrary::{corrupted_programs, program_specs};
+use proptest::prelude::*;
+
+/// A small two-axis grid (6 points) whose capacities straddle the
+/// generated programs' footprints, so budgets genuinely cut sweeps short
+/// at interesting places.
+fn small_axes() -> Vec<GridAxis> {
+    vec![
+        GridAxis::new(LayerId(1), vec![128u64, 256, 1024]),
+        GridAxis::new(LayerId(2), vec![64u64, 128]),
+    ]
+}
+
+/// Runs one fallible entry point under `catch_unwind` and requires a
+/// typed `InvalidProgram` rejection — any panic or acceptance fails the
+/// case.
+fn expect_invalid_program<T>(what: &str, f: impl FnOnce() -> Result<T, MhlaError>) {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Err(_) => panic!("{what} panicked on a corrupted program"),
+        Ok(Ok(_)) => panic!("{what} accepted a corrupted program"),
+        Ok(Err(MhlaError::InvalidProgram(_))) => {}
+        Ok(Err(e)) => panic!("{what} rejected with the wrong class: {e}"),
+    }
+}
+
+/// The capacity vectors of a Pareto surface, for comparing frontiers
+/// across sweeps whose point indices differ.
+fn front_caps(sweep: &GridSweep, front: &[usize]) -> Vec<Vec<u64>> {
+    front
+        .iter()
+        .map(|&i| sweep.points[i].capacities.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Contract 1: every `try_` entry point rejects every corruption of
+    /// every generated program with `InvalidProgram` — and never panics.
+    #[test]
+    fn corrupted_programs_are_rejected_not_panicked(
+        (program, corruption) in corrupted_programs(),
+    ) {
+        let bad = corruption.apply(&program);
+        let config = MhlaConfig::default();
+        let flat = Platform::embedded_default(1024);
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+
+        expect_invalid_program("Mhla::try_new", || {
+            Mhla::try_new(&bad, &flat, config.clone())
+        });
+        expect_invalid_program("try_sweep_with", || {
+            try_sweep_with(
+                &bad,
+                &flat,
+                LayerId(1),
+                &[256, 512],
+                &config,
+                &SweepOptions::default(),
+            )
+        });
+        expect_invalid_program("try_sweep_grid_run (cold)", || {
+            try_sweep_grid_run(&bad, &platform, &axes, &config, &SweepOptions::default())
+        });
+        expect_invalid_program("try_sweep_grid_run (improving)", || {
+            try_sweep_grid_run(
+                &bad,
+                &platform,
+                &axes,
+                &config,
+                &SweepOptions {
+                    mode: SearchMode::Improving,
+                    ..SweepOptions::default()
+                },
+            )
+        });
+        expect_invalid_program("try_sweep_grid_pruned_with", || {
+            try_sweep_grid_pruned_with(&bad, &platform, &axes, &config, &PruneOptions::default())
+        });
+        expect_invalid_program("try_partition_scratchpad", || {
+            try_partition_scratchpad(&[&bad], &flat, &config, 256)
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Contract 2, cold mode: a `max_evals` budget commits exactly the
+    /// first `k` lex points, bit-identical to the unbudgeted run's
+    /// prefix; the partial frontier is the frontier of that prefix; and
+    /// resuming reproduces the full sweep.
+    #[test]
+    fn cold_budget_stops_on_certified_prefix_and_resumes(
+        spec in program_specs(),
+        k in 1u8..=5,
+    ) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        let config = MhlaConfig::default();
+        let opts = SweepOptions::default();
+        let k = k as usize;
+
+        let full = try_sweep_grid_run(&program, &platform, &axes, &config, &opts).unwrap();
+        prop_assert!(full.status.is_complete());
+
+        let budgeted = SweepOptions {
+            budget: ExploreBudget::max_evals(k),
+            ..opts.clone()
+        };
+        let partial =
+            try_sweep_grid_run(&program, &platform, &axes, &config, &budgeted).unwrap();
+        prop_assert_eq!(
+            partial.status,
+            SweepStatus::Stopped { cause: StopCause::MaxEvals, next_lex: k },
+            "6-point grid, budget {} must stop exactly there", k
+        );
+        prop_assert_eq!(&partial.sweep.points[..], &full.sweep.points[..k]);
+        // The certified partial frontier IS the frontier of the prefix.
+        let prefix = GridSweep {
+            layers: full.sweep.layers.clone(),
+            points: full.sweep.points[..k].to_vec(),
+        };
+        prop_assert_eq!(partial.sweep.pareto_cycles(), prefix.pareto_cycles());
+        prop_assert_eq!(partial.sweep.pareto_energy(), prefix.pareto_energy());
+
+        let resumed =
+            try_sweep_grid_resume(&program, &platform, &axes, &config, &opts, &partial).unwrap();
+        prop_assert!(resumed.status.is_complete());
+        prop_assert_eq!(&resumed.sweep, &full.sweep);
+    }
+
+    /// Contract 2, improving mode (strictly sequential): the budgeted
+    /// prefix and the resume are bit-identical to the full run including
+    /// the leg/winner bookkeeping.
+    #[test]
+    fn improving_budget_resume_is_bit_identical(
+        spec in program_specs(),
+        k in 1u8..=5,
+    ) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        let config = MhlaConfig::default();
+        let opts = SweepOptions {
+            mode: SearchMode::Improving,
+            ..SweepOptions::default()
+        };
+        let k = k as usize;
+
+        let full = try_sweep_grid_run(&program, &platform, &axes, &config, &opts).unwrap();
+        let budgeted = SweepOptions {
+            budget: ExploreBudget::max_evals(k),
+            ..opts.clone()
+        };
+        let partial =
+            try_sweep_grid_run(&program, &platform, &axes, &config, &budgeted).unwrap();
+        prop_assert_eq!(partial.status.next_lex(), Some(k));
+        prop_assert_eq!(&partial.sweep.points[..], &full.sweep.points[..k]);
+
+        let resumed =
+            try_sweep_grid_resume(&program, &platform, &axes, &config, &opts, &partial).unwrap();
+        prop_assert_eq!(&resumed, &full, "improving resume must be bit-identical");
+    }
+
+    /// Contract 2, pruned sweep: the budgeted run stops on a fully
+    /// *decided* prefix — its evaluated points match the exhaustive
+    /// sweep's results, its frontiers are exactly the exhaustive
+    /// frontiers of that prefix (the skip rules lose nothing), and the
+    /// resume reproduces the uninterrupted pruned run.
+    #[test]
+    fn pruned_budget_frontier_is_certified_and_resumes(
+        spec in program_specs(),
+        k in 1u8..=5,
+    ) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        let config = MhlaConfig::default();
+        let opts = PruneOptions::default();
+        let k = k as usize;
+
+        let full =
+            try_sweep_grid_pruned_with(&program, &platform, &axes, &config, &opts).unwrap();
+        let budgeted = PruneOptions {
+            budget: ExploreBudget::max_evals(k),
+            ..opts.clone()
+        };
+        let partial =
+            try_sweep_grid_pruned_with(&program, &platform, &axes, &config, &budgeted).unwrap();
+        prop_assert!(partial.stats.evaluated <= k);
+
+        if let SweepStatus::Stopped { next_lex, .. } = partial.status {
+            // The exhaustive (unpruned, cold) grid is the certificate
+            // oracle: its lex prefix of the decided points must have the
+            // same Pareto surfaces as the pruned partial result.
+            let exhaustive =
+                try_sweep_grid_run(&program, &platform, &axes, &config, &SweepOptions::default())
+                    .unwrap();
+            let prefix = GridSweep {
+                layers: exhaustive.sweep.layers.clone(),
+                points: exhaustive.sweep.points[..next_lex].to_vec(),
+            };
+            prop_assert_eq!(
+                front_caps(&partial.sweep, &partial.sweep.pareto_cycles()),
+                front_caps(&prefix, &prefix.pareto_cycles()),
+                "partial cycle frontier must certify the decided prefix"
+            );
+            prop_assert_eq!(
+                front_caps(&partial.sweep, &partial.sweep.pareto_energy()),
+                front_caps(&prefix, &prefix.pareto_energy()),
+                "partial energy frontier must certify the decided prefix"
+            );
+            // Every evaluated point is standalone-identical.
+            for p in &partial.sweep.points {
+                let oracle = prefix
+                    .points
+                    .iter()
+                    .find(|o| o.capacities == p.capacities)
+                    .expect("evaluated point inside the decided prefix");
+                prop_assert_eq!(&p.result, &oracle.result);
+            }
+        } else {
+            // A tiny budget can still complete the grid when the tail is
+            // all skips; then the result must equal the full run.
+            prop_assert_eq!(&partial.sweep, &full.sweep);
+        }
+
+        let resumed = try_sweep_grid_pruned_resume(
+            &program, &platform, &axes, &config, &opts, &partial,
+        )
+        .unwrap();
+        prop_assert!(resumed.status.is_complete());
+        prop_assert_eq!(&resumed.sweep, &full.sweep);
+        prop_assert_eq!(resumed.stats, full.stats);
+    }
+
+    /// A cancel flag raised before the run and an already-expired
+    /// deadline both stop every scheduler at lex index 0 with zero
+    /// points, reporting the right cause — and the stopped result
+    /// resumes to the full sweep.
+    #[test]
+    fn preset_cancel_and_expired_deadline_stop_cleanly(spec in program_specs()) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        let config = MhlaConfig::default();
+
+        let cancelled = ExploreBudget {
+            cancel: Some(Arc::new(AtomicBool::new(true))),
+            ..ExploreBudget::default()
+        };
+        let expired = ExploreBudget {
+            deadline: Some(Instant::now()),
+            ..ExploreBudget::default()
+        };
+        for (budget, cause) in [
+            (cancelled, StopCause::Cancelled),
+            (expired, StopCause::Deadline),
+        ] {
+            let run = try_sweep_grid_run(
+                &program,
+                &platform,
+                &axes,
+                &config,
+                &SweepOptions { budget: budget.clone(), ..SweepOptions::default() },
+            )
+            .unwrap();
+            prop_assert_eq!(run.status, SweepStatus::Stopped { cause, next_lex: 0 });
+            prop_assert!(run.sweep.points.is_empty());
+
+            let pruned = try_sweep_grid_pruned_with(
+                &program,
+                &platform,
+                &axes,
+                &config,
+                &PruneOptions { budget: budget.clone(), ..PruneOptions::default() },
+            )
+            .unwrap();
+            prop_assert_eq!(pruned.status, SweepStatus::Stopped { cause, next_lex: 0 });
+            prop_assert!(pruned.sweep.points.is_empty());
+
+            // require_complete surfaces the stop as a typed error.
+            let err = run.require_complete().unwrap_err();
+            match cause {
+                StopCause::Cancelled => {
+                    prop_assert!(matches!(err, MhlaError::Cancelled { .. }), "{err}")
+                }
+                _ => prop_assert!(
+                    matches!(err, MhlaError::BudgetExhausted { .. }),
+                    "{err}"
+                ),
+            }
+        }
+
+        // Resuming a run stopped before its first point replays the whole
+        // grid.
+        let opts = SweepOptions::default();
+        let stopped = try_sweep_grid_run(
+            &program,
+            &platform,
+            &axes,
+            &config,
+            &SweepOptions {
+                budget: ExploreBudget {
+                    cancel: Some(Arc::new(AtomicBool::new(true))),
+                    ..ExploreBudget::default()
+                },
+                ..opts.clone()
+            },
+        )
+        .unwrap();
+        let resumed =
+            try_sweep_grid_resume(&program, &platform, &axes, &config, &opts, &stopped).unwrap();
+        let full = try_sweep_grid_run(&program, &platform, &axes, &config, &opts).unwrap();
+        prop_assert_eq!(&resumed.sweep, &full.sweep);
+    }
+}

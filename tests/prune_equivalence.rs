@@ -113,7 +113,7 @@ fn suite_under(config: &MhlaConfig, opts: PruneOptions) -> (usize, usize) {
             &Platform::four_level_default(),
             &axes,
             config,
-            opts,
+            opts.clone(),
         );
         assert_lossless(app.name(), &full, &pruned);
         suite_candidates += pruned.stats.candidates;
@@ -231,7 +231,7 @@ fn parallel_and_sequential_wave_modes_are_identical() {
                     &Platform::four_level_default(),
                     &axes,
                     &config,
-                    opts,
+                    opts.clone(),
                 );
                 assert_eq!(
                     sequential.stats,

@@ -67,7 +67,14 @@ fn sweep_options_do_not_change_results() {
                     chunk,
                     ..SweepOptions::default()
                 };
-                let s = sweep_with(&app.program, &platform, LayerId(1), &caps, &config, opts);
+                let s = sweep_with(
+                    &app.program,
+                    &platform,
+                    LayerId(1),
+                    &caps,
+                    &config,
+                    opts.clone(),
+                );
                 assert_eq!(s.points.len(), reference.points.len());
                 for (a, b) in s.points.iter().zip(&reference.points) {
                     assert_eq!(a.cycles(), b.cycles(), "{opts:?}");
