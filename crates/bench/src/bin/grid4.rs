@@ -24,7 +24,8 @@ use std::process::ExitCode;
 
 use mhla_bench::{
     default_grid4_axes, grid4_perf_json, measure_grid4_improving, measure_grid4_perf,
-    measure_grid4_perf_with, sweep_options_from_env, write_results, Grid4Perf, ImprovingGrid4Perf,
+    measure_grid4_perf_with, measure_grid4_refine, sweep_options_from_env, write_results,
+    Grid4Perf, Grid4Refine, ImprovingGrid4Perf,
 };
 use mhla_core::explore::{
     sweep_grid_pruned_with, try_sweep_grid_pruned_resume, try_sweep_grid_pruned_with, PruneOptions,
@@ -131,6 +132,54 @@ fn print_improving_table(title: &str, perfs: &[ImprovingGrid4Perf]) -> bool {
     all_dominate
 }
 
+/// Prints the adaptive-refinement table — the `evals /
+/// virtual_lattice_points` ratio per app plus the frontier-equivalence
+/// verdict — and returns whether every app's verdict is PASS.
+fn print_refine_table(title: &str, perfs: &[Grid4Refine]) -> bool {
+    println!("{title}");
+    println!(
+        "{:<18} {:>10} {:>8} {:>7} {:>7} {:>9} {:>6} {:>10} {:>10}",
+        "application",
+        "virtual",
+        "evals",
+        "ratio",
+        "closed",
+        "certified",
+        "waves",
+        "time [ms]",
+        "frontier"
+    );
+    for p in perfs {
+        println!(
+            "{:<18} {:>10} {:>8} {:>6.2}% {:>7} {:>9} {:>6} {:>10.1} {:>10}",
+            p.app,
+            p.stats.virtual_points,
+            p.stats.evaluated,
+            100.0 * p.stats.eval_ratio(),
+            p.stats.cells_closed_mask + p.stats.cells_closed_floor,
+            p.stats.corners_certified,
+            p.waves,
+            p.refined_seconds * 1e3,
+            if p.frontier_consistent {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+        );
+    }
+    let virtual_points: u64 = perfs.iter().map(|p| p.stats.virtual_points).sum();
+    let evaluated: usize = perfs.iter().map(|p| p.stats.evaluated).sum();
+    let all_pass = perfs.iter().all(|p| p.frontier_consistent);
+    println!(
+        "suite: {evaluated} evals / {virtual_points} virtual lattice points \
+         ({:.2}%), frontier equivalence: {}",
+        100.0 * evaluated as f64 / virtual_points.max(1) as f64,
+        if all_pass { "PASS" } else { "FAIL" },
+    );
+    println!();
+    all_pass
+}
+
 /// The budget-interrupt smoke: one app's pruned sweep under the
 /// environment's evaluation budget. Prints the completion status, then
 /// resumes the interrupted run and checks it point-for-point against the
@@ -143,11 +192,7 @@ fn budget_smoke(opts: &SweepOptions) -> Result<(), MhlaError> {
     let axes = default_grid4_axes();
     let config = MhlaConfig::default();
 
-    let budgeted = PruneOptions {
-        parallel: opts.parallel,
-        budget: opts.budget.clone(),
-        ..PruneOptions::default()
-    };
+    let budgeted = PruneOptions::with_parallel(opts.parallel).budget(opts.budget.clone());
     let partial = try_sweep_grid_pruned_with(&app.program, &platform, &axes, &config, &budgeted)?;
     match partial.status {
         SweepStatus::Complete => println!(
@@ -166,10 +211,7 @@ fn budget_smoke(opts: &SweepOptions) -> Result<(), MhlaError> {
         ),
     }
 
-    let unlimited = PruneOptions {
-        parallel: opts.parallel,
-        ..PruneOptions::default()
-    };
+    let unlimited = PruneOptions::with_parallel(opts.parallel);
     let resumed = try_sweep_grid_pruned_resume(
         &app.program,
         &platform,
@@ -255,6 +297,19 @@ fn run() -> Result<(), MhlaError> {
         std::process::exit(1);
     }
 
+    // The adaptive refinement: the certified virtual fine lattice, the
+    // fraction searched, and the frontier-equivalence verdict. A FAIL is
+    // a lost certificate — the CI smoke leg exits nonzero on it.
+    let refine = measure_grid4_refine(&MhlaConfig::default());
+    let refine_ok = print_refine_table(
+        "L1xL2xL3 adaptive refinement: certified virtual fine lattice vs evals",
+        &refine,
+    );
+    if !refine_ok {
+        eprintln!("error: refinement frontier-equivalence check failed");
+        std::process::exit(1);
+    }
+
     // The joint three-axis frontier of one representative app.
     let app = mhla_apps::hierarchical_me::app();
     let grid = sweep_grid_pruned_with(
@@ -262,10 +317,7 @@ fn run() -> Result<(), MhlaError> {
         &Platform::four_level_default(),
         &default_grid4_axes(),
         &MhlaConfig::default(),
-        PruneOptions {
-            parallel,
-            ..PruneOptions::default()
-        },
+        PruneOptions::with_parallel(parallel),
     );
     println!(
         "{}: L1xL2xL3 Pareto frontier (C = cycles front, E = energy front)",
@@ -277,7 +329,13 @@ fn run() -> Result<(), MhlaError> {
         &report::grid_csv(&grid.sweep),
     );
 
-    let json = grid4_perf_json(&cycles, &energy, &cycles_improving, &energy_improving);
+    let json = grid4_perf_json(
+        &cycles,
+        &energy,
+        &cycles_improving,
+        &energy_improving,
+        &refine,
+    );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_grid4.json");

@@ -656,6 +656,107 @@ pub fn measure_grid4_perf_with(repeats: usize, config: &mhla_core::MhlaConfig) -
         .collect()
 }
 
+/// Adaptive-refinement bookkeeping for one application's four-level
+/// grid: the virtual fine lattice certified by
+/// [`mhla_core::explore::sweep_grid_refined_with`] over
+/// [`default_grid4_axes`], the fraction of it actually searched, and the
+/// frontier-equivalence verdict against the coarse sweep (the refined
+/// frontier must dominate-or-equal the coarse one — it covers a superset
+/// of the coarse lattice).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Grid4Refine {
+    /// Application name.
+    pub app: String,
+    /// The refinement's own bookkeeping (virtual lattice size, evals,
+    /// certificate ledger).
+    pub stats: mhla_core::explore::RefineStats,
+    /// Refinement waves run.
+    pub waves: usize,
+    /// Whether every coarse-lattice point of the refined sweep is
+    /// bit-identical to the pruned coarse sweep's point there, and the
+    /// refined frontiers contain every coarse frontier point or a
+    /// dominator of it.
+    pub frontier_consistent: bool,
+    /// Wall time of the refined sweep, seconds.
+    pub refined_seconds: f64,
+}
+
+/// Measures the adaptive refinement over [`sweep_suite`] at the default
+/// depth ([`mhla_core::explore::REFINE_DEPTH`]) under the given config,
+/// checking per-app frontier consistency against the pruned coarse
+/// sweep.
+pub fn measure_grid4_refine(config: &mhla_core::MhlaConfig) -> Vec<Grid4Refine> {
+    use mhla_core::explore::{
+        sweep_grid_pruned_with, sweep_grid_refined_with, PruneOptions, RefineOptions,
+    };
+    use mhla_core::pareto;
+
+    let axes = default_grid4_axes();
+    let platform = Platform::four_level_default();
+    sweep_suite()
+        .iter()
+        .map(|app| {
+            let t = std::time::Instant::now();
+            let refined = sweep_grid_refined_with(
+                &app.program,
+                &platform,
+                &axes,
+                config,
+                RefineOptions::default(),
+            );
+            let refined_seconds = t.elapsed().as_secs_f64();
+            let coarse = sweep_grid_pruned_with(
+                &app.program,
+                &platform,
+                &axes,
+                config,
+                PruneOptions::default(),
+            );
+            // Every committed coarse point must reappear bit-identically
+            // in the refined sweep (same cold semantics, superset
+            // lattice), and the refined frontiers must dominate-or-equal
+            // the coarse ones on both surfaces.
+            let points_ok = coarse.sweep.points.iter().all(|cp| {
+                refined
+                    .sweep
+                    .points
+                    .iter()
+                    .find(|rp| rp.capacities == cp.capacities)
+                    .is_none_or(|rp| rp.result == cp.result)
+            });
+            let surface =
+                |g: &mhla_core::explore::GridSweep, idx: &[usize], energy: bool| -> Vec<Vec<f64>> {
+                    idx.iter()
+                        .map(|&i| {
+                            let p = &g.points[i];
+                            let mut c: Vec<f64> = p.capacities.iter().map(|&c| c as f64).collect();
+                            c.push(if energy {
+                                p.energy_pj()
+                            } else {
+                                p.cycles() as f64
+                            });
+                            c
+                        })
+                        .collect()
+                };
+            let fronts_ok = pareto::front_dominates(
+                &surface(&refined.sweep, &refined.sweep.pareto_cycles(), false),
+                &surface(&coarse.sweep, &coarse.sweep.pareto_cycles(), false),
+            ) && pareto::front_dominates(
+                &surface(&refined.sweep, &refined.sweep.pareto_energy(), true),
+                &surface(&coarse.sweep, &coarse.sweep.pareto_energy(), true),
+            );
+            Grid4Refine {
+                app: app.name().to_string(),
+                stats: refined.stats,
+                waves: refined.waves,
+                frontier_consistent: refined.status.is_complete() && points_ok && fronts_ok,
+                refined_seconds,
+            }
+        })
+        .collect()
+}
+
 /// Improving-vs-cold comparison for one application's four-level grid:
 /// the mode-tagged eval counts and frontier deltas of
 /// [`SearchMode`](mhla_core::explore::SearchMode) — `Cold` (the frozen
@@ -846,6 +947,48 @@ fn grid4_improving_json(perfs: &[ImprovingGrid4Perf], indent: &str) -> String {
     out
 }
 
+/// Renders the [`Grid4Refine`] rows as a JSON object (apps + suite
+/// totals), used by [`grid4_perf_json`]'s top-level `refine` section.
+fn grid4_refine_json(perfs: &[Grid4Refine], indent: &str) -> String {
+    let virtual_points: u64 = perfs.iter().map(|p| p.stats.virtual_points).sum();
+    let evaluated: usize = perfs.iter().map(|p| p.stats.evaluated).sum();
+    let certified: usize = perfs.iter().map(|p| p.stats.corners_certified).sum();
+    let seconds: f64 = perfs.iter().map(|p| p.refined_seconds).sum();
+    let all_consistent = perfs.iter().all(|p| p.frontier_consistent);
+    let mut out = format!("{{\n{indent}  \"apps\": [\n");
+    for (i, p) in perfs.iter().enumerate() {
+        out.push_str(&format!(
+            "{indent}    {{\"name\": \"{}\", \"virtual_points\": {}, \"evaluated\": {}, \
+             \"eval_ratio\": {:.4}, \"coarse_points\": {}, \"cells_opened\": {}, \
+             \"cells_closed_mask\": {}, \"cells_closed_floor\": {}, \"cells_leaf\": {}, \
+             \"corners_certified\": {}, \"waves\": {}, \"frontier_consistent\": {}, \
+             \"refined_seconds\": {:.6}}}{}\n",
+            p.app,
+            p.stats.virtual_points,
+            p.stats.evaluated,
+            p.stats.eval_ratio(),
+            p.stats.coarse_points,
+            p.stats.cells_opened,
+            p.stats.cells_closed_mask,
+            p.stats.cells_closed_floor,
+            p.stats.cells_leaf,
+            p.stats.corners_certified,
+            p.waves,
+            p.frontier_consistent,
+            p.refined_seconds,
+            if i + 1 < perfs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "{indent}  ],\n{indent}  \"suite\": {{\"virtual_points\": {virtual_points}, \
+         \"evaluated\": {evaluated}, \"eval_ratio\": {:.4}, \
+         \"corners_certified\": {certified}, \"refined_seconds\": {seconds:.6}, \
+         \"all_consistent\": {all_consistent}}}\n{indent}}}",
+        evaluated as f64 / (virtual_points.max(1)) as f64,
+    ));
+    out
+}
+
 /// Renders one objective's [`Grid4Perf`] rows as a JSON object (apps +
 /// suite totals), used by [`grid4_perf_json`] per objective section.
 fn grid4_objective_json(perfs: &[Grid4Perf], indent: &str) -> String {
@@ -904,24 +1047,29 @@ fn grid4_objective_json(perfs: &[Grid4Perf], indent: &str) -> String {
 }
 
 /// Renders the cycles- and energy-objective [`Grid4Perf`] rows plus the
-/// per-objective [`ImprovingGrid4Perf`] mode comparison as the
-/// `BENCH_grid4.json` document tracked at the workspace root. Each
-/// objective section carries the pruned-vs-exhaustive data under `pruned`
-/// and the mode-tagged eval counts / frontier deltas under `improving`.
+/// per-objective [`ImprovingGrid4Perf`] mode comparison and the
+/// [`Grid4Refine`] adaptive-refinement rows as the `BENCH_grid4.json`
+/// document tracked at the workspace root. Each objective section
+/// carries the pruned-vs-exhaustive data under `pruned` and the
+/// mode-tagged eval counts / frontier deltas under `improving`; the
+/// top-level `refine` section holds the virtual-lattice bookkeeping.
 pub fn grid4_perf_json(
     cycles: &[Grid4Perf],
     energy: &[Grid4Perf],
     cycles_improving: &[ImprovingGrid4Perf],
     energy_improving: &[ImprovingGrid4Perf],
+    refine: &[Grid4Refine],
 ) -> String {
     format!(
         "{{\n  \"bench\": \"grid_sweep_l1_l2_l3_pruned\",\n  \"objectives\": {{\n    \
          \"cycles\": {{\n      \"pruned\": {},\n      \"improving\": {}\n    }},\n    \
-         \"energy\": {{\n      \"pruned\": {},\n      \"improving\": {}\n    }}\n  }}\n}}\n",
+         \"energy\": {{\n      \"pruned\": {},\n      \"improving\": {}\n    }}\n  }},\n  \
+         \"refine\": {}\n}}\n",
         grid4_objective_json(cycles, "      "),
         grid4_improving_json(cycles_improving, "      "),
         grid4_objective_json(energy, "      "),
         grid4_improving_json(energy_improving, "      "),
+        grid4_refine_json(refine, "  "),
     )
 }
 

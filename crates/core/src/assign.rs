@@ -218,6 +218,14 @@ pub(crate) struct SearchTrace {
     /// per-layer allowances). `INFINITY` where no decision is sensitive;
     /// index 0 (the never-resized off-chip layer) is always `INFINITY`.
     pub(crate) margin_rates: Vec<f64>,
+    /// Per layer: the smallest byte requirement of any failed capacity
+    /// probe that first overflowed there (`u64::MAX` where none did).
+    /// A probe's requirement is capacity-independent, so a capacity grown
+    /// to *below* this floor still rejects every one of the run's failed
+    /// probes at that layer — the bounded-growth extension of the
+    /// saturation replay argument
+    /// ([`RunStats::allows_growth_to`](crate::RunStats::allows_growth_to)).
+    pub(crate) reject_floors: Vec<u64>,
     /// Whether the margin bookkeeping runs at all. The rates are only
     /// consulted under a positive energy weight, so the cycles objective
     /// and throwaway traces (warm portfolio leg, [`greedy_from`]) skip
@@ -236,7 +244,17 @@ impl SearchTrace {
             } else {
                 vec![0.0; layer_count]
             },
+            reject_floors: vec![u64::MAX; layer_count],
             track_margins,
+        }
+    }
+
+    /// Records one failed capacity probe: its first-overflow layer and the
+    /// bytes the trial state needed there.
+    pub(crate) fn reject(&mut self, layer: LayerId, required: u64) {
+        mark_layer(&mut self.constrained_layers, layer);
+        if let Some(f) = self.reject_floors.get_mut(layer.index()) {
+            *f = (*f).min(required);
         }
     }
 
@@ -275,6 +293,12 @@ pub struct SearchStats {
     /// saturation rule arm under the energy and weighted objectives (see
     /// [`RunStats`](crate::RunStats) for the admission rule).
     pub cold_margin_rates: Vec<f64>,
+    /// Per layer: the smallest byte requirement among the cold search's
+    /// failed capacity probes that first overflowed there (`u64::MAX`
+    /// where none did). A constrained layer grown to a capacity still
+    /// *below* its floor rejects the same probes, so the cold trajectory
+    /// replays — see [`RunStats::allows_growth_to`](crate::RunStats::allows_growth_to).
+    pub cold_reject_floors: Vec<u64>,
     /// Which external warm seed's leg won the portfolio: `Some(k)` when
     /// the leg started from `seeds[k]` strictly beat the cold result and
     /// replaced it (can happen on deep hierarchies; the pruned grid sweep
@@ -407,6 +431,7 @@ pub fn greedy_portfolio_seeded(
     let mut stats = SearchStats {
         cold_constrained_layers: trace.constrained_layers,
         cold_margin_rates: trace.margin_rates,
+        cold_reject_floors: trace.reject_floors,
         winning_seed: None,
         legs: 1,
     };
@@ -571,8 +596,8 @@ fn greedy_search(
             }
             let size = match inc.probe_required(array, &entry.residents) {
                 Ok(size) => size,
-                Err(layer) => {
-                    mark_layer(&mut trace.constrained_layers, layer);
+                Err((layer, required)) => {
+                    trace.reject(layer, required);
                     continue; // some on-chip layer overflows
                 }
             };
@@ -857,14 +882,19 @@ pub fn direct_placement(model: &CostModel<'_>, policy: TransferPolicy) -> Search
 
 /// [`direct_placement`], additionally reporting (as a bitmask by layer
 /// index) the layers whose remaining capacity *rejected* an eligible
-/// array during placement. A layer whose bit is clear never turned an
-/// array away: growing only such layers reproduces the identical
-/// placement — one leg of the pruned grid sweep's saturation argument.
+/// array during placement, plus the per-layer *rejection floors*: the
+/// smallest total requirement (bytes already placed + rejected array) of
+/// any rejection at each layer, `u64::MAX` where none occurred. A layer
+/// whose bit is clear never turned an array away: growing only such
+/// layers reproduces the identical placement — one leg of the pruned grid
+/// sweep's saturation argument; a constrained layer grown to a capacity
+/// still below its floor rejects the same arrays, so the placement also
+/// replays (the used bytes at each rejection replay by induction).
 /// Arrays that fit nowhere mark every on-chip layer.
 pub fn direct_placement_stats(
     model: &CostModel<'_>,
     policy: TransferPolicy,
-) -> (SearchOutcome, u64) {
+) -> (SearchOutcome, u64, Vec<u64>) {
     let program = model.program();
     let info = program.info();
     let mut a = Assignment::baseline(program.array_count(), policy);
@@ -887,22 +917,28 @@ pub fn direct_placement_stats(
         .collect();
     eligible.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap_or(std::cmp::Ordering::Equal));
 
-    // Fill layers closest-first by remaining capacity.
-    let mut remaining: Vec<(LayerId, u64)> = model
+    // Fill layers closest-first by remaining capacity (tracking the bytes
+    // already placed per slot for the rejection floors).
+    let mut remaining: Vec<(LayerId, u64, u64)> = model
         .platform()
         .on_chip_layers()
-        .map(|(l, layer)| (l, layer.capacity.unwrap_or(u64::MAX)))
+        .map(|(l, layer)| (l, layer.capacity.unwrap_or(u64::MAX), 0u64))
         .collect();
     remaining.reverse(); // closest first
     let mut constrained_layers = 0u64;
+    let mut reject_floors = vec![u64::MAX; model.platform().layer_count()];
     for (aid, bytes, _) in eligible {
         for slot in remaining.iter_mut() {
             if bytes <= slot.1 {
                 a.set_home(aid, slot.0);
                 slot.1 -= bytes;
+                slot.2 += bytes;
                 break;
             }
             mark_layer(&mut constrained_layers, slot.0);
+            if let Some(f) = reject_floors.get_mut(slot.0.index()) {
+                *f = (*f).min(slot.2.saturating_add(bytes));
+            }
         }
     }
     let cost = model.evaluate(&a);
@@ -913,6 +949,7 @@ pub fn direct_placement_stats(
             steps: 0,
         },
         constrained_layers,
+        reject_floors,
     )
 }
 

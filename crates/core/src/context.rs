@@ -277,6 +277,54 @@ impl<'p> ExplorationContext<'p> {
     pub fn cost_model<'s>(&'s self, platform: &'s Platform) -> CostModel<'s> {
         CostModel::with_facts(self.program, platform, &self.reuse, &self.facts)
     }
+
+    /// An allocation-free [`CostFloor`](crate::cost::CostFloor) evaluator
+    /// over the grid spanned by `axis_layers` of `platform`: the
+    /// capacity-invariant floor inputs (access totals, CPU overhead,
+    /// fixed-layer minima) are folded once, and
+    /// [`floor_at`](crate::cost::FloorProbe::floor_at) then prices any
+    /// capacity vector without building a [`CostModel`] or a resized
+    /// [`Platform`] — bit-identical to
+    /// [`CostModel::cost_floor`] on the resized platform.
+    pub fn floor_probe(
+        &self,
+        platform: &Platform,
+        axis_layers: &[mhla_hierarchy::LayerId],
+    ) -> crate::cost::FloorProbe {
+        crate::cost::FloorProbe::new(&self.facts, platform, axis_layers)
+    }
+}
+
+/// A memoizing wrapper over a [`FloorProbe`](crate::cost::FloorProbe) —
+/// the per-box floor store of the adaptive refinement scheduler, which
+/// probes the same box corners many times across waves (a cell's minimal
+/// corner is shared by up to `2^axes` sibling cells).
+#[derive(Debug)]
+pub struct FloorCache {
+    probe: crate::cost::FloorProbe,
+    map: std::collections::HashMap<Vec<u64>, crate::cost::CostFloor>,
+}
+
+impl FloorCache {
+    /// Wraps a probe with an empty memo table.
+    pub fn new(probe: crate::cost::FloorProbe) -> Self {
+        FloorCache {
+            probe,
+            map: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The floor at `caps`, computed once and memoized. Because the floor
+    /// is capacity-monotone, calling this at a box's minimal corner lower
+    /// bounds every point of the box.
+    pub fn floor_at(&mut self, caps: &[u64]) -> crate::cost::CostFloor {
+        if let Some(f) = self.map.get(caps) {
+            return *f;
+        }
+        let f = self.probe.floor_at(caps);
+        self.map.insert(caps.to_vec(), f);
+        f
+    }
 }
 
 /// Committed per-point assignments of an improving sweep, keyed by the
@@ -338,6 +386,31 @@ impl SeedCache {
                 out.push((axis, seed));
             }
             key[axis] = caps[axis];
+        }
+        out
+    }
+
+    /// The committed assignments among `corners` that sit componentwise
+    /// at-or-below `caps` — the refinement scheduler's per-cell seed
+    /// lookup (a child point is seeded from its generating cell's already
+    /// evaluated corners). Deduplicated, in `corners` order; corners above
+    /// `caps` on any axis are excluded (their assignments need capacity
+    /// the seeded point may not have).
+    pub fn corner_seeds<'s>(
+        &'s self,
+        corners: &[Vec<u64>],
+        caps: &[u64],
+    ) -> Vec<&'s crate::types::Assignment> {
+        let mut out: Vec<&crate::types::Assignment> = Vec::new();
+        for corner in corners {
+            if corner.len() != caps.len() || corner.iter().zip(caps).any(|(c, p)| c > p) {
+                continue;
+            }
+            if let Some(seed) = self.map.get(corner) {
+                if !out.contains(&seed) {
+                    out.push(seed);
+                }
+            }
         }
         out
     }

@@ -267,6 +267,92 @@ pub struct CostFloor {
     pub energy_pj: f64,
 }
 
+/// Allocation-free [`CostFloor`] evaluator for a grid sweep: everything
+/// capacity-*invariant* (the program's access totals, the CPU overhead,
+/// and the cost minima over the non-axis layers) is folded once at
+/// construction, so probing the floor at a grid point is a handful of
+/// arithmetic ops over the axis capacities — no [`CostModel`], no resized
+/// [`Platform`], no allocation.
+///
+/// Bit-identity: [`Platform::with_layer_capacities`] re-derives every
+/// resized layer's parameters from the same scaling laws
+/// ([`mhla_hierarchy::energy::sram_access_cycles`],
+/// [`mhla_hierarchy::energy::sram_read_pj`],
+/// [`mhla_hierarchy::energy::sram_write_pj`]) this
+/// probe applies, `min` over `u64`/finite `f64` is order-insensitive and
+/// exact, and `min_i (overhead + x_i) = overhead + min_i x_i` — so
+/// [`floor_at`](FloorProbe::floor_at) equals
+/// [`CostModel::cost_floor`] on the correspondingly resized platform,
+/// bit for bit. Requires distinct axis layers (a repeated layer would
+/// fold both trial capacities where the resized platform keeps only the
+/// last); the sweep entry points guarantee this after capacity cleaning.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FloorProbe {
+    total_compute: u64,
+    total_read_execs: u64,
+    total_write_execs: u64,
+    overhead: u64,
+    base_access: u64,
+    base_read: f64,
+    base_write: f64,
+}
+
+impl FloorProbe {
+    /// Folds the capacity-invariant floor inputs: program access totals
+    /// from `facts`, CPU overhead and fixed-layer minima from `platform`,
+    /// leaving only the `axis_layers` to be priced per probe.
+    pub fn new(facts: &ProgramFacts<'_>, platform: &Platform, axis_layers: &[LayerId]) -> Self {
+        debug_assert!(
+            axis_layers
+                .iter()
+                .enumerate()
+                .all(|(i, l)| !axis_layers[..i].contains(l)),
+            "FloorProbe requires distinct axis layers"
+        );
+        let mut base_access = u64::MAX;
+        let (mut base_read, mut base_write) = (f64::INFINITY, f64::INFINITY);
+        for (lid, layer) in platform.layers() {
+            if axis_layers.contains(&lid) {
+                continue;
+            }
+            base_access = base_access.min(layer.access_cycles);
+            base_read = base_read.min(layer.read_energy_pj);
+            base_write = base_write.min(layer.write_energy_pj);
+        }
+        FloorProbe {
+            total_compute: facts.total_compute,
+            total_read_execs: facts.total_read_execs,
+            total_write_execs: facts.total_write_execs,
+            overhead: platform.cpu().access_overhead_cycles,
+            base_access,
+            base_read,
+            base_write,
+        }
+    }
+
+    /// The [`CostFloor`] at the grid point where the axis layers hold
+    /// `caps` (aligned with the `axis_layers` of construction). Equals
+    /// [`CostModel::cost_floor`] on the resized platform. Because the
+    /// floor is monotone nondecreasing in every capacity, calling this at
+    /// the *minimal corner* of a capacity box lower-bounds the whole box.
+    pub fn floor_at(&self, caps: &[u64]) -> CostFloor {
+        use mhla_hierarchy::energy::{sram_access_cycles, sram_read_pj, sram_write_pj};
+        let mut min_access = self.base_access;
+        let (mut min_read, mut min_write) = (self.base_read, self.base_write);
+        for &c in caps {
+            min_access = min_access.min(sram_access_cycles(c));
+            min_read = min_read.min(sram_read_pj(c));
+            min_write = min_write.min(sram_write_pj(c));
+        }
+        let accesses = self.total_read_execs + self.total_write_execs;
+        CostFloor {
+            cycles: self.total_compute + accesses * (self.overhead + min_access),
+            energy_pj: self.total_read_execs as f64 * min_read
+                + self.total_write_execs as f64 * min_write,
+        }
+    }
+}
+
 /// Static estimator for a fixed (program, platform) pair.
 ///
 /// Construction caches the derived program facts ([`ProgramFacts`]:
@@ -869,13 +955,15 @@ impl OccupancyLedger {
 
     /// Capacity probe: peak per layer with `old` (the touched array's
     /// cached residents) removed and `trial` added. `Err` names the first
-    /// overflowing layer (in platform order), `Ok` the summed on-chip
-    /// requirement.
+    /// overflowing layer (in platform order) together with the bytes the
+    /// trial state needs there — a capacity-independent requirement, so
+    /// any capacity still below it provably rejects the same probe. `Ok`
+    /// is the summed on-chip requirement.
     fn probe(
         &self,
         old: &[(LayerId, Resident)],
         trial: &[(LayerId, Resident)],
-    ) -> Result<u64, LayerId> {
+    ) -> Result<u64, (LayerId, u64)> {
         let mut total = 0u64;
         let mut scratch = self.scratch.borrow_mut();
         for (lid, capacity, delta) in &self.layers {
@@ -885,7 +973,7 @@ impl OccupancyLedger {
             self.splice(&mut scratch, *lid, trial, 1);
             let required = Self::peak(&scratch);
             if required > *capacity {
-                return Err(*lid);
+                return Err((*lid, required));
             }
             total += required;
         }
@@ -1065,16 +1153,20 @@ impl<'m, 'a> IncrementalCost<'m, 'a> {
     }
 
     /// [`onchip_required_with_residents`](Self::onchip_required_with_residents)
-    /// reporting the *first overflowing layer* (in platform order) on
-    /// failure. The greedy search records these layers: a run whose failed
-    /// probes all stopped at layers a grid sweep does not grow reproduces
-    /// identically on the grown platform — the per-layer saturation
-    /// argument of the pruned grid sweep.
+    /// reporting the *first overflowing layer* (in platform order) and the
+    /// bytes the trial state needed there on failure. The greedy search
+    /// records these: a run whose failed probes all stopped at layers a
+    /// grid sweep does not grow reproduces identically on the grown
+    /// platform — the per-layer saturation argument of the pruned grid
+    /// sweep — and because the required bytes are capacity-independent,
+    /// any capacity still *below* the recorded requirement provably
+    /// rejects the same probe, extending the replay argument to bounded
+    /// growth ([`RunStats::allows_growth_to`](crate::RunStats::allows_growth_to)).
     pub fn probe_required(
         &self,
         array: ArrayId,
         trial: &[(LayerId, Resident)],
-    ) -> Result<u64, LayerId> {
+    ) -> Result<u64, (LayerId, u64)> {
         self.occupancy.probe(&self.residents[array.index()], trial)
     }
 

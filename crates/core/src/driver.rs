@@ -118,6 +118,17 @@ pub struct RunStats {
     /// warm seeds); `0` for untracked runs. The sweeps aggregate this into
     /// their per-mode evaluation counts.
     pub search_legs: usize,
+    /// Per layer: the smallest byte requirement of any capacity rejection
+    /// at that layer across the run's three rejection sites (cold greedy
+    /// probes, direct placement, TE buffer checks); `u64::MAX` where the
+    /// layer never rejected anything. Every requirement is
+    /// capacity-independent, so a constrained layer grown to a capacity
+    /// still *below* its floor rejects the exact same probes and the run
+    /// replays verbatim — the bounded-growth extension of
+    /// [`allows_growth_of`](Self::allows_growth_of), consulted through
+    /// [`allows_growth_to`](Self::allows_growth_to). Empty for untracked
+    /// runs.
+    pub layer_reject_floors: Vec<u64>,
     /// The run tracked constraints at all (greedy strategy only; other
     /// strategies report `false` and are never treated as saturated).
     pub tracked: bool,
@@ -132,6 +143,26 @@ impl RunStats {
             && self.cold_result_kept
             && crate::types::layer_mask_bit(layer)
                 .is_some_and(|bit| self.constrained_layers & bit == 0)
+    }
+
+    /// Whether the run provably reproduces itself when the given layer
+    /// grows *to* `to_capacity` (bytes): either the layer never rejected
+    /// anything ([`allows_growth_of`](Self::allows_growth_of)), or the
+    /// grown capacity still sits strictly below the layer's rejection
+    /// floor — every one of the run's failed capacity checks there needed
+    /// more bytes than `to_capacity` offers, and the requirements are
+    /// capacity-independent, so the same checks fail in the same order and
+    /// the run replays verbatim. The adaptive refinement scheduler uses
+    /// this to close cells whose corners are saturated only *up to* the
+    /// cell's far corner, not unboundedly.
+    pub fn allows_growth_to(&self, layer: mhla_hierarchy::LayerId, to_capacity: u64) -> bool {
+        self.allows_growth_of(layer)
+            || (self.tracked
+                && self.cold_result_kept
+                && self
+                    .layer_reject_floors
+                    .get(layer.index())
+                    .is_some_and(|&floor| to_capacity < floor))
     }
 
     /// Whether the run's decisions provably survive the given per-layer
@@ -228,6 +259,7 @@ impl RunStats {
             cold_result_kept: false,
             winning_seed: None,
             search_legs: 0,
+            layer_reject_floors: Vec::new(),
             tracked: false,
         }
     }
@@ -517,7 +549,7 @@ impl<'a> Mhla<'a> {
         mut outcome: assign::SearchOutcome,
         search_stats: Option<assign::SearchStats>,
     ) -> (MhlaResult, RunStats) {
-        let (baseline, placement_constrained) =
+        let (baseline, placement_constrained, placement_floors) =
             assign::direct_placement_stats(model, self.config.policy);
         // The search is a heuristic and can, on rare corner cases, end in
         // a local optimum worse than the out-of-the-box placement. A real
@@ -568,13 +600,14 @@ impl<'a> Mhla<'a> {
         {
             outcome = baseline.clone();
         }
-        let (te, te_constrained) = if self.config.disable_te {
+        let (te, te_constrained, te_floors) = if self.config.disable_te {
             (
                 TeSchedule {
                     applicable: self.platform.dma().is_some(),
                     transfers: Vec::new(),
                 },
                 0,
+                vec![u64::MAX; self.platform.layer_count()],
             )
         } else {
             te::plan_with_stats(model, &outcome.assignment)
@@ -586,6 +619,16 @@ impl<'a> Mhla<'a> {
                         *rate = rate.min(*f);
                     }
                 }
+                // Elementwise min over the three rejection sites: a grown
+                // capacity below every site's floor rejects every probe of
+                // the whole run.
+                let mut floors = s.cold_reject_floors;
+                for (f, other) in floors.iter_mut().zip(&placement_floors) {
+                    *f = (*f).min(*other);
+                }
+                for (f, other) in floors.iter_mut().zip(&te_floors) {
+                    *f = (*f).min(*other);
+                }
                 RunStats {
                     constrained_layers: s.cold_constrained_layers
                         | te_constrained
@@ -594,6 +637,7 @@ impl<'a> Mhla<'a> {
                     cold_result_kept: s.winning_seed.is_none(),
                     winning_seed: s.winning_seed,
                     search_legs: s.legs,
+                    layer_reject_floors: floors,
                     tracked: true,
                 }
             }

@@ -252,6 +252,35 @@ pub(crate) fn validate_axes(platform: &Platform, axes: &[GridAxis]) -> Result<()
     Ok(())
 }
 
+/// Validates the refinement-specific options of
+/// [`try_sweep_grid_refined_with`](crate::explore::try_sweep_grid_refined_with):
+/// the subdivision depth must be in `1..=16` (depth 0 is the plain grid
+/// sweep; past 16 the virtual lattice bookkeeping overflows long before
+/// any capacity range benefits), and the axes must name distinct layers
+/// (the box cost floor — [`FloorProbe`](crate::cost::FloorProbe) — folds
+/// per-layer minima and cannot attribute one layer to two axes).
+pub(crate) fn validate_refine_options(
+    axes: &[GridAxis],
+    opts: &crate::explore::RefineOptions,
+) -> Result<(), MhlaError> {
+    if opts.depth == 0 || opts.depth > 16 {
+        return Err(MhlaError::InvalidOptions {
+            what: format!("refinement depth {} out of range (1..=16)", opts.depth),
+        });
+    }
+    for (i, axis) in axes.iter().enumerate() {
+        if axes[..i].iter().any(|a| a.layer == axis.layer) {
+            return Err(MhlaError::InvalidOptions {
+                what: format!(
+                    "refinement axes must name distinct layers ({} repeats)",
+                    axis.layer
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +365,25 @@ mod tests {
             Err(MhlaError::InfeasiblePoint { .. })
         ));
         assert!(validate_axes(&pf, &[]).is_ok(), "empty axes stay legal");
+    }
+
+    #[test]
+    fn refine_options_bound_depth_and_require_distinct_layers() {
+        use crate::explore::RefineOptions;
+        let axes = [GridAxis::new(LayerId(1), vec![64u64, 128])];
+        for depth in [0usize, 17] {
+            let err =
+                validate_refine_options(&axes, &RefineOptions::default().depth(depth)).unwrap_err();
+            assert!(matches!(err, MhlaError::InvalidOptions { .. }));
+            assert!(err.to_string().contains("depth"), "{err}");
+        }
+        assert!(validate_refine_options(&axes, &RefineOptions::default()).is_ok());
+        let dup = [
+            GridAxis::new(LayerId(1), vec![64u64]),
+            GridAxis::new(LayerId(1), vec![128u64]),
+        ];
+        let err = validate_refine_options(&dup, &RefineOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("distinct"), "{err}");
     }
 
     #[test]

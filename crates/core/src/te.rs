@@ -120,14 +120,23 @@ pub fn plan(model: &CostModel<'_>, assignment: &Assignment) -> TeSchedule {
 
 /// [`plan`], additionally reporting (as a bitmask by layer index) the
 /// layers at which the `fits_size` buffer check first overflowed and
-/// rejected an extension. A layer whose bit is clear never blocked an
-/// extension: every stop there was "fully time extended" or exhausted
-/// freedom — capacity-independent conditions — so the same schedule
-/// reproduces verbatim when only such layers grow (one leg of the pruned
-/// grid sweep's saturation argument). The schedule is byte-for-byte the
+/// rejected an extension, plus the per-layer *rejection floors*: the
+/// smallest byte requirement of any rejected buffer check at each layer
+/// (`u64::MAX` where none occurred). A layer whose bit is clear never
+/// blocked an extension: every stop there was "fully time extended" or
+/// exhausted freedom — capacity-independent conditions — so the same
+/// schedule reproduces verbatim when only such layers grow (one leg of
+/// the pruned grid sweep's saturation argument); a constrained layer
+/// grown to a capacity still below its floor rejects the same buffer
+/// checks, extending the replay to bounded growth (the trial buffer
+/// sizes are capacity-independent). The schedule is byte-for-byte the
 /// one [`plan`] returns.
-pub fn plan_with_stats(model: &CostModel<'_>, assignment: &Assignment) -> (TeSchedule, u64) {
+pub fn plan_with_stats(
+    model: &CostModel<'_>,
+    assignment: &Assignment,
+) -> (TeSchedule, u64, Vec<u64>) {
     let mut constrained_layers = 0u64;
+    let mut reject_floors = vec![u64::MAX; model.platform().layer_count()];
     let streams = model.transfer_streams(assignment);
     let Some(dma) = model.platform().dma() else {
         // No memory transfer engine: TE not applicable (paper, §1).
@@ -141,6 +150,7 @@ pub fn plan_with_stats(model: &CostModel<'_>, assignment: &Assignment) -> (TeSch
                 transfers,
             },
             constrained_layers,
+            reject_floors,
         );
     };
 
@@ -191,8 +201,14 @@ pub fn plan_with_stats(model: &CostModel<'_>, assignment: &Assignment) -> (TeSch
             trial.insert(bt.stream.copy.candidate, (k + 2) as u32);
             if let Err(e) = model.check_capacity(assignment, &trial) {
                 // Extension not valid: stop extending this BT.
-                if let crate::types::AssignmentError::CapacityExceeded { layer, .. } = e {
+                if let crate::types::AssignmentError::CapacityExceeded {
+                    layer, required, ..
+                } = e
+                {
                     crate::types::mark_layer(&mut constrained_layers, layer);
+                    if let Some(f) = reject_floors.get_mut(layer.index()) {
+                        *f = (*f).min(required);
+                    }
                 }
                 break;
             }
@@ -225,6 +241,7 @@ pub fn plan_with_stats(model: &CostModel<'_>, assignment: &Assignment) -> (TeSch
             transfers: bts,
         },
         constrained_layers,
+        reject_floors,
     )
 }
 

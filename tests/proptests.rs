@@ -8,6 +8,11 @@
 //!   are bit-identical to the exhaustive Cartesian product, under all
 //!   three objectives, in both sequential and parallel wave modes (with
 //!   identical `PruneStats` across modes);
+//! * the adaptive refinement's committed points and both Pareto
+//!   frontiers are bit-identical to the exhaustive sweep of the
+//!   materialized fine lattice, under all three objectives, and a
+//!   budget-interrupted refinement resumed to completion equals the
+//!   uninterrupted run bit for bit;
 //! * a context-backed run (`Mhla::with_context`) is bit-identical to a
 //!   fresh standalone run at every platform point, under all three
 //!   objectives.
@@ -16,8 +21,9 @@
 //! step; locally the (deterministic, per-test-name) default seed applies.
 
 use mhla::core::explore::{
-    sweep_grid_pruned_with, sweep_grid_run, sweep_grid_with, GridAxis, PruneOptions, SearchMode,
-    SweepOptions,
+    refine_axis, sweep_grid_pruned_with, sweep_grid_refined_with, sweep_grid_run, sweep_grid_with,
+    try_sweep_grid_refined_resume, ExploreBudget, GridAxis, PruneOptions, RefineOptions,
+    SearchMode, SweepOptions,
 };
 use mhla::core::{pareto, report, ExplorationContext, Mhla, MhlaConfig, Objective};
 use mhla::hierarchy::{LayerId, Platform};
@@ -169,6 +175,92 @@ proptest! {
                     ),
                 ),
                 "improving frontier trails the cold one under {:?}", objective
+            );
+        }
+    }
+
+    /// Refined ≡ exhaustive fine lattice on random programs: every
+    /// committed point of the adaptive refinement is bit-identical to
+    /// the exhaustive sweep of the materialized fine lattice, and both
+    /// Pareto frontiers match point for point — under all three
+    /// objectives (the refinement certificates must stay lossless for
+    /// arbitrary programs, not just the nine apps).
+    #[test]
+    fn refined_equals_exhaustive_fine_lattice_on_random_programs(spec in program_specs()) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        let depth = 2;
+        let fine_axes: Vec<GridAxis> = axes
+            .iter()
+            .map(|a| GridAxis::new(a.layer, refine_axis(&a.capacities, depth)))
+            .collect();
+        for objective in OBJECTIVES {
+            let config = MhlaConfig { objective, ..MhlaConfig::default() };
+            let full = sweep_grid_with(
+                &program,
+                &platform,
+                &fine_axes,
+                &config,
+                SweepOptions { warm_start: false, ..SweepOptions::default() },
+            );
+            let refined = sweep_grid_refined_with(
+                &program,
+                &platform,
+                &axes,
+                &config,
+                RefineOptions::default().depth(depth),
+            );
+            prop_assert!(refined.status.is_complete());
+            prop_assert_eq!(refined.stats.virtual_points, full.points.len() as u64);
+            for rp in &refined.sweep.points {
+                let ep = full
+                    .points
+                    .iter()
+                    .find(|ep| ep.capacities == rp.capacities);
+                prop_assert!(ep.is_some_and(|ep| ep.result == rp.result),
+                    "refined point {:?} diverges under {:?}", rp.capacities, objective);
+            }
+            prop_assert_eq!(
+                grid_frontier_points(&full, &full.pareto_cycles()),
+                grid_frontier_points(&refined.sweep, &refined.sweep.pareto_cycles()),
+                "cycles frontier diverges under {:?}", objective
+            );
+            prop_assert_eq!(
+                grid_frontier_points(&full, &full.pareto_energy()),
+                grid_frontier_points(&refined.sweep, &refined.sweep.pareto_energy()),
+                "energy frontier diverges under {:?}", objective
+            );
+        }
+    }
+
+    /// Budget-interrupted refinement resumed to completion ≡ the
+    /// uninterrupted run, bit for bit, on random programs.
+    #[test]
+    fn refined_resume_is_bit_identical_on_random_programs(spec in program_specs()) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        let config = MhlaConfig::default();
+        let base = RefineOptions::default().depth(2);
+        let uninterrupted =
+            sweep_grid_refined_with(&program, &platform, &axes, &config, base.clone());
+        prop_assert!(uninterrupted.status.is_complete());
+        for max in [1usize, 5] {
+            let stopped = sweep_grid_refined_with(
+                &program,
+                &platform,
+                &axes,
+                &config,
+                base.clone().budget(ExploreBudget::max_evals(max)),
+            );
+            let resumed = try_sweep_grid_refined_resume(
+                &program, &platform, &axes, &config, &base, &stopped,
+            );
+            prop_assert!(resumed.is_ok());
+            prop_assert_eq!(
+                resumed.unwrap(), uninterrupted.clone(),
+                "resume from max_evals={} diverges", max
             );
         }
     }
