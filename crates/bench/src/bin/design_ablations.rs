@@ -48,8 +48,8 @@ fn transfer_policy() {
         };
         let (fb, fc, fe) = run(TransferPolicy::FullRefresh);
         let (db, dc, de) = run(TransferPolicy::SlidingDelta);
-        let cyc = 100.0 * (1.0 - dc as f64 / fc as f64);
-        let en = 100.0 * (1.0 - de / fe);
+        let cyc = 100.0 * (1.0 - dc as f64 / fc.max(1) as f64);
+        let en = 100.0 * (1.0 - de / fe.max(f64::MIN_POSITIVE));
         println!(
             "{:<18} {:>14} {:>14} {:>9.1}% {:>9.1}%",
             app.name(),
@@ -149,8 +149,10 @@ fn search_strategy() {
         let model = mhla.cost_model();
         let g = assign::greedy(&model, &config);
         let e = assign::exhaustive(&model, &config, 2_000_000);
-        let gap =
-            100.0 * (Objective::Cycles.score(&g.cost) / Objective::Cycles.score(&e.cost) - 1.0);
+        let gap = 100.0
+            * (Objective::Cycles.score(&g.cost)
+                / Objective::Cycles.score(&e.cost).max(f64::MIN_POSITIVE)
+                - 1.0);
         println!(
             "{:<18} {:>14} {:>14} {:>7.2}% {:>10}",
             name,

@@ -51,7 +51,7 @@ fn main() {
             csv.push_str(&format!(
                 "{},{:.3},{},{},{:.2},{:.2}\n",
                 f.name,
-                mul as f64 / div as f64,
+                mul as f64 / div.max(1) as f64,
                 f.mhla_cycles,
                 f.mhla_te_cycles,
                 f.te_gain_pct(),

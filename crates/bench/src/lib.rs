@@ -49,7 +49,7 @@ pub struct AppFigures {
 impl AppFigures {
     /// Step-1 cycle reduction vs. baseline, percent.
     pub fn mhla_gain_pct(&self) -> f64 {
-        100.0 * (1.0 - self.mhla_cycles as f64 / self.baseline_cycles as f64)
+        100.0 * (1.0 - self.mhla_cycles as f64 / self.baseline_cycles.max(1) as f64)
     }
 
     /// Extra reduction of TE relative to the step-1 result, percent.
@@ -1204,6 +1204,35 @@ pub fn write_results(name: &str, content: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gain_percentages_stay_finite_for_degenerate_figures() {
+        // A program whose baseline simulates to zero cycles (empty loop
+        // nests, zero-trip bounds) must not turn the report into NaN/-inf:
+        // every denominator in the percentage helpers is clamped.
+        let zero = AppFigures {
+            name: "degenerate".into(),
+            scratchpad: 1024,
+            baseline_cycles: 0,
+            mhla_cycles: 0,
+            mhla_te_cycles: 0,
+            ideal_cycles: 0,
+            baseline_energy_pj: 0.0,
+            mhla_energy_pj: 0.0,
+        };
+        assert!(zero.mhla_gain_pct().is_finite());
+        assert!(zero.te_gain_pct().is_finite());
+        assert!(zero.energy_gain_pct().is_finite());
+        assert!(zero.hiding_pct().is_finite());
+        // And a zero baseline with nonzero MHLA cycles stays finite too
+        // (the pathological "optimization made it worse than nothing"
+        // corner an untrusted serialized program can produce).
+        let worse = AppFigures {
+            mhla_cycles: 10,
+            ..zero
+        };
+        assert!(worse.mhla_gain_pct().is_finite());
+    }
 
     #[test]
     fn env_parsing_rejects_malformed_values() {

@@ -116,6 +116,23 @@ impl From<ValidateError> for MhlaError {
     }
 }
 
+impl From<mhla_ir::SerdesError> for MhlaError {
+    /// Lifts a serialization-layer failure onto the engine boundary, so a
+    /// caller ingesting programs/platforms from disk reports one error
+    /// type. A document whose *decoded program* failed validation keeps
+    /// its [`ValidateError`] ([`MhlaError::InvalidProgram`]); syntax,
+    /// schema and version failures are input problems
+    /// ([`MhlaError::InvalidOptions`]).
+    fn from(e: mhla_ir::SerdesError) -> Self {
+        match e {
+            mhla_ir::SerdesError::Invalid(v) => MhlaError::InvalidProgram(v),
+            other => MhlaError::InvalidOptions {
+                what: other.to_string(),
+            },
+        }
+    }
+}
+
 /// Validates a program for engine ingress ([`Program::validate`]).
 ///
 /// # Errors

@@ -44,6 +44,7 @@ pub mod energy;
 mod dma;
 mod layer;
 mod platform;
+pub mod serdes;
 
 pub use dma::DmaModel;
 pub use layer::{LayerId, LayerKind, MemoryLayer};

@@ -103,6 +103,36 @@ impl Platform {
         })
     }
 
+    /// Builds a platform from parts *without* the monotonicity check of
+    /// [`Platform::new`] — the ingress constructor of the serialization
+    /// layer. Grid sweeps legitimately visit non-pyramidal stacks
+    /// ([`with_layer_capacities`](Self::with_layer_capacities) deliberately
+    /// skips re-validation), so a serialized platform must round-trip them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] for stacks no caller may build: fewer than
+    /// two layers, or layer 0 not the unbounded off-chip memory.
+    pub fn from_parts(
+        name: impl Into<String>,
+        layers: Vec<MemoryLayer>,
+        dma: Option<DmaModel>,
+        cpu: CpuModel,
+    ) -> Result<Self, PlatformError> {
+        if layers.len() < 2 {
+            return Err(PlatformError::TooFewLayers);
+        }
+        if layers[0].kind != LayerKind::OffChipSdram || layers[0].capacity.is_some() {
+            return Err(PlatformError::FurthestLayerNotOffChip);
+        }
+        Ok(Platform {
+            name: name.into(),
+            layers,
+            dma,
+            cpu,
+        })
+    }
+
     /// The paper's default platform: off-chip SDRAM + one on-chip
     /// scratchpad of `scratchpad_bytes`, single-channel DMA.
     ///

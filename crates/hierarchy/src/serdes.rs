@@ -1,0 +1,289 @@
+//! Versioned on-disk JSON format for [`Platform`] — platforms as data.
+//!
+//! The platform counterpart of [`mhla_ir::serdes`]: the same hand-rolled
+//! [`Json`] layer, the same envelope convention (`"format"` tag + explicit
+//! `"version"`), the same ingress discipline (typed [`SerdesError`]s, never
+//! a panic). A serialized platform spells every [`MemoryLayer`] field out,
+//! so custom technologies round-trip exactly — nothing is re-derived from
+//! the scaling laws on read.
+//!
+//! Deserialization goes through [`Platform::from_parts`], which enforces
+//! the structural rules every platform obeys (≥ 2 layers, unbounded
+//! off-chip layer 0) but *not* the monotonicity check of [`Platform::new`]:
+//! grid sweeps legitimately emit non-pyramidal stacks via
+//! [`Platform::with_layer_capacities`], and a format that cannot represent
+//! what the explorer produces would be useless as an interchange format.
+//! (This matches the engine's own ingress contract,
+//! `mhla_core::validate_platform`.)
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "format": "mhla.platform",
+//!   "version": 1,
+//!   "name": "embedded-spm16",
+//!   "layers": [
+//!     {"name": "SDRAM", "kind": "off_chip_sdram", "capacity": null,
+//!      "read_energy_pj": 12.0, "write_energy_pj": 12.0,
+//!      "burst_energy_pj": 2.0, "access_cycles": 20,
+//!      "burst_bytes_per_cycle": 0.25}
+//!   ],
+//!   "dma": {"channels": 1, "setup_cycles": 30, "bytes_per_cycle": 4},
+//!   "cpu": {"access_overhead_cycles": 0}
+//! }
+//! ```
+//!
+//! A platform without a transfer engine serializes `"dma": null`. Unknown
+//! object keys are ignored (additive extensions stay readable).
+
+use mhla_ir::serdes::{check_envelope, field, Json, SerdesError};
+
+use crate::dma::DmaModel;
+use crate::layer::{LayerKind, MemoryLayer};
+use crate::platform::{CpuModel, Platform};
+
+/// The `"format"` tag of a serialized [`Platform`].
+pub const PLATFORM_FORMAT: &str = "mhla.platform";
+/// The platform schema version this build reads and writes.
+pub const PLATFORM_VERSION: u64 = 1;
+
+/// Serializes a platform to its version-[`PLATFORM_VERSION`] JSON document.
+pub fn platform_to_json(platform: &Platform) -> String {
+    platform_value(platform).render()
+}
+
+/// Encodes a platform as a [`Json`] value (the document
+/// [`platform_to_json`] renders).
+pub fn platform_value(platform: &Platform) -> Json {
+    let layers = platform
+        .layers()
+        .map(|(_, l)| layer_value(l))
+        .collect::<Vec<Json>>();
+    let dma = match platform.dma() {
+        Some(d) => Json::Obj(vec![
+            ("channels".into(), Json::from_u64(u64::from(d.channels))),
+            ("setup_cycles".into(), Json::from_u64(d.setup_cycles)),
+            ("bytes_per_cycle".into(), Json::from_f64(d.bytes_per_cycle)),
+        ]),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        ("format".into(), Json::Str(PLATFORM_FORMAT.into())),
+        ("version".into(), Json::from_u64(PLATFORM_VERSION)),
+        ("name".into(), Json::Str(platform.name().into())),
+        ("layers".into(), Json::Arr(layers)),
+        ("dma".into(), dma),
+        (
+            "cpu".into(),
+            Json::Obj(vec![(
+                "access_overhead_cycles".into(),
+                Json::from_u64(platform.cpu().access_overhead_cycles),
+            )]),
+        ),
+    ])
+}
+
+fn layer_value(layer: &MemoryLayer) -> Json {
+    let kind = match layer.kind {
+        LayerKind::OffChipSdram => "off_chip_sdram",
+        LayerKind::ScratchpadSram => "scratchpad_sram",
+    };
+    Json::Obj(vec![
+        ("name".into(), Json::Str(layer.name.clone())),
+        ("kind".into(), Json::Str(kind.into())),
+        (
+            "capacity".into(),
+            match layer.capacity {
+                Some(c) => Json::from_u64(c),
+                None => Json::Null,
+            },
+        ),
+        (
+            "read_energy_pj".into(),
+            Json::from_f64(layer.read_energy_pj),
+        ),
+        (
+            "write_energy_pj".into(),
+            Json::from_f64(layer.write_energy_pj),
+        ),
+        (
+            "burst_energy_pj".into(),
+            Json::from_f64(layer.burst_energy_pj),
+        ),
+        ("access_cycles".into(), Json::from_u64(layer.access_cycles)),
+        (
+            "burst_bytes_per_cycle".into(),
+            Json::from_f64(layer.burst_bytes_per_cycle),
+        ),
+    ])
+}
+
+/// Deserializes a platform from a version-[`PLATFORM_VERSION`] JSON
+/// document.
+///
+/// # Errors
+///
+/// * [`SerdesError::Syntax`] — the input is not JSON,
+/// * [`SerdesError::Schema`] — the document shape does not match the
+///   schema, or the stack violates [`Platform::from_parts`]'s structural
+///   rules (fewer than two layers, layer 0 not unbounded off-chip),
+/// * [`SerdesError::Version`] — the document is from a different schema
+///   version.
+///
+/// Never panics.
+pub fn platform_from_json(text: &str) -> Result<Platform, SerdesError> {
+    let doc = Json::parse(text)?;
+    platform_from_value(&doc)
+}
+
+/// Deserializes a platform from an already-parsed [`Json`] value; see
+/// [`platform_from_json`].
+///
+/// # Errors
+///
+/// As [`platform_from_json`], minus the syntax class.
+pub fn platform_from_value(doc: &Json) -> Result<Platform, SerdesError> {
+    let fields = doc.as_object("platform document")?;
+    check_envelope(fields, PLATFORM_FORMAT, PLATFORM_VERSION)?;
+    let name = field(fields, "name", "platform")?
+        .as_str("platform \"name\"")?
+        .to_string();
+
+    let mut layers = Vec::new();
+    for (i, entry) in field(fields, "layers", "platform")?
+        .as_array("\"layers\"")?
+        .iter()
+        .enumerate()
+    {
+        layers.push(layer_from_value(entry, &format!("layers[{i}]"))?);
+    }
+
+    let dma_value = field(fields, "dma", "platform")?;
+    let dma = if dma_value.is_null() {
+        None
+    } else {
+        let o = dma_value.as_object("\"dma\"")?;
+        let channels = field(o, "channels", "dma")?.as_u64("dma.channels")?;
+        Some(DmaModel {
+            channels: u32::try_from(channels).map_err(|_| SerdesError::Schema {
+                what: format!("dma.channels: {channels} out of range"),
+            })?,
+            setup_cycles: field(o, "setup_cycles", "dma")?.as_u64("dma.setup_cycles")?,
+            bytes_per_cycle: field(o, "bytes_per_cycle", "dma")?.as_f64("dma.bytes_per_cycle")?,
+        })
+    };
+
+    let cpu_fields = field(fields, "cpu", "platform")?.as_object("\"cpu\"")?;
+    let cpu = CpuModel {
+        access_overhead_cycles: field(cpu_fields, "access_overhead_cycles", "cpu")?
+            .as_u64("cpu.access_overhead_cycles")?,
+    };
+
+    Platform::from_parts(name, layers, dma, cpu).map_err(|e| SerdesError::Schema {
+        what: format!("platform: {e}"),
+    })
+}
+
+fn layer_from_value(value: &Json, what: &str) -> Result<MemoryLayer, SerdesError> {
+    let o = value.as_object(what)?;
+    let kind = match field(o, "kind", what)?.as_str(&format!("{what}.kind"))? {
+        "off_chip_sdram" => LayerKind::OffChipSdram,
+        "scratchpad_sram" => LayerKind::ScratchpadSram,
+        other => {
+            return Err(SerdesError::Schema {
+                what: format!("{what}.kind: unknown layer kind \"{other}\""),
+            })
+        }
+    };
+    let capacity_value = field(o, "capacity", what)?;
+    let capacity = if capacity_value.is_null() {
+        None
+    } else {
+        Some(capacity_value.as_u64(&format!("{what}.capacity"))?)
+    };
+    Ok(MemoryLayer {
+        name: field(o, "name", what)?
+            .as_str(&format!("{what}.name"))?
+            .to_string(),
+        kind,
+        capacity,
+        read_energy_pj: field(o, "read_energy_pj", what)?
+            .as_f64(&format!("{what}.read_energy_pj"))?,
+        write_energy_pj: field(o, "write_energy_pj", what)?
+            .as_f64(&format!("{what}.write_energy_pj"))?,
+        burst_energy_pj: field(o, "burst_energy_pj", what)?
+            .as_f64(&format!("{what}.burst_energy_pj"))?,
+        access_cycles: field(o, "access_cycles", what)?.as_u64(&format!("{what}.access_cycles"))?,
+        burst_bytes_per_cycle: field(o, "burst_bytes_per_cycle", what)?
+            .as_f64(&format!("{what}.burst_bytes_per_cycle"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerId;
+
+    #[test]
+    fn presets_round_trip() {
+        for p in [
+            Platform::embedded_default(16 * 1024),
+            Platform::three_level_default(),
+            Platform::four_level_default(),
+            Platform::without_dma(8 * 1024),
+        ] {
+            let text = platform_to_json(&p);
+            let back = platform_from_json(&text).expect("round trip");
+            assert_eq!(p, back);
+            assert_eq!(platform_to_json(&back), text);
+        }
+    }
+
+    #[test]
+    fn non_pyramidal_grid_stacks_round_trip() {
+        // Grid sweeps emit inverted pyramids via with_layer_capacities;
+        // the format must carry them even though Platform::new would not.
+        let p = Platform::three_level_default()
+            .with_layer_capacities(&[(LayerId(1), 1024), (LayerId(2), 64 * 1024)]);
+        let back = platform_from_json(&platform_to_json(&p)).expect("round trip");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn structural_rules_still_hold() {
+        let p = Platform::embedded_default(4 * 1024);
+        let text = platform_to_json(&p);
+        // Turn layer 0 into a scratchpad: structurally invalid everywhere.
+        let bad = text.replacen("off_chip_sdram", "scratchpad_sram", 1);
+        match platform_from_json(&bad) {
+            Err(SerdesError::Schema { what }) => assert!(what.contains("off-chip")),
+            other => panic!("expected schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_and_format_are_checked() {
+        let text = platform_to_json(&Platform::embedded_default(4 * 1024));
+        let wrong = text.replace("\"version\": 1", "\"version\": 2");
+        assert!(matches!(
+            platform_from_json(&wrong),
+            Err(SerdesError::Version {
+                found: 2,
+                expected: PLATFORM_VERSION
+            })
+        ));
+        assert!(matches!(
+            platform_from_json(&text.replace("mhla.platform", "mhla.program")),
+            Err(SerdesError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_dma_serializes_as_null() {
+        let p = Platform::without_dma(8 * 1024);
+        let text = platform_to_json(&p);
+        assert!(text.contains("\"dma\": null"));
+        assert!(platform_from_json(&text).expect("parse").dma().is_none());
+    }
+}

@@ -15,7 +15,9 @@
 //!   counts, execution counts, access counts),
 //! * [`Timeline`] — a sequentialized logical timeline used by lifetime
 //!   analysis and in-place optimization,
-//! * [`Program::validate`] — structural well-formedness checking.
+//! * [`Program::validate`] — structural well-formedness checking,
+//! * [`serdes`] — the versioned on-disk JSON format (programs as data),
+//!   validated on ingress so external files fail with typed errors.
 //!
 //! # Example
 //!
@@ -56,6 +58,7 @@ mod display;
 mod expr;
 mod ids;
 mod program;
+pub mod serdes;
 mod timeline;
 mod validate;
 
@@ -64,5 +67,6 @@ pub use builder::{ProgramBuilder, StmtBuilder};
 pub use expr::AffineExpr;
 pub use ids::{ArrayId, LoopId, NodeId, StmtId};
 pub use program::{Access, AccessKind, ArrayDecl, ElemType, Loop, Node, Program, Statement};
+pub use serdes::SerdesError;
 pub use timeline::{TimeInterval, Timeline};
 pub use validate::ValidateError;

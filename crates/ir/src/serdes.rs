@@ -1,0 +1,1129 @@
+//! Versioned on-disk JSON format for [`Program`] — programs as data.
+//!
+//! Everything upstream of this module holds a `Program` that was built in
+//! process by [`ProgramBuilder`](crate::ProgramBuilder) and is therefore
+//! structurally sound by construction. This module is the *ingress* for
+//! programs that were **not** built in process: files written by `mhla
+//! export`, by other tools, or by hand. Three rules follow:
+//!
+//! 1. **Versioned.** Every document carries an explicit `"format"` tag and a
+//!    `"version"` number. Readers reject anything they were not built for
+//!    with a typed error ([`SerdesError::Version`]) instead of guessing.
+//! 2. **Stable ids.** Arrays, loops and statements are arena entities; the
+//!    document spells their arena index out as an explicit `"id"` field and
+//!    the reader checks it against the entity's position, so a hand-edited
+//!    file whose references silently shifted fails loudly.
+//! 3. **Validated.** [`program_from_json`] routes every accepted document
+//!    through [`Program::validate`], so a file that parses but describes a
+//!    malformed program (dangling node, rank mismatch, rogue iterator, …)
+//!    is rejected with the same [`ValidateError`] the builder would raise —
+//!    never a panic deeper in the analyses.
+//!
+//! The JSON layer itself ([`Json`]) is deliberately minimal and hand-rolled:
+//! the build is fully offline (no serde in the dependency tree) and the
+//! schema is small enough that an explicit parser is simpler than a derive.
+//! Numbers keep their raw source text so `u64` capacities above 2^53 and
+//! shortest-round-trip `f64` energies survive unchanged.
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "format": "mhla.program",
+//!   "version": 1,
+//!   "name": "sad",
+//!   "arrays": [{"id": 0, "name": "cur", "dims": [16, 16], "elem": "u8"}],
+//!   "loops": [{"id": 0, "name": "y", "lower": 0, "upper": 16, "step": 1,
+//!              "body": ["S0"]}],
+//!   "stmts": [{"id": 0, "name": "acc", "compute_cycles": 2,
+//!              "accesses": [{"array": 0, "kind": "read",
+//!                            "index": [{"constant": 0, "terms": [[0, 1]]}]}]}],
+//!   "roots": ["L0"]
+//! }
+//! ```
+//!
+//! Tree edges (`body`, `roots`) use the ids' display form (`"L0"`, `"S1"`);
+//! affine subscripts are `{"constant": c, "terms": [[loop_id, coeff], …]}`.
+//! Unknown object keys are ignored, so version-1 readers tolerate additive
+//! extensions.
+
+use std::fmt;
+
+use crate::expr::AffineExpr;
+use crate::ids::{ArrayId, LoopId, NodeId, StmtId};
+use crate::program::{Access, AccessKind, ArrayDecl, ElemType, Loop, Program, Statement};
+use crate::validate::ValidateError;
+
+/// The `"format"` tag of a serialized [`Program`].
+pub const PROGRAM_FORMAT: &str = "mhla.program";
+/// The program schema version this build reads and writes.
+pub const PROGRAM_VERSION: u64 = 1;
+
+/// Maximum container nesting the parser accepts; deeper documents are
+/// rejected (instead of overflowing the stack on e.g. ten thousand `[`s).
+const MAX_DEPTH: usize = 128;
+
+/// Typed failure of the serialization layer.
+///
+/// Everything a reader can object to maps onto one of four classes, from
+/// outermost to innermost: the bytes are not JSON, the JSON is not the
+/// expected document shape, the document is a version this build does not
+/// read, or the decoded program fails [`Program::validate`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum SerdesError {
+    /// The input is not well-formed JSON.
+    Syntax {
+        /// Byte offset of the first offending character.
+        offset: usize,
+        /// What the parser expected or found.
+        what: String,
+    },
+    /// The JSON is well-formed but does not match the document schema.
+    Schema {
+        /// Which field or value violated the schema, and how.
+        what: String,
+    },
+    /// The document declares a schema version this build does not read.
+    Version {
+        /// Version found in the document.
+        found: u64,
+        /// Version this build supports.
+        expected: u64,
+    },
+    /// The decoded program failed structural validation.
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for SerdesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerdesError::Syntax { offset, what } => {
+                write!(f, "malformed JSON at byte {offset}: {what}")
+            }
+            SerdesError::Schema { what } => write!(f, "malformed document: {what}"),
+            SerdesError::Version { found, expected } => write!(
+                f,
+                "unsupported schema version {found} (this build reads version {expected})"
+            ),
+            SerdesError::Invalid(e) => write!(f, "deserialized program failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SerdesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SerdesError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateError> for SerdesError {
+    fn from(value: ValidateError) -> Self {
+        SerdesError::Invalid(value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON value, parser and renderer
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+///
+/// Numbers keep their raw source text ([`Json::Num`]) so integers outside
+/// the `f64`-exact range and shortest-round-trip floats pass through the
+/// format unchanged; typed accessors parse on demand.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw (validated) source text.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as key/value pairs in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Encodes a `u64`.
+    pub fn from_u64(value: u64) -> Json {
+        Json::Num(value.to_string())
+    }
+
+    /// Encodes an `i64`.
+    pub fn from_i64(value: i64) -> Json {
+        Json::Num(value.to_string())
+    }
+
+    /// Encodes an `f64` via Rust's shortest round-trip display. JSON has no
+    /// non-finite numbers, so NaN and ±infinity encode as `null` (which the
+    /// typed reader then rejects with a schema error).
+    pub fn from_f64(value: f64) -> Json {
+        if value.is_finite() {
+            Json::Num(value.to_string())
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// [`SerdesError::Syntax`] at the first offending byte; the parser never
+    /// panics, whatever the input.
+    pub fn parse(text: &str) -> Result<Json, SerdesError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent; arrays of
+    /// scalars stay on one line). The output of [`Json::parse`] ∘ `render`
+    /// is the identity on parsed values.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn is_scalar(&self) -> bool {
+        !matches!(self, Json::Arr(_) | Json::Obj(_))
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) if items.iter().all(Json::is_scalar) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.render_into(out, indent);
+                }
+                out.push(']');
+            }
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    render_string(key, out);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    // -- typed accessors (schema layer) ------------------------------------
+
+    /// The value as an object's fields.
+    ///
+    /// # Errors
+    ///
+    /// [`SerdesError::Schema`] naming `what` when the value is not an object.
+    pub fn as_object(&self, what: &str) -> Result<&[(String, Json)], SerdesError> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(type_error(what, "an object", other)),
+        }
+    }
+
+    /// The value as an array's items.
+    ///
+    /// # Errors
+    ///
+    /// [`SerdesError::Schema`] naming `what` when the value is not an array.
+    pub fn as_array(&self, what: &str) -> Result<&[Json], SerdesError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(type_error(what, "an array", other)),
+        }
+    }
+
+    /// The value as a string.
+    ///
+    /// # Errors
+    ///
+    /// [`SerdesError::Schema`] naming `what` when the value is not a string.
+    pub fn as_str(&self, what: &str) -> Result<&str, SerdesError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(type_error(what, "a string", other)),
+        }
+    }
+
+    /// The value as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SerdesError::Schema`] naming `what` when the value is not an
+    /// unsigned integer in range.
+    pub fn as_u64(&self, what: &str) -> Result<u64, SerdesError> {
+        if let Json::Num(s) = self {
+            if let Ok(v) = s.parse::<u64>() {
+                return Ok(v);
+            }
+        }
+        Err(type_error(what, "an unsigned integer", self))
+    }
+
+    /// The value as an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SerdesError::Schema`] naming `what` when the value is not an
+    /// integer in range.
+    pub fn as_i64(&self, what: &str) -> Result<i64, SerdesError> {
+        if let Json::Num(s) = self {
+            if let Ok(v) = s.parse::<i64>() {
+                return Ok(v);
+            }
+        }
+        Err(type_error(what, "an integer", self))
+    }
+
+    /// The value as a finite `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SerdesError::Schema`] naming `what` when the value is not a finite
+    /// number (in particular for the `null` that [`Json::from_f64`] emits
+    /// for non-finite inputs).
+    pub fn as_f64(&self, what: &str) -> Result<f64, SerdesError> {
+        if let Json::Num(s) = self {
+            if let Ok(v) = s.parse::<f64>() {
+                if v.is_finite() {
+                    return Ok(v);
+                }
+            }
+        }
+        Err(type_error(what, "a finite number", self))
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "a boolean",
+            Json::Num(_) => "a number",
+            Json::Str(_) => "a string",
+            Json::Arr(_) => "an array",
+            Json::Obj(_) => "an object",
+        }
+    }
+}
+
+fn type_error(what: &str, expected: &str, found: &Json) -> SerdesError {
+    SerdesError::Schema {
+        what: format!("{what}: expected {expected}, found {}", found.kind_name()),
+    }
+}
+
+/// Looks up a required object field.
+///
+/// # Errors
+///
+/// [`SerdesError::Schema`] naming `what` when `key` is absent.
+pub fn field<'a>(
+    fields: &'a [(String, Json)],
+    key: &str,
+    what: &str,
+) -> Result<&'a Json, SerdesError> {
+    opt_field(fields, key).ok_or_else(|| SerdesError::Schema {
+        what: format!("{what}: missing field \"{key}\""),
+    })
+}
+
+/// Looks up an optional object field (first occurrence wins).
+pub fn opt_field<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Checks the document envelope: `"format"` must equal `format` and
+/// `"version"` must equal `version`.
+///
+/// # Errors
+///
+/// [`SerdesError::Schema`] for a missing/mismatched format tag,
+/// [`SerdesError::Version`] for a version this build does not read.
+pub fn check_envelope(
+    fields: &[(String, Json)],
+    format: &str,
+    version: u64,
+) -> Result<(), SerdesError> {
+    let found = field(fields, "format", "document")?.as_str("\"format\"")?;
+    if found != format {
+        return Err(SerdesError::Schema {
+            what: format!("expected format \"{format}\", found \"{found}\""),
+        });
+    }
+    let v = field(fields, "version", "document")?.as_u64("\"version\"")?;
+    if v != version {
+        return Err(SerdesError::Version {
+            found: v,
+            expected: version,
+        });
+    }
+    Ok(())
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: impl Into<String>) -> SerdesError {
+        SerdesError::Syntax {
+            offset: self.pos,
+            what: what.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), SerdesError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, SerdesError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected \"{text}\"")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, SerdesError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, SerdesError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, SerdesError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SerdesError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain (non-escape, non-quote) bytes. The
+            // input is a &str, so any multi-byte UTF-8 run is sound to copy.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Slicing on `pos` is safe: quotes/backslashes are ASCII, so
+                // the scan above only stops on character boundaries.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), SerdesError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let high = self.hex4()?;
+                let code = if (0xd800..0xdc00).contains(&high) {
+                    // Surrogate pair: require an immediately following \uXXXX
+                    // low surrogate.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')
+                            .map_err(|_| self.err("expected low surrogate escape"))?;
+                        let low = self.hex4()?;
+                        if !(0xdc00..0xe000).contains(&low) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        0x10000 + ((high - 0xd800) << 10) + (low - 0xdc00)
+                    } else {
+                        return Err(self.err("unpaired surrogate escape"));
+                    }
+                } else {
+                    high
+                };
+                match char::from_u32(code) {
+                    Some(ch) => out.push(ch),
+                    None => return Err(self.err("invalid unicode escape")),
+                }
+            }
+            other => return Err(self.err(format!("invalid escape '\\{}'", other as char))),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, SerdesError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = match c {
+                b'0'..=b'9' => u32::from(c - b'0'),
+                b'a'..=b'f' => u32::from(c - b'a') + 10,
+                b'A'..=b'F' => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = (v << 4) | digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, SerdesError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        // `bytes[start..pos]` is all ASCII, so the unwrap-free conversion
+        // below cannot fail; validate the token by parsing it as f64.
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if token.parse::<f64>().is_err() {
+            self.pos = start;
+            return Err(self.err(format!("invalid number \"{token}\"")));
+        }
+        Ok(Json::Num(token.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program schema
+// ---------------------------------------------------------------------------
+
+/// Serializes a program to its version-[`PROGRAM_VERSION`] JSON document.
+pub fn program_to_json(program: &Program) -> String {
+    program_value(program).render()
+}
+
+/// Encodes a program as a [`Json`] value (the document [`program_to_json`]
+/// renders). Useful for embedding a program inside a larger document.
+pub fn program_value(program: &Program) -> Json {
+    let arrays = program
+        .arrays()
+        .map(|(id, a)| {
+            Json::Obj(vec![
+                ("id".into(), Json::from_u64(id.index() as u64)),
+                ("name".into(), Json::Str(a.name.clone())),
+                (
+                    "dims".into(),
+                    Json::Arr(a.dims.iter().map(|&d| Json::from_u64(d)).collect()),
+                ),
+                ("elem".into(), Json::Str(a.elem.to_string())),
+            ])
+        })
+        .collect();
+    let loops = program
+        .loops()
+        .map(|(id, l)| {
+            Json::Obj(vec![
+                ("id".into(), Json::from_u64(id.index() as u64)),
+                ("name".into(), Json::Str(l.name.clone())),
+                ("lower".into(), Json::from_i64(l.lower)),
+                ("upper".into(), Json::from_i64(l.upper)),
+                ("step".into(), Json::from_i64(l.step)),
+                ("body".into(), nodes_value(&l.body)),
+            ])
+        })
+        .collect();
+    let stmts = program
+        .stmts()
+        .map(|(id, s)| {
+            Json::Obj(vec![
+                ("id".into(), Json::from_u64(id.index() as u64)),
+                ("name".into(), Json::Str(s.name.clone())),
+                ("compute_cycles".into(), Json::from_u64(s.compute_cycles)),
+                (
+                    "accesses".into(),
+                    Json::Arr(s.accesses.iter().map(access_value).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("format".into(), Json::Str(PROGRAM_FORMAT.into())),
+        ("version".into(), Json::from_u64(PROGRAM_VERSION)),
+        ("name".into(), Json::Str(program.name().into())),
+        ("arrays".into(), Json::Arr(arrays)),
+        ("loops".into(), Json::Arr(loops)),
+        ("stmts".into(), Json::Arr(stmts)),
+        ("roots".into(), nodes_value(program.roots())),
+    ])
+}
+
+fn nodes_value(nodes: &[NodeId]) -> Json {
+    Json::Arr(nodes.iter().map(|n| Json::Str(n.to_string())).collect())
+}
+
+fn access_value(access: &Access) -> Json {
+    Json::Obj(vec![
+        ("array".into(), Json::from_u64(access.array.index() as u64)),
+        ("kind".into(), Json::Str(access.kind.to_string())),
+        (
+            "index".into(),
+            Json::Arr(access.index.iter().map(expr_value).collect()),
+        ),
+    ])
+}
+
+fn expr_value(expr: &AffineExpr) -> Json {
+    Json::Obj(vec![
+        ("constant".into(), Json::from_i64(expr.constant())),
+        (
+            "terms".into(),
+            Json::Arr(
+                expr.terms()
+                    .map(|(l, c)| {
+                        Json::Arr(vec![Json::from_u64(l.index() as u64), Json::from_i64(c)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserializes a program from a version-[`PROGRAM_VERSION`] JSON document
+/// and validates it.
+///
+/// # Errors
+///
+/// * [`SerdesError::Syntax`] — the input is not JSON,
+/// * [`SerdesError::Schema`] — the document shape does not match the schema
+///   (wrong format tag, missing field, id/position mismatch, bad node ref),
+/// * [`SerdesError::Version`] — the document is from a different schema
+///   version,
+/// * [`SerdesError::Invalid`] — the decoded program fails
+///   [`Program::validate`].
+///
+/// Never panics.
+pub fn program_from_json(text: &str) -> Result<Program, SerdesError> {
+    let doc = Json::parse(text)?;
+    program_from_value(&doc)
+}
+
+/// Deserializes a program from an already-parsed [`Json`] value; see
+/// [`program_from_json`].
+///
+/// # Errors
+///
+/// As [`program_from_json`], minus the syntax class.
+pub fn program_from_value(doc: &Json) -> Result<Program, SerdesError> {
+    let fields = doc.as_object("program document")?;
+    check_envelope(fields, PROGRAM_FORMAT, PROGRAM_VERSION)?;
+    let name = field(fields, "name", "program")?
+        .as_str("program \"name\"")?
+        .to_string();
+
+    let mut arrays = Vec::new();
+    for (i, entry) in field(fields, "arrays", "program")?
+        .as_array("\"arrays\"")?
+        .iter()
+        .enumerate()
+    {
+        let what = format!("arrays[{i}]");
+        let o = entry.as_object(&what)?;
+        check_id(o, i, &what)?;
+        let dims = field(o, "dims", &what)?
+            .as_array(&format!("{what}.dims"))?
+            .iter()
+            .map(|d| d.as_u64(&format!("{what}.dims entry")))
+            .collect::<Result<Vec<u64>, _>>()?;
+        arrays.push(ArrayDecl {
+            name: field(o, "name", &what)?
+                .as_str(&format!("{what}.name"))?
+                .to_string(),
+            dims,
+            elem: elem_from_str(field(o, "elem", &what)?.as_str(&format!("{what}.elem"))?)?,
+        });
+    }
+
+    let mut loops = Vec::new();
+    for (i, entry) in field(fields, "loops", "program")?
+        .as_array("\"loops\"")?
+        .iter()
+        .enumerate()
+    {
+        let what = format!("loops[{i}]");
+        let o = entry.as_object(&what)?;
+        check_id(o, i, &what)?;
+        loops.push(Loop {
+            name: field(o, "name", &what)?
+                .as_str(&format!("{what}.name"))?
+                .to_string(),
+            lower: field(o, "lower", &what)?.as_i64(&format!("{what}.lower"))?,
+            upper: field(o, "upper", &what)?.as_i64(&format!("{what}.upper"))?,
+            step: field(o, "step", &what)?.as_i64(&format!("{what}.step"))?,
+            body: nodes_from_value(field(o, "body", &what)?, &format!("{what}.body"))?,
+        });
+    }
+
+    let mut stmts = Vec::new();
+    for (i, entry) in field(fields, "stmts", "program")?
+        .as_array("\"stmts\"")?
+        .iter()
+        .enumerate()
+    {
+        let what = format!("stmts[{i}]");
+        let o = entry.as_object(&what)?;
+        check_id(o, i, &what)?;
+        let mut accesses = Vec::new();
+        for (j, a) in field(o, "accesses", &what)?
+            .as_array(&format!("{what}.accesses"))?
+            .iter()
+            .enumerate()
+        {
+            accesses.push(access_from_value(a, &format!("{what}.accesses[{j}]"))?);
+        }
+        stmts.push(Statement {
+            name: field(o, "name", &what)?
+                .as_str(&format!("{what}.name"))?
+                .to_string(),
+            accesses,
+            compute_cycles: field(o, "compute_cycles", &what)?
+                .as_u64(&format!("{what}.compute_cycles"))?,
+        });
+    }
+
+    let roots = nodes_from_value(field(fields, "roots", "program")?, "\"roots\"")?;
+
+    let program = Program {
+        name,
+        arrays,
+        loops,
+        stmts,
+        roots,
+    };
+    program.validate()?;
+    Ok(program)
+}
+
+/// Checks the explicit `"id"` field against the entity's arena position.
+fn check_id(fields: &[(String, Json)], position: usize, what: &str) -> Result<(), SerdesError> {
+    let id = field(fields, "id", what)?.as_u64(&format!("{what}.id"))?;
+    if id != position as u64 {
+        return Err(SerdesError::Schema {
+            what: format!("{what}: id {id} does not match arena position {position}"),
+        });
+    }
+    Ok(())
+}
+
+fn elem_from_str(s: &str) -> Result<ElemType, SerdesError> {
+    match s {
+        "u8" => Ok(ElemType::U8),
+        "i16" => Ok(ElemType::I16),
+        "i32" => Ok(ElemType::I32),
+        "f32" => Ok(ElemType::F32),
+        "f64" => Ok(ElemType::F64),
+        other => Err(SerdesError::Schema {
+            what: format!("unknown element type \"{other}\""),
+        }),
+    }
+}
+
+fn arena_index(value: u64, what: &str) -> Result<usize, SerdesError> {
+    if value > u64::from(u32::MAX) {
+        return Err(SerdesError::Schema {
+            what: format!("{what}: index {value} out of arena range"),
+        });
+    }
+    Ok(value as usize)
+}
+
+fn nodes_from_value(value: &Json, what: &str) -> Result<Vec<NodeId>, SerdesError> {
+    value
+        .as_array(what)?
+        .iter()
+        .map(|n| node_from_str(n.as_str(&format!("{what} entry"))?, what))
+        .collect()
+}
+
+/// Parses a node reference in its display form (`"L0"` / `"S3"`). The index
+/// is *not* checked against the arena here — a dangling reference is a
+/// program-level defect that [`Program::validate`] reports as the
+/// [`ValidateError`] it is, not a schema error.
+fn node_from_str(s: &str, what: &str) -> Result<NodeId, SerdesError> {
+    let bad = || SerdesError::Schema {
+        what: format!("{what}: invalid node reference \"{s}\" (expected \"L<n>\" or \"S<n>\")"),
+    };
+    let index = |digits: &str| -> Result<usize, SerdesError> {
+        let v = digits.parse::<u64>().map_err(|_| bad())?;
+        arena_index(v, what)
+    };
+    match s.as_bytes().first() {
+        Some(b'L') => Ok(NodeId::Loop(LoopId::from_index(index(&s[1..])?))),
+        Some(b'S') => Ok(NodeId::Stmt(StmtId::from_index(index(&s[1..])?))),
+        _ => Err(bad()),
+    }
+}
+
+fn access_from_value(value: &Json, what: &str) -> Result<Access, SerdesError> {
+    let o = value.as_object(what)?;
+    let array_raw = field(o, "array", what)?.as_u64(&format!("{what}.array"))?;
+    let array = ArrayId::from_index(arena_index(array_raw, &format!("{what}.array"))?);
+    let kind = match field(o, "kind", what)?.as_str(&format!("{what}.kind"))? {
+        "read" => AccessKind::Read,
+        "write" => AccessKind::Write,
+        other => {
+            return Err(SerdesError::Schema {
+                what: format!("{what}.kind: unknown access kind \"{other}\""),
+            })
+        }
+    };
+    let index = field(o, "index", what)?
+        .as_array(&format!("{what}.index"))?
+        .iter()
+        .enumerate()
+        .map(|(k, e)| expr_from_value(e, &format!("{what}.index[{k}]")))
+        .collect::<Result<Vec<AffineExpr>, _>>()?;
+    Ok(Access { array, kind, index })
+}
+
+fn expr_from_value(value: &Json, what: &str) -> Result<AffineExpr, SerdesError> {
+    let o = value.as_object(what)?;
+    let mut expr =
+        AffineExpr::constant_expr(field(o, "constant", what)?.as_i64(&format!("{what}.constant"))?);
+    for (i, term) in field(o, "terms", what)?
+        .as_array(&format!("{what}.terms"))?
+        .iter()
+        .enumerate()
+    {
+        let twhat = format!("{what}.terms[{i}]");
+        let pair = term.as_array(&twhat)?;
+        if pair.len() != 2 {
+            return Err(SerdesError::Schema {
+                what: format!("{twhat}: expected a [loop, coeff] pair"),
+            });
+        }
+        let loop_raw = pair[0].as_u64(&format!("{twhat} loop"))?;
+        let iter = LoopId::from_index(arena_index(loop_raw, &format!("{twhat} loop"))?);
+        let coeff = pair[1].as_i64(&format!("{twhat} coeff"))?;
+        expr = expr + AffineExpr::scaled_var(iter, coeff);
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn sad_program() -> Program {
+        let mut b = ProgramBuilder::new("sad");
+        let cur = b.array("cur", &[16, 16], ElemType::U8);
+        let ref_ = b.array("ref", &[32, 32], ElemType::U8);
+        let y = b.begin_loop("y", 0, 16, 1);
+        let x = b.begin_loop("x", 0, 16, 1);
+        let (iy, ix) = (b.var(y), b.var(x));
+        b.stmt("acc")
+            .read(cur, vec![iy.clone(), ix.clone()])
+            .read(ref_, vec![iy + 8, ix + 8])
+            .compute_cycles(2)
+            .finish();
+        b.end_loop();
+        b.end_loop();
+        b.finish()
+    }
+
+    #[test]
+    fn round_trips_a_real_program() {
+        let p = sad_program();
+        let text = program_to_json(&p);
+        let back = program_from_json(&text).expect("round trip");
+        assert_eq!(p, back);
+        // And the rendered form is itself stable.
+        assert_eq!(program_to_json(&back), text);
+    }
+
+    #[test]
+    fn envelope_is_checked() {
+        let p = sad_program();
+        let text = program_to_json(&p);
+        let wrong_version = text.replace("\"version\": 1", "\"version\": 99");
+        match program_from_json(&wrong_version) {
+            Err(SerdesError::Version {
+                found: 99,
+                expected: PROGRAM_VERSION,
+            }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+        let wrong_format = text.replace("mhla.program", "mhla.platform");
+        assert!(matches!(
+            program_from_json(&wrong_format),
+            Err(SerdesError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn id_position_mismatch_is_rejected() {
+        let p = sad_program();
+        let text = program_to_json(&p);
+        // The second array claims id 7.
+        let bad = text.replacen("\"id\": 1", "\"id\": 7", 1);
+        match program_from_json(&bad) {
+            Err(SerdesError::Schema { what }) => assert!(what.contains("arena position")),
+            other => panic!("expected schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_node_reference_is_a_validation_error() {
+        let p = sad_program();
+        let text = program_to_json(&p);
+        let bad = text.replace("\"roots\": [\"L0\"]", "\"roots\": [\"L9\"]");
+        assert!(matches!(
+            program_from_json(&bad),
+            Err(SerdesError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_yield_syntax_errors() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"format\": }",
+            "nul",
+            "\"unterminated",
+            "{\"a\": 1e}",
+            "\u{7f}",
+            "{} trailing",
+        ] {
+            assert!(
+                matches!(Json::parse(bad), Err(SerdesError::Syntax { .. })),
+                "input {bad:?} should be a syntax error"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(100_000);
+        assert!(matches!(
+            Json::parse(&deep),
+            Err(SerdesError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        // u64 above 2^53 survives because the raw token is kept.
+        let big = u64::MAX;
+        let v = Json::parse(&Json::from_u64(big).render()).expect("parse");
+        assert_eq!(v.as_u64("big").expect("u64"), big);
+        // f64 shortest display round-trips bit-exactly.
+        for f in [0.1, 1.0 / 3.0, 2.5e-17, -0.0, 1e300] {
+            let v = Json::parse(&Json::from_f64(f).render()).expect("parse");
+            assert_eq!(v.as_f64("f").expect("f64").to_bits(), f.to_bits());
+        }
+        // Non-finite encodes as null and is rejected by the typed reader.
+        assert!(Json::from_f64(f64::NAN).is_null());
+        assert!(Json::from_f64(f64::INFINITY).as_f64("inf").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in [
+            "plain",
+            "with \"quotes\"",
+            "tabs\tand\nnewlines",
+            "π ≠ \u{1f600}",
+        ] {
+            let rendered = Json::Str(s.to_string()).render();
+            let back = Json::parse(&rendered).expect("parse");
+            assert_eq!(back, Json::Str(s.to_string()));
+        }
+        // Surrogate-pair escapes parse to the astral char.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").expect("parse"),
+            Json::Str("\u{1f600}".to_string())
+        );
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let p = sad_program();
+        let text = program_to_json(&p).replacen(
+            "\"name\": \"sad\",",
+            "\"name\": \"sad\",\n  \"future_field\": [1, 2, 3],",
+            1,
+        );
+        assert_eq!(program_from_json(&text).expect("parse"), p);
+    }
+}

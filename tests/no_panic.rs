@@ -14,6 +14,13 @@
 //!    accessors select exactly the frontier of that prefix, and resuming
 //!    from the partial result reproduces the full, unbudgeted sweep.
 //!
+//! 3. **No panic on malformed serialized programs.** The `serdes` ingress
+//!    (`program_from_json`) must reject malformed, truncated and
+//!    wrong-version documents with a typed `SerdesError` that lifts onto
+//!    `MhlaError` — syntax/schema/version failures as `InvalidOptions`,
+//!    validation failures as `InvalidProgram` — and must never panic,
+//!    whatever the bytes.
+//!
 //! CI runs this suite in release mode (the `no_panic` leg); locally the
 //! deterministic per-test-name seed applies.
 
@@ -31,6 +38,7 @@ use mhla::core::multitask::try_partition_scratchpad;
 use mhla::core::{Mhla, MhlaConfig, MhlaError};
 use mhla::hierarchy::{LayerId, Platform};
 use mhla::ir::arbitrary::{corrupted_programs, program_specs};
+use mhla::ir::serdes::{program_from_json, program_to_json, SerdesError};
 use proptest::prelude::*;
 
 /// A small two-axis grid (6 points) whose capacities straddle the
@@ -113,6 +121,119 @@ proptest! {
         expect_invalid_program("try_partition_scratchpad", || {
             try_partition_scratchpad(&[&bad], &flat, &config, 256)
         });
+    }
+}
+
+/// Contract 3, pinned fixtures: malformed, truncated and wrong-version
+/// documents are rejected with the right `MhlaError` class — never a
+/// panic, never an acceptance.
+#[test]
+fn malformed_serialized_programs_are_rejected_not_panicked() {
+    // Every fixture here fails before validation, so each lifts onto
+    // `InvalidOptions`; the dangling-root case below is the one class
+    // that reaches validation and becomes `InvalidProgram`.
+    let fixtures: &[&str] = &[
+        // Not JSON at all.
+        "",
+        "not json",
+        "{\"format\": \"mhla.program\",",
+        // JSON, wrong document shape.
+        "[]",
+        "{}",
+        "{\"format\": \"mhla.platform\", \"version\": 1}",
+        // Wrong version.
+        "{\"format\": \"mhla.program\", \"version\": 2, \"name\": \"x\", \
+         \"arrays\": [], \"loops\": [], \"stmts\": [], \"roots\": []}",
+        // Id out of step with the arena position.
+        "{\"format\": \"mhla.program\", \"version\": 1, \"name\": \"x\", \
+         \"arrays\": [{\"id\": 3, \"name\": \"a\", \"dims\": [4], \"elem\": \"u8\"}], \
+         \"loops\": [], \"stmts\": [], \"roots\": []}",
+        // Unknown element type and bad node syntax.
+        "{\"format\": \"mhla.program\", \"version\": 1, \"name\": \"x\", \
+         \"arrays\": [{\"id\": 0, \"name\": \"a\", \"dims\": [4], \"elem\": \"u128\"}], \
+         \"loops\": [], \"stmts\": [], \"roots\": []}",
+        "{\"format\": \"mhla.program\", \"version\": 1, \"name\": \"x\", \
+         \"arrays\": [], \"loops\": [], \"stmts\": [], \"roots\": [\"Q0\"]}",
+    ];
+    for input in fixtures {
+        match catch_unwind(AssertUnwindSafe(|| program_from_json(input))) {
+            Err(_) => panic!("program_from_json panicked on {input:?}"),
+            Ok(Ok(_)) => panic!("program_from_json accepted {input:?}"),
+            Ok(Err(e)) => {
+                assert!(
+                    matches!(MhlaError::from(e), MhlaError::InvalidOptions { .. }),
+                    "fixture {input:?} must lift onto InvalidOptions"
+                );
+            }
+        }
+    }
+
+    // A well-formed document whose *program* is malformed (dangling root)
+    // keeps its ValidateError through the MhlaError lift.
+    let dangling = "{\"format\": \"mhla.program\", \"version\": 1, \"name\": \"x\", \
+         \"arrays\": [], \"loops\": [], \"stmts\": [], \"roots\": [\"S5\"]}";
+    match program_from_json(dangling) {
+        Err(e @ SerdesError::Invalid(_)) => {
+            assert!(matches!(MhlaError::from(e), MhlaError::InvalidProgram(_)));
+        }
+        other => panic!("expected a validation rejection, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Contract 3, randomized: any truncation of any serialized program
+    /// either parses back to the identical program (full length) or is
+    /// rejected with a typed error — never a panic.
+    #[test]
+    fn truncated_serialized_programs_never_panic(
+        spec in program_specs(),
+        pct in 0u64..=100,
+    ) {
+        let program = spec.build();
+        let text = program_to_json(&program);
+        // Snap to a char boundary (the document is ASCII today, but the
+        // contract must not depend on that).
+        let mut cut = (text.len() * pct as usize) / 100;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &text[..cut];
+        match catch_unwind(AssertUnwindSafe(|| program_from_json(truncated))) {
+            Err(_) => prop_assert!(false, "panicked on a {cut}-byte truncation"),
+            Ok(Ok(back)) => {
+                prop_assert_eq!(cut, text.len(), "a strict prefix must not parse");
+                prop_assert_eq!(back, program);
+            }
+            Ok(Err(_)) => {}
+        }
+    }
+
+    /// Contract 3, corrupted programs: every structural corruption
+    /// round-trips *textually* through the format and is then rejected at
+    /// ingress by the embedded validation — as `Invalid`, lifting onto
+    /// `InvalidProgram`.
+    #[test]
+    fn serialized_corrupted_programs_are_rejected_by_validation(
+        (program, corruption) in corrupted_programs(),
+    ) {
+        let bad = corruption.apply(&program);
+        let text = program_to_json(&bad);
+        match catch_unwind(AssertUnwindSafe(|| program_from_json(&text))) {
+            Err(_) => prop_assert!(false, "panicked deserializing a corrupted program"),
+            Ok(Ok(_)) => prop_assert!(false, "accepted a corrupted program"),
+            Ok(Err(e)) => {
+                prop_assert!(
+                    matches!(e, SerdesError::Invalid(_)),
+                    "expected a validation rejection, got {}", e
+                );
+                prop_assert!(matches!(
+                    MhlaError::from(e),
+                    MhlaError::InvalidProgram(_)
+                ));
+            }
+        }
     }
 }
 

@@ -1,0 +1,103 @@
+//! The on-disk format's two stability contracts:
+//!
+//! 1. **Round-trip.** `program_to_json` → `program_from_json` is the
+//!    identity on every valid program — the nine built-in apps and
+//!    arbitrary generated programs alike — and likewise for platforms
+//!    (presets and the non-pyramidal stacks grid sweeps produce). The
+//!    text itself is a fixed point: render → parse → render reproduces
+//!    the exact bytes, so documents can be diffed and cached.
+//!
+//! 2. **Golden pins.** `tests/golden/` holds documents written by the
+//!    version-1 schema. Serializing today's `fir_bank` app and
+//!    `three_level_default` platform must reproduce those bytes exactly,
+//!    and parsing them must reproduce the in-memory values. Any schema
+//!    drift breaks this test — which is the point: bump
+//!    `PROGRAM_VERSION`/`PLATFORM_VERSION` and re-pin deliberately, or
+//!    don't drift.
+
+use mhla::hierarchy::serdes::{platform_from_json, platform_to_json};
+use mhla::hierarchy::{LayerId, Platform};
+use mhla::ir::arbitrary::programs;
+use mhla::ir::serdes::{program_from_json, program_to_json};
+use proptest::prelude::*;
+
+#[test]
+fn every_builtin_app_round_trips() {
+    for app in mhla::apps::all_apps() {
+        let text = program_to_json(&app.program);
+        let back = program_from_json(&text).expect("re-ingest");
+        assert_eq!(back, app.program, "{} did not round-trip", app.name());
+        // The rendering is a fixed point of parse → render.
+        assert_eq!(program_to_json(&back), text);
+    }
+}
+
+#[test]
+fn platform_presets_round_trip() {
+    let presets = [
+        Platform::embedded_default(4 * 1024),
+        Platform::three_level_default(),
+        Platform::four_level_default(),
+        Platform::without_dma(8 * 1024),
+    ];
+    for platform in &presets {
+        let text = platform_to_json(platform);
+        let back = platform_from_json(&text).expect("re-ingest");
+        assert_eq!(&back, platform, "{} did not round-trip", platform.name());
+        assert_eq!(platform_to_json(&back), text);
+    }
+}
+
+/// Grid sweeps resize layers independently, producing stacks where an
+/// inner layer is *larger* than an outer one. The format must carry
+/// those verbatim — `from_parts` deliberately skips the monotonicity
+/// check `Platform::new` applies.
+#[test]
+fn non_pyramidal_grid_stacks_round_trip() {
+    let base = Platform::three_level_default();
+    let resized = base.with_layer_capacities(&[(LayerId(1), 256), (LayerId(2), 4096)]);
+    let back = platform_from_json(&platform_to_json(&resized)).expect("re-ingest");
+    assert_eq!(back, resized);
+}
+
+#[test]
+fn golden_program_is_pinned() {
+    let golden = include_str!("golden/fir_bank.prog.json");
+    let app = mhla::apps::fir_bank::app();
+    assert_eq!(
+        program_to_json(&app.program),
+        golden,
+        "fir_bank no longer serializes to the pinned version-1 bytes — \
+         if the schema changed, bump PROGRAM_VERSION and re-pin"
+    );
+    let back = program_from_json(golden).expect("golden file must parse");
+    assert_eq!(back, app.program);
+}
+
+#[test]
+fn golden_platform_is_pinned() {
+    let golden = include_str!("golden/three_level.platform.json");
+    let platform = Platform::three_level_default();
+    assert_eq!(
+        platform_to_json(&platform),
+        golden,
+        "three_level_default no longer serializes to the pinned version-1 \
+         bytes — if the schema changed, bump PLATFORM_VERSION and re-pin"
+    );
+    let back = platform_from_json(golden).expect("golden file must parse");
+    assert_eq!(back, platform);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Round-trip identity on arbitrary generated programs — names,
+    /// bounds, access matrices and node structure all survive.
+    #[test]
+    fn arbitrary_programs_round_trip(program in programs()) {
+        let text = program_to_json(&program);
+        let back = program_from_json(&text).expect("re-ingest");
+        prop_assert_eq!(&back, &program);
+        prop_assert_eq!(program_to_json(&back), text);
+    }
+}
