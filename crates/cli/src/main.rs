@@ -27,10 +27,11 @@ use mhla_core::explore::{
     GridAxis, GridSweepRun, SearchMode, StopCause, SweepOptions, SweepStatus,
 };
 use mhla_core::{report, Mhla, MhlaConfig, MhlaError};
-use mhla_hierarchy::serdes::{platform_from_json, platform_to_json};
+use mhla_hierarchy::serdes::{platform_from_json, platform_to_json, platform_value};
 use mhla_hierarchy::{LayerId, Platform};
-use mhla_ir::serdes::{program_from_json, program_to_json};
+use mhla_ir::serdes::{program_from_json, program_to_json, program_value, Json};
 use mhla_ir::Program;
+use mhla_serve::{Client, Response, ServedStatus, ServerOptions};
 
 const USAGE: &str = "\
 mhla — MHLA (DATE 2005) exploration over serialized programs
@@ -44,20 +45,35 @@ USAGE:
     mhla grid    (--input PROG.json | --app NAME) [--platform P]
                  [--axes SPEC] [--mode cold|improving] [--max-evals N]
                  [--resume] [--out FILE]
+    mhla serve   [--addr A] [--workers N] [--queue N] [--cache-bytes N]
+    mhla submit  (--input PROG.json | --app NAME) [--platform P]
+                 [--axes SPEC] [--mode cold|improving] [--objective O]
+                 [--max-evals N] [--timeout-ms N] [--addr A] [--out FILE]
+    mhla status  [--addr A]
+    mhla shutdown [--addr A]
     mhla help
 
 PLATFORM (--platform):
     three-level (default) | four-level | embedded[:BYTES] | no-dma[:BYTES],
     or a path to a platform JSON file (see `mhla export`).
 
-AXES (--axes), grid only:
+AXES (--axes), grid and submit:
     LAYER:CAP,CAP,..[;LAYER:CAP,..]  e.g.  1:16384,32768;2:1024,2048
     Defaults to the standard grid of the platform's layer count.
 
 Budgeted runs (--max-evals) stop early with a certified partial frontier;
 `grid --resume` continues a stopped sweep to completion in one invocation.
+
+`mhla serve` runs the batch exploration server (default address
+127.0.0.1:7744) with a content-addressed result cache; `mhla submit`
+sends one exploration to it and reconstructs the exact `mhla grid` CSV
+from the response. `mhla status` prints the server's cache and engine
+counters; `mhla shutdown` drains it gracefully.
 Exit codes: 0 success, 2 on any error (typed message on stderr).
 ";
+
+/// The default server address of `serve`/`submit`/`status`/`shutdown`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7744";
 
 /// One failure class per exit path; everything renders after `error: `.
 enum CliError {
@@ -71,6 +87,15 @@ enum CliError {
     /// The engine boundary said no (includes serialization failures via
     /// `From<SerdesError> for MhlaError`).
     Engine(MhlaError),
+    /// The transport to an `mhla serve` instance failed.
+    Net {
+        addr: String,
+        source: std::io::Error,
+    },
+    /// The server answered with a typed error response.
+    Server(mhla_serve::ErrorBody),
+    /// Writing to stdout failed (closed pipe downstream, disk full, …).
+    Stdout(std::io::Error),
 }
 
 impl fmt::Display for CliError {
@@ -79,8 +104,29 @@ impl fmt::Display for CliError {
             CliError::Usage(what) => write!(f, "{what} (run `mhla help` for usage)"),
             CliError::Io { path, source } => write!(f, "{}: {source}", path.display()),
             CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Net { addr, source } => write!(f, "{addr}: {source}"),
+            CliError::Server(e) => write!(f, "server: {e}"),
+            CliError::Stdout(source) => write!(f, "stdout: {source}"),
         }
     }
+}
+
+/// Fallible stdout, replacing `println!` throughout: a downstream reader
+/// may close the pipe mid-output (`mhla status | grep -q …`), which the
+/// macros turn into a panic. Here it surfaces as [`CliError::Stdout`],
+/// and `main` maps a broken pipe to a clean exit — the POSIX filter
+/// convention — while every other stdout failure stays a real error.
+fn out(text: &str) -> Result<(), CliError> {
+    use std::io::Write as _;
+    std::io::stdout()
+        .lock()
+        .write_all(text.as_bytes())
+        .map_err(CliError::Stdout)
+}
+
+fn outln(text: &str) -> Result<(), CliError> {
+    out(text)?;
+    out("\n")
 }
 
 impl From<MhlaError> for CliError {
@@ -99,6 +145,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
+        // A reader that closes the pipe early (`mhla status | grep -q`)
+        // got everything it wanted; that is success, not a diagnostic.
+        Err(CliError::Stdout(e)) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(2)
@@ -112,15 +161,16 @@ fn run(args: &[String]) -> Result<(), CliError> {
         None => return Err(CliError::Usage("missing subcommand".into())),
     };
     match cmd {
-        "help" | "--help" | "-h" => {
-            print!("{USAGE}");
-            Ok(())
-        }
+        "help" | "--help" | "-h" => out(USAGE),
         "export" => cmd_export(&Flags::parse(rest)?),
         "analyze" => cmd_analyze(&Flags::parse(rest)?),
         "report" => cmd_report(&Flags::parse(rest)?),
         "sweep" => cmd_sweep(&Flags::parse(rest)?),
         "grid" => cmd_grid(&Flags::parse(rest)?),
+        "serve" => cmd_serve(&Flags::parse(rest)?),
+        "submit" => cmd_submit(&Flags::parse(rest)?),
+        "status" => cmd_status(&Flags::parse(rest)?),
+        "shutdown" => cmd_shutdown(&Flags::parse(rest)?),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }
@@ -142,6 +192,12 @@ struct Flags {
     out: Option<PathBuf>,
     dir: Option<PathBuf>,
     resume: bool,
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    cache_bytes: Option<usize>,
+    timeout_ms: Option<u64>,
+    objective: Option<String>,
 }
 
 impl Flags {
@@ -162,6 +218,12 @@ impl Flags {
                 "--out" => f.out = Some(PathBuf::from(value(args, &mut i)?)),
                 "--dir" => f.dir = Some(PathBuf::from(value(args, &mut i)?)),
                 "--resume" => f.resume = true,
+                "--addr" => f.addr = Some(value(args, &mut i)?.to_string()),
+                "--workers" => f.workers = Some(parse_number(value(args, &mut i)?, flag)?),
+                "--queue" => f.queue = Some(parse_number(value(args, &mut i)?, flag)?),
+                "--cache-bytes" => f.cache_bytes = Some(parse_number(value(args, &mut i)?, flag)?),
+                "--timeout-ms" => f.timeout_ms = Some(parse_number(value(args, &mut i)?, flag)?),
+                "--objective" => f.objective = Some(value(args, &mut i)?.to_string()),
                 other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
             }
             i += 1;
@@ -314,17 +376,13 @@ fn parse_axes(spec: &str) -> Result<Vec<GridAxis>, CliError> {
 }
 
 /// Writes `text` to `--out` when given, to stdout otherwise.
-fn emit(text: &str, out: Option<&PathBuf>) -> Result<(), CliError> {
-    match out {
+fn emit(text: &str, dest: Option<&PathBuf>) -> Result<(), CliError> {
+    match dest {
         Some(path) => {
             write_file(path, text)?;
-            println!("wrote {}", path.display());
-            Ok(())
+            outln(&format!("wrote {}", path.display()))
         }
-        None => {
-            print!("{text}");
-            Ok(())
-        }
+        None => out(text),
     }
 }
 
@@ -365,13 +423,13 @@ fn cmd_export(f: &Flags) -> Result<(), CliError> {
     for app in mhla_apps::all_apps() {
         let prog = dir.join(format!("{}.prog.json", app.name()));
         write_file(&prog, &program_to_json(&app.program))?;
-        println!("wrote {}", prog.display());
+        outln(&format!("wrote {}", prog.display()))?;
         let plat = dir.join(format!("{}.platform.json", app.name()));
         write_file(
             &plat,
             &platform_to_json(&Platform::embedded_default(app.default_scratchpad)),
         )?;
-        println!("wrote {}", plat.display());
+        outln(&format!("wrote {}", plat.display()))?;
     }
     for (name, platform) in [
         ("three-level", Platform::three_level_default()),
@@ -379,7 +437,7 @@ fn cmd_export(f: &Flags) -> Result<(), CliError> {
     ] {
         let path = dir.join(format!("{name}.platform.json"));
         write_file(&path, &platform_to_json(&platform))?;
-        println!("wrote {}", path.display());
+        outln(&format!("wrote {}", path.display()))?;
     }
     Ok(())
 }
@@ -391,16 +449,15 @@ fn cmd_analyze(f: &Flags) -> Result<(), CliError> {
     let platform = load_platform(f)?;
     let mhla = Mhla::try_new(&program, &platform, MhlaConfig::default())?;
     let result = mhla.try_run()?;
-    println!("{platform}");
-    println!();
-    print!("{}", report::describe(&program, mhla.reuse(), &result));
-    println!();
-    println!("{}", report::performance_header());
-    println!("{}", report::performance_row(program.name(), &result));
-    println!();
-    println!("{}", report::energy_header());
-    println!("{}", report::energy_row(program.name(), &result));
-    Ok(())
+    outln(&platform.to_string())?;
+    outln("")?;
+    out(&report::describe(&program, mhla.reuse(), &result))?;
+    outln("")?;
+    outln(&report::performance_header())?;
+    outln(&report::performance_row(program.name(), &result))?;
+    outln("")?;
+    outln(&report::energy_header())?;
+    outln(&report::energy_row(program.name(), &result))
 }
 
 /// `mhla report`: just the figures (performance + energy rows), for
@@ -410,11 +467,10 @@ fn cmd_report(f: &Flags) -> Result<(), CliError> {
     let platform = load_platform(f)?;
     let mhla = Mhla::try_new(&program, &platform, MhlaConfig::default())?;
     let result = mhla.try_run()?;
-    println!("{}", report::performance_header());
-    println!("{}", report::performance_row(program.name(), &result));
-    println!("{}", report::energy_header());
-    println!("{}", report::energy_row(program.name(), &result));
-    Ok(())
+    outln(&report::performance_header())?;
+    outln(&report::performance_row(program.name(), &result))?;
+    outln(&report::energy_header())?;
+    outln(&report::energy_row(program.name(), &result))
 }
 
 /// `mhla sweep`: a one-layer capacity sweep; CSV to `--out` or stdout.
@@ -458,16 +514,182 @@ fn cmd_grid(f: &Flags) -> Result<(), CliError> {
         run = try_sweep_grid_resume(&program, &platform, &axes, &config, &unlimited, &run)?;
     }
     if f.out.is_some() {
-        print!("{}", report::grid_frontier(&run.sweep));
-        println!(
+        out(&report::grid_frontier(&run.sweep))?;
+        outln(&format!(
             "grid: {}/{} points evaluated",
             run.sweep.points.len(),
             run.candidates
-        );
+        ))?;
     }
     emit(&report::grid_csv(&run.sweep), f.out.as_ref())?;
     if let Some(note) = status_note(&run.status) {
         eprintln!("{note}");
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Serving (`serve` / `submit` / `status` / `shutdown`)
+// ---------------------------------------------------------------------------
+
+fn server_addr(f: &Flags) -> String {
+    f.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.to_string())
+}
+
+fn net_err(addr: &str) -> impl FnOnce(std::io::Error) -> CliError + '_ {
+    move |source| CliError::Net {
+        addr: addr.to_string(),
+        source,
+    }
+}
+
+/// `mhla serve`: the batch exploration server, in the foreground until a
+/// `shutdown` request drains it.
+fn cmd_serve(f: &Flags) -> Result<(), CliError> {
+    let addr = server_addr(f);
+    let mut opts = ServerOptions::default();
+    if let Some(w) = f.workers {
+        if w == 0 {
+            return Err(CliError::Usage("`--workers` must be positive".into()));
+        }
+        opts.workers = w;
+    }
+    if let Some(q) = f.queue {
+        if q == 0 {
+            return Err(CliError::Usage("`--queue` must be positive".into()));
+        }
+        opts.queue = q;
+    }
+    if let Some(b) = f.cache_bytes {
+        opts.cache_bytes = b;
+    }
+    mhla_serve::serve(addr.as_str(), opts, |bound| {
+        let _ = outln(&format!("listening on {bound}"));
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+    })
+    .map_err(net_err(&addr))
+}
+
+/// Builds the `explore` request line `submit` sends.
+fn submit_request(f: &Flags, program: &Program, platform: &Platform) -> Result<String, CliError> {
+    let mut fields = vec![
+        ("op".to_string(), Json::Str("explore".into())),
+        ("program".to_string(), program_value(program)),
+        ("platform".to_string(), platform_value(platform)),
+    ];
+    if let Some(spec) = &f.axes {
+        let axes = parse_axes(spec)?;
+        fields.push((
+            "axes".to_string(),
+            Json::Arr(
+                axes.iter()
+                    .map(|a| {
+                        Json::Obj(vec![
+                            ("layer".into(), Json::from_u64(a.layer.0 as u64)),
+                            (
+                                "capacities".into(),
+                                Json::Arr(
+                                    a.capacities.iter().map(|&c| Json::from_u64(c)).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    match f.objective.as_deref() {
+        None => {}
+        Some(o @ ("cycles" | "energy")) => {
+            fields.push(("objective".to_string(), Json::Str(o.into())));
+        }
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown objective `{other}` (expected `cycles` or `energy`)"
+            )))
+        }
+    }
+    match f.mode.as_deref() {
+        None => {}
+        Some(m @ ("cold" | "improving")) => {
+            fields.push(("mode".to_string(), Json::Str(m.into())));
+        }
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown mode `{other}` (expected `cold` or `improving`)"
+            )))
+        }
+    }
+    if let Some(n) = f.max_evals {
+        if n == 0 {
+            return Err(CliError::Usage("`--max-evals` must be positive".into()));
+        }
+        fields.push(("max_evals".to_string(), Json::from_u64(n as u64)));
+    }
+    if let Some(ms) = f.timeout_ms {
+        fields.push(("timeout_ms".to_string(), Json::from_u64(ms)));
+    }
+    Ok(Json::Obj(fields).render_compact())
+}
+
+/// `mhla submit`: one exploration against a running server; the response
+/// is rendered back into the exact `mhla grid` CSV.
+fn cmd_submit(f: &Flags) -> Result<(), CliError> {
+    let program = load_program(f)?;
+    let platform = load_platform(f)?;
+    let addr = server_addr(f);
+    let line = submit_request(f, &program, &platform)?;
+    let mut client = Client::connect(addr.as_str()).map_err(net_err(&addr))?;
+    let response = client.roundtrip(&line).map_err(net_err(&addr))?;
+    match Response::parse(&response).map_err(MhlaError::from)? {
+        Response::Frontier { cached, frontier } => {
+            eprintln!(
+                "cache {}: {}/{} points from {addr}",
+                if cached { "hit" } else { "miss" },
+                frontier.points.len(),
+                frontier.candidates
+            );
+            emit(&frontier.grid_csv(), f.out.as_ref())?;
+            if let ServedStatus::Stopped { cause, next_lex } = &frontier.status {
+                eprintln!(
+                    "note: served sweep stopped ({cause}) — certified partial frontier \
+                     up to lexicographic index {next_lex} (resubmit with a larger \
+                     `--max-evals` to continue)"
+                );
+            }
+            Ok(())
+        }
+        Response::Error(e) => Err(CliError::Server(e)),
+        Response::Other(_) => Err(CliError::Usage(
+            "unexpected response shape from the server".into(),
+        )),
+    }
+}
+
+/// `mhla status`: the server's cache and engine counters, pretty-printed.
+fn cmd_status(f: &Flags) -> Result<(), CliError> {
+    let addr = server_addr(f);
+    let response =
+        mhla_serve::request_once(addr.as_str(), "{\"op\":\"status\"}").map_err(net_err(&addr))?;
+    match Response::parse(&response).map_err(MhlaError::from)? {
+        Response::Other(body) => outln(&body.render()),
+        Response::Error(e) => Err(CliError::Server(e)),
+        Response::Frontier { .. } => Err(CliError::Usage(
+            "unexpected response shape from the server".into(),
+        )),
+    }
+}
+
+/// `mhla shutdown`: graceful drain of a running server.
+fn cmd_shutdown(f: &Flags) -> Result<(), CliError> {
+    let addr = server_addr(f);
+    let response =
+        mhla_serve::request_once(addr.as_str(), "{\"op\":\"shutdown\"}").map_err(net_err(&addr))?;
+    match Response::parse(&response).map_err(MhlaError::from)? {
+        Response::Other(_) => outln(&format!("server at {addr} is draining")),
+        Response::Error(e) => Err(CliError::Server(e)),
+        Response::Frontier { .. } => Err(CliError::Usage(
+            "unexpected response shape from the server".into(),
+        )),
+    }
 }

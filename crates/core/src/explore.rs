@@ -923,6 +923,50 @@ pub fn try_sweep_grid_run(
 ) -> Result<GridSweepRun, MhlaError> {
     error::validate_run_ingress(program, platform, config)?;
     error::validate_axes(platform, axes)?;
+    // Everything capacity-independent — reuse analysis, program facts, TE
+    // caches, candidate moves — is computed once here and borrowed by
+    // every point.
+    let ctx = ExplorationContext::new(program, platform, config.clone());
+    run_in(&ctx, platform, axes, opts)
+}
+
+/// [`try_sweep_grid_run`] over a caller-provided [`ExplorationContext`] —
+/// the entry point for callers that serve many requests against the same
+/// program (the `mhla serve` batch server): the context's reuse analysis,
+/// program facts, TE caches and move space are paid for once and reused
+/// across calls, while each call still validates its own ingress and runs
+/// under its own [`SweepOptions::budget`].
+///
+/// The context must have been built against the same `platform`
+/// layer-stack *shape* the axes address (capacities are free to differ —
+/// the sweep resizes them per point; context construction only reads the
+/// stack shape). Results are bit-identical to [`try_sweep_grid_run`] with
+/// the context's program and config — `tests/serve_equivalence.rs` pins
+/// this.
+///
+/// # Errors
+///
+/// As [`try_sweep_grid_run`].
+pub fn try_sweep_grid_run_in(
+    ctx: &ExplorationContext<'_>,
+    platform: &Platform,
+    axes: &[GridAxis],
+    opts: &SweepOptions,
+) -> Result<GridSweepRun, MhlaError> {
+    error::validate_run_ingress(ctx.program(), platform, ctx.config())?;
+    error::validate_axes(platform, axes)?;
+    run_in(ctx, platform, axes, opts)
+}
+
+/// The shared tail of [`try_sweep_grid_run`] / [`try_sweep_grid_run_in`]:
+/// axes already validated, context in hand — clean the axes, shortcut the
+/// empty grid, run the mode's scheduler.
+fn run_in(
+    ctx: &ExplorationContext<'_>,
+    platform: &Platform,
+    axes: &[GridAxis],
+    opts: &SweepOptions,
+) -> Result<GridSweepRun, MhlaError> {
     let layers: Vec<LayerId> = axes.iter().map(|a| a.layer).collect();
     let axis_caps: Vec<Vec<u64>> = axes
         .iter()
@@ -941,12 +985,7 @@ pub fn try_sweep_grid_run(
             status: SweepStatus::Complete,
         });
     }
-
-    // Everything capacity-independent — reuse analysis, program facts, TE
-    // caches, candidate moves — is computed once here and borrowed by
-    // every point.
-    let ctx = ExplorationContext::new(program, platform, config.clone());
-    let engine = SweepEngine::new(&ctx, platform, &layers, &axis_caps);
+    let engine = SweepEngine::new(ctx, platform, &layers, &axis_caps);
     Ok(match opts.mode {
         SearchMode::Cold => engine.run_chunked(opts, 0),
         SearchMode::Improving => engine.run_lex(&opts.budget, 0, &[]),

@@ -67,6 +67,7 @@ pub mod context;
 pub mod cost;
 pub mod error;
 pub mod explore;
+pub mod fingerprint;
 pub mod multitask;
 pub mod pareto;
 pub mod report;

@@ -38,6 +38,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Serialized platforms are hostile ingress: every reachable failure must
+// surface as a typed error ([`serdes::SerdesError`] / [`PlatformError`]),
+// never a panic. Surviving `expect`s are compile-time-constant preset
+// constructions, each carrying an explicit `#[allow]` + justification.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod energy;
 

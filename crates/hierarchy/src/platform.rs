@@ -139,6 +139,11 @@ impl Platform {
     /// # Panics
     ///
     /// Panics if `scratchpad_bytes` is zero.
+    // The `expect` implements the documented size-precondition panic of
+    // this in-process preset constructor; nothing else about the fixed
+    // stack can be rejected. Serialized (hostile) ingress never reaches
+    // it — `from_parts` returns typed errors instead.
+    #[allow(clippy::expect_used)]
     pub fn embedded_default(scratchpad_bytes: u64) -> Self {
         Platform::new(
             format!("embedded-spm{}", scratchpad_bytes / 1024),
@@ -159,6 +164,11 @@ impl Platform {
     ///
     /// Panics if `l1_bytes >= l2_bytes` (the stack would not be a pyramid)
     /// or either size is zero.
+    // The `expect` implements the documented size-precondition panic of
+    // this in-process preset constructor; nothing else about the fixed
+    // stack can be rejected. Serialized (hostile) ingress never reaches
+    // it — `from_parts` returns typed errors instead.
+    #[allow(clippy::expect_used)]
     pub fn three_level(l2_bytes: u64, l1_bytes: u64) -> Self {
         assert!(
             l1_bytes < l2_bytes,
@@ -198,6 +208,11 @@ impl Platform {
     ///
     /// Panics if the sizes do not form a pyramid
     /// (`l1 < l2 < l3` with `l1`, `l2` nonzero).
+    // The `expect` implements the documented size-precondition panic of
+    // this in-process preset constructor; nothing else about the fixed
+    // stack can be rejected. Serialized (hostile) ingress never reaches
+    // it — `from_parts` returns typed errors instead.
+    #[allow(clippy::expect_used)]
     pub fn four_level(l3_bytes: u64, l2_bytes: u64, l1_bytes: u64) -> Self {
         if l3_bytes == 0 {
             return Platform::three_level(l2_bytes, l1_bytes);

@@ -119,6 +119,15 @@ fn layer_value(layer: &MemoryLayer) -> Json {
     ])
 }
 
+/// The canonical bytes of a platform: its version-[`PLATFORM_VERSION`]
+/// document in the compact rendering ([`Json::render_compact`]) — the
+/// platform counterpart of `mhla_ir::serdes::program_canonical_bytes`.
+/// Structurally equal platforms produce identical bytes; a stable hash
+/// over them (`mhla_core::fingerprint`) is a durable content address.
+pub fn platform_canonical_bytes(platform: &Platform) -> Vec<u8> {
+    platform_value(platform).render_compact().into_bytes()
+}
+
 /// Deserializes a platform from a version-[`PLATFORM_VERSION`] JSON
 /// document.
 ///
@@ -277,6 +286,16 @@ mod tests {
             platform_from_json(&text.replace("mhla.platform", "mhla.program")),
             Err(SerdesError::Schema { .. })
         ));
+    }
+
+    #[test]
+    fn canonical_bytes_are_stable_and_parse_back() {
+        let p = Platform::three_level_default();
+        let bytes = platform_canonical_bytes(&p);
+        assert_eq!(bytes, platform_canonical_bytes(&p));
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert!(!text.contains('\n'));
+        assert_eq!(platform_from_json(&text).expect("parse"), p);
     }
 
     #[test]

@@ -101,6 +101,11 @@ impl ProgramBuilder {
     ///
     /// Panics if no loop is open.
     pub fn end_loop(&mut self) {
+        // Invariant: the builder is an in-process construction API; an
+        // unbalanced end_loop is a caller bug at the call site, documented
+        // as a panic above. Serialized ingress never passes through the
+        // builder (`serdes` assembles `Program` directly and validates).
+        #[allow(clippy::expect_used)]
         self.open
             .pop()
             .expect("end_loop without matching begin_loop");

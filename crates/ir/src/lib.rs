@@ -49,6 +49,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// This crate is the ingress for serialized (potentially hostile) programs:
+// every reachable failure must surface as a typed [`SerdesError`] /
+// [`ValidateError`], never a panic. Surviving `expect`s are in-process
+// builder-misuse contracts, each carrying an explicit `#[allow]` +
+// justification.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod analysis;
 #[cfg(feature = "arbitrary")]

@@ -201,6 +201,50 @@ impl Json {
         out
     }
 
+    /// Renders the value as compact single-line JSON — no whitespace at
+    /// all, so the output frames cleanly as one line of a
+    /// newline-delimited-JSON stream and is a *canonical* byte form:
+    /// two structurally equal values render to identical bytes. This is
+    /// the rendering behind [`program_canonical_bytes`] (content
+    /// addressing) and the `mhla serve` wire protocol.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn is_scalar(&self) -> bool {
         !matches!(self, Json::Arr(_) | Json::Obj(_))
     }
@@ -756,6 +800,17 @@ fn expr_value(expr: &AffineExpr) -> Json {
     ])
 }
 
+/// The canonical bytes of a program: its version-[`PROGRAM_VERSION`]
+/// document in the compact rendering ([`Json::render_compact`]) — no
+/// whitespace, fields in schema order, numbers as their shortest exact
+/// text. Structurally equal programs produce identical bytes, and the
+/// rendering is frozen with the schema version, so a stable hash over
+/// these bytes (`mhla_core::fingerprint`) is a durable content address
+/// for caching and deduplication across processes.
+pub fn program_canonical_bytes(program: &Program) -> Vec<u8> {
+    program_value(program).render_compact().into_bytes()
+}
+
 /// Deserializes a program from a version-[`PROGRAM_VERSION`] JSON document
 /// and validates it.
 ///
@@ -1114,6 +1169,24 @@ mod tests {
             Json::Str("\u{1f600}".to_string())
         );
         assert!(Json::parse("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn compact_rendering_is_canonical_and_parses_back() {
+        let p = sad_program();
+        let compact = String::from_utf8(program_canonical_bytes(&p)).expect("utf8");
+        // One line, no framing whitespace.
+        assert!(!compact.contains('\n'));
+        assert!(!compact.contains(": "));
+        // Parses back to the same program…
+        assert_eq!(program_from_json(&compact).expect("parse"), p);
+        // …and equal programs give identical bytes (content address).
+        assert_eq!(program_canonical_bytes(&p), program_canonical_bytes(&p));
+        // Compact and pretty renderings are the same value.
+        assert_eq!(
+            Json::parse(&compact).expect("compact"),
+            Json::parse(&program_to_json(&p)).expect("pretty")
+        );
     }
 
     #[test]

@@ -34,6 +34,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Lifetime/occupancy computations feed capacity checks on programs that
+// may have crossed the serialized (hostile) ingress; they must be total —
+// never an `unwrap` panic on unusual interval or size combinations.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod occupancy;
 mod resident;

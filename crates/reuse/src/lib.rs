@@ -49,6 +49,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The analyses run on programs that may have arrived through serialized
+// (hostile) ingress; everything reachable there must degrade to a typed
+// error upstream or a total computation here — never an `unwrap` panic.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod analysis;
 mod candidate;

@@ -1,0 +1,245 @@
+//! The content-addressed result cache.
+//!
+//! A cached entry is a fully-rendered exploration result body, addressed
+//! by *what was explored*: the program's and platform's content
+//! fingerprints ([`mhla_core::fingerprint`], 128-bit FNV-1a over the
+//! canonical serialized bytes) plus the exact canonical options string
+//! (objective, search mode, cleaned axes). Budgets are deliberately not
+//! part of the key — a complete result satisfies any budget — and only
+//! [`SweepStatus::Complete`](mhla_core::explore::SweepStatus) results are
+//! ever inserted, so a hit can never hand out a request-specific partial
+//! frontier.
+//!
+//! Collisions: the fingerprints are 128 bits each and the options string
+//! compares *exactly*, so two distinct explorations share a slot only on
+//! a 256-bit FNV collision — not a realistic event for a result cache
+//! whose submitters are trusted not to engineer collisions.
+//!
+//! Eviction is least-recently-used under a byte budget: every entry is
+//! priced as its key + body bytes, and inserts evict the stalest entries
+//! until the new one fits. An entry larger than the whole budget is
+//! simply not cached (counted in
+//! [`CacheStats::uncacheable`]). All traffic is counted in [`CacheStats`]
+//! — the numbers the `status` response reports and the CI smoke leg
+//! asserts on.
+
+use std::collections::HashMap;
+
+/// The full content address of a cached result.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// [`mhla_core::fingerprint::program_fingerprint`] of the program.
+    pub program_fp: u128,
+    /// [`mhla_core::fingerprint::platform_fingerprint`] of the platform.
+    pub platform_fp: u128,
+    /// The canonical options string (objective, mode, cleaned axes) —
+    /// compared exactly, never hashed down.
+    pub options: String,
+}
+
+impl CacheKey {
+    /// The bytes this key charges against the cache budget (the options
+    /// string plus the two fingerprints).
+    fn cost(&self) -> usize {
+        self.options.len() + 32
+    }
+}
+
+/// Traffic counters of a [`ResultCache`] — monotone over the cache's
+/// lifetime, reported by the server's `status` operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries inserted (first-time or replacement).
+    pub insertions: u64,
+    /// Results too large for the whole cache budget, never stored.
+    pub uncacheable: u64,
+}
+
+struct Entry {
+    body: String,
+    /// Recency stamp: the cache tick of the last touch (insert or hit).
+    tick: u64,
+}
+
+/// An LRU result cache under a byte budget; see the module docs.
+pub struct ResultCache {
+    capacity_bytes: usize,
+    bytes: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity_bytes` of keys + bodies.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ResultCache {
+            capacity_bytes,
+            bytes: 0,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency. Returns the cached body.
+    pub fn get(&mut self, key: &CacheKey) -> Option<String> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = self.tick;
+                self.stats.hits += 1;
+                Some(entry.body.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `body` under `key`, evicting least-recently-used entries
+    /// until it fits. A body that cannot fit an empty cache is dropped
+    /// (counted as [`CacheStats::uncacheable`]); re-inserting an existing
+    /// key replaces its body.
+    pub fn insert(&mut self, key: CacheKey, body: String) {
+        let cost = key.cost() + body.len();
+        if cost > self.capacity_bytes {
+            self.stats.uncacheable += 1;
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= key.cost() + old.body.len();
+        }
+        while self.bytes + cost > self.capacity_bytes {
+            // O(n) stalest scan: entry counts stay small at realistic
+            // body sizes, and eviction is off every hot path.
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone());
+            match stalest {
+                Some(k) => self.evict(&k),
+                None => break,
+            }
+        }
+        self.bytes += cost;
+        self.stats.insertions += 1;
+        self.map.insert(
+            key,
+            Entry {
+                body,
+                tick: self.tick,
+            },
+        );
+    }
+
+    fn evict(&mut self, key: &CacheKey) {
+        if let Some(entry) = self.map.remove(key) {
+            self.bytes -= key.cost() + entry.body.len();
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// The traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently charged (keys + bodies).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8, options: &str) -> CacheKey {
+        CacheKey {
+            program_fp: u128::from(n),
+            platform_fp: 7,
+            options: options.to_string(),
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_body_and_counts() {
+        let mut c = ResultCache::new(1024);
+        assert_eq!(c.get(&key(1, "o")), None);
+        c.insert(key(1, "o"), "body".into());
+        assert_eq!(c.get(&key(1, "o")).as_deref(), Some("body"));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 1 + 32 + 4);
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_entries() {
+        let mut c = ResultCache::new(1024);
+        c.insert(key(1, "a"), "A".into());
+        c.insert(key(1, "b"), "B".into());
+        assert_eq!(c.get(&key(1, "a")).as_deref(), Some("A"));
+        assert_eq!(c.get(&key(1, "b")).as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        // Each entry costs 1 + 32 + 2 = 35 bytes; budget fits two.
+        let mut c = ResultCache::new(70);
+        c.insert(key(1, "a"), "11".into());
+        c.insert(key(2, "b"), "22".into());
+        assert!(c.get(&key(1, "a")).is_some()); // refresh 1: 2 is now LRU
+        c.insert(key(3, "c"), "33".into());
+        assert_eq!(c.get(&key(2, "b")), None, "LRU entry evicted");
+        assert!(c.get(&key(1, "a")).is_some());
+        assert!(c.get(&key(3, "c")).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.bytes() <= c.capacity_bytes());
+    }
+
+    #[test]
+    fn oversized_bodies_are_never_stored() {
+        let mut c = ResultCache::new(40);
+        c.insert(key(1, "a"), "x".repeat(64));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().uncacheable, 1);
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let mut c = ResultCache::new(1024);
+        c.insert(key(1, "a"), "long-first-body".into());
+        let after_first = c.bytes();
+        c.insert(key(1, "a"), "tiny".into());
+        assert!(c.bytes() < after_first);
+        assert_eq!(c.get(&key(1, "a")).as_deref(), Some("tiny"));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -21,6 +21,14 @@
 //!    validation failures as `InvalidProgram` — and must never panic,
 //!    whatever the bytes.
 //!
+//! 4. **No panic on server-shaped corruption.** The serve ingress
+//!    (`mhla_serve::Service::handle_line`) is total: nesting at and past
+//!    the parser's 128-level cap, `1e999`/`NaN`/`Infinity` number text,
+//!    documents over the request-size cap, corrupted embedded programs
+//!    and degenerate axes (zero-length, zero-capacity, off-chip,
+//!    out-of-range) all produce one typed response line — the same error
+//!    classes the CLI's ingress reports — never a panic.
+//!
 //! CI runs this suite in release mode (the `no_panic` leg); locally the
 //! deterministic per-test-name seed applies.
 
@@ -38,7 +46,11 @@ use mhla::core::multitask::try_partition_scratchpad;
 use mhla::core::{Mhla, MhlaConfig, MhlaError};
 use mhla::hierarchy::{LayerId, Platform};
 use mhla::ir::arbitrary::{corrupted_programs, program_specs};
-use mhla::ir::serdes::{program_from_json, program_to_json, SerdesError};
+use mhla::ir::serdes::{
+    field, program_from_json, program_to_json, program_value, Json, SerdesError,
+};
+use mhla_serve::protocol::MAX_REQUEST_BYTES;
+use mhla_serve::{Service, ServiceOptions};
 use proptest::prelude::*;
 
 /// A small two-axis grid (6 points) whose capacities straddle the
@@ -469,5 +481,195 @@ proptest! {
             try_sweep_grid_resume(&program, &platform, &axes, &config, &opts, &stopped).unwrap();
         let full = try_sweep_grid_run(&program, &platform, &axes, &config, &opts).unwrap();
         prop_assert_eq!(&resumed.sweep, &full.sweep);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract 4: the serve ingress
+// ---------------------------------------------------------------------------
+
+/// One line through a fresh service, under `catch_unwind`: the response
+/// must exist (a panic fails the test) and parse as a response envelope.
+fn serve_one(line: &str) -> String {
+    let service = Service::new(ServiceOptions::default());
+    match catch_unwind(AssertUnwindSafe(|| service.handle_line(line))) {
+        Ok(response) => response,
+        Err(_) => panic!(
+            "Service::handle_line panicked on {:?}…",
+            &line[..line.len().min(120)]
+        ),
+    }
+}
+
+/// The `error.class` of a response line, or `None` for an ok response.
+fn served_error_class(response: &str) -> Option<String> {
+    let doc = Json::parse(response).expect("every response line is valid JSON");
+    let fields = doc.as_object("response").expect("response object");
+    match field(fields, "ok", "response").expect("ok field") {
+        Json::Bool(true) => None,
+        _ => {
+            let e = field(fields, "error", "response")
+                .expect("error body")
+                .as_object("error")
+                .expect("error object");
+            Some(
+                field(e, "class", "error")
+                    .expect("class")
+                    .as_str("class")
+                    .expect("class string")
+                    .to_string(),
+            )
+        }
+    }
+}
+
+/// An explore request line around an app program, with extra fields.
+fn serve_request(extra: &[(&str, Json)]) -> String {
+    let program = mhla::apps::fir_bank::app().program;
+    let mut fields = vec![
+        ("op".to_string(), Json::Str("explore".into())),
+        ("program".to_string(), program_value(&program)),
+        ("platform".to_string(), Json::Str("three-level".into())),
+    ];
+    for (k, v) in extra {
+        fields.push(((*k).to_string(), v.clone()));
+    }
+    Json::Obj(fields).render_compact()
+}
+
+fn axes_json(layer: u64, capacities: &[u64]) -> Json {
+    Json::Arr(vec![Json::Obj(vec![
+        ("layer".into(), Json::from_u64(layer)),
+        (
+            "capacities".into(),
+            Json::Arr(capacities.iter().map(|&c| Json::from_u64(c)).collect()),
+        ),
+    ])])
+}
+
+/// Nesting at the parser's 128-level cap: depths below it fail on shape,
+/// depths at/past it on the recursion guard — all as one `bad_request`
+/// line, stack intact.
+#[test]
+fn deep_nesting_at_the_parser_cap_is_rejected_not_panicked() {
+    for depth in [1usize, 64, 127, 128, 129, 512, 4096] {
+        // The whole document is the nest…
+        let doc = format!("{}{}", "[".repeat(depth), "]".repeat(depth));
+        assert_eq!(
+            served_error_class(&serve_one(&doc)).as_deref(),
+            Some("bad_request"),
+            "bare nest, depth {depth}"
+        );
+        // …and the nest hides inside an otherwise-plausible request.
+        let embedded = format!(
+            "{{\"op\":\"explore\",\"program\":{}{}}}",
+            "[".repeat(depth),
+            "]".repeat(depth)
+        );
+        let class = served_error_class(&serve_one(&embedded));
+        assert!(
+            matches!(class.as_deref(), Some("bad_request" | "invalid_options")),
+            "embedded nest, depth {depth}: got {class:?}"
+        );
+    }
+}
+
+/// Number text the engine must never trust: overflow exponents parse as
+/// raw text and fail typed at the field conversion; `NaN`/`Infinity` are
+/// not JSON at all.
+#[test]
+fn hostile_number_text_is_rejected_not_panicked() {
+    for line in [
+        "NaN".to_string(),
+        "Infinity".to_string(),
+        "{\"op\":\"explore\",\"program\":NaN}".to_string(),
+        "{\"op\":\"explore\",\"program\":Infinity}".to_string(),
+        "{\"op\":\"explore\",\"program\":1e999}".to_string(),
+        "{\"op\":\"explore\",\"program\":-1e999}".to_string(),
+        serve_request(&[("max_evals", Json::Num("1e999".into()))]),
+        serve_request(&[("max_evals", Json::Num("-1".into()))]),
+        serve_request(&[("timeout_ms", Json::Num("1e999".into()))]),
+        serve_request(&[(
+            "objective",
+            Json::Obj(vec![
+                ("energy_weight".into(), Json::Num("1e999".into())),
+                ("cycle_weight".into(), Json::Num("1".into())),
+            ]),
+        )]),
+    ] {
+        let class = served_error_class(&serve_one(&line));
+        assert!(
+            matches!(class.as_deref(), Some("bad_request" | "invalid_options")),
+            "{:?}… must fail typed, got {class:?}",
+            &line[..line.len().min(80)]
+        );
+    }
+}
+
+/// A document over the request-size cap is answered (one `bad_request`
+/// line) rather than parsed, panicked on, or silently dropped.
+#[test]
+fn oversized_documents_are_rejected_not_panicked() {
+    let oversized = format!("{{\"op\":\"{}\"}}", "x".repeat(MAX_REQUEST_BYTES));
+    assert_eq!(
+        served_error_class(&serve_one(&oversized)).as_deref(),
+        Some("bad_request")
+    );
+}
+
+/// Degenerate axes: zero-length axis lists are a legal (empty) sweep;
+/// zero capacities, the off-chip layer and out-of-range layers report
+/// `infeasible_point` — the same class the library entry points raise.
+#[test]
+fn degenerate_axes_get_the_library_error_classes() {
+    let empty = serve_one(&serve_request(&[("axes", Json::Arr(vec![]))]));
+    assert_eq!(served_error_class(&empty), None, "got {empty}");
+    assert!(
+        empty.contains("\"points\":[]") && empty.contains("\"status\":\"complete\""),
+        "zero axes must serve an empty complete frontier: {empty}"
+    );
+
+    for (what, axes) in [
+        ("zero capacity", axes_json(1, &[0])),
+        (
+            "zero capacity among good ones",
+            axes_json(1, &[256, 0, 1024]),
+        ),
+        ("off-chip layer", axes_json(0, &[1024])),
+        ("out-of-range layer", axes_json(9, &[1024])),
+    ] {
+        let response = serve_one(&serve_request(&[("axes", axes)]));
+        assert_eq!(
+            served_error_class(&response).as_deref(),
+            Some("infeasible_point"),
+            "{what}: got {response}"
+        );
+    }
+    // An axis with no capacities is a zero-candidate (empty) sweep.
+    let no_caps = serve_one(&serve_request(&[("axes", axes_json(1, &[]))]));
+    assert_eq!(served_error_class(&no_caps), None, "got {no_caps}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Contract 4, randomized: every structural corruption of every
+    /// generated program, wire-encoded into an explore request, comes
+    /// back as the `invalid_program` class — exactly what contract 1
+    /// pins for the library entry points — and never panics.
+    #[test]
+    fn corrupted_programs_over_the_wire_are_rejected_not_panicked(
+        (program, corruption) in corrupted_programs(),
+    ) {
+        let bad = corruption.apply(&program);
+        let line = Json::Obj(vec![
+            ("op".into(), Json::Str("explore".into())),
+            ("program".into(), program_value(&bad)),
+        ])
+        .render_compact();
+        prop_assert_eq!(
+            served_error_class(&serve_one(&line)).as_deref(),
+            Some("invalid_program")
+        );
     }
 }

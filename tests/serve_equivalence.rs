@@ -1,0 +1,156 @@
+//! The serving path is bit-identical to the in-process engine.
+//!
+//! Three layers of the promise, innermost out:
+//!
+//! 1. `try_sweep_grid_run_in` over a caller-built [`ExplorationContext`]
+//!    (fresh or with a pre-computed reuse analysis, as the server's
+//!    analysis cache supplies) returns the same `GridSweepRun` as the
+//!    one-shot `try_sweep_grid_run` — pinned here because the function's
+//!    rustdoc promises it;
+//! 2. the same equivalence under a budget (the server attaches deadlines
+//!    and cancel flags to every request);
+//! 3. the served response body ([`Service::handle_line`], program and
+//!    platform round-tripped through the wire encoding) is byte-identical
+//!    to [`result_body`] over the in-process run.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use mhla::core::explore::{
+    try_sweep_grid_run, try_sweep_grid_run_in, ExploreBudget, GridAxis, SearchMode, SweepOptions,
+};
+use mhla::core::fingerprint::{platform_fingerprint, program_fingerprint};
+use mhla::core::{ExplorationContext, MhlaConfig, Objective};
+use mhla::hierarchy::{LayerId, Platform};
+use mhla::ir::arbitrary::program_specs;
+use mhla::ir::serdes::{program_value, Json};
+use mhla::reuse::ReuseAnalysis;
+use mhla_serve::protocol::result_body;
+use mhla_serve::{Service, ServiceOptions};
+use proptest::prelude::*;
+
+const OBJECTIVES: [Objective; 3] = [
+    Objective::Cycles,
+    Objective::Energy,
+    Objective::Weighted {
+        energy_weight: 0.5,
+        cycle_weight: 0.5,
+    },
+];
+
+fn small_axes() -> Vec<GridAxis> {
+    vec![
+        GridAxis::new(LayerId(1), vec![128u64, 256, 1024]),
+        GridAxis::new(LayerId(2), vec![64u64, 128]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Layer 1: context-reuse entry ≡ one-shot entry, bit for bit, for
+    /// every objective and both search modes — with the context built
+    /// fresh *and* from a pre-computed (cloned) reuse analysis.
+    #[test]
+    fn run_in_is_bit_identical_to_run(spec in program_specs()) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        for objective in OBJECTIVES {
+            let config = MhlaConfig { objective, ..MhlaConfig::default() };
+            for mode in [SearchMode::Cold, SearchMode::Improving] {
+                let opts = SweepOptions { mode, ..SweepOptions::default() };
+                let oracle =
+                    try_sweep_grid_run(&program, &platform, &axes, &config, &opts).unwrap();
+
+                let ctx = ExplorationContext::new(&program, &platform, config.clone());
+                let fresh = try_sweep_grid_run_in(&ctx, &platform, &axes, &opts).unwrap();
+                prop_assert_eq!(&fresh, &oracle, "fresh context diverged");
+
+                // The server's shape: reuse analysis computed once,
+                // cloned into each request's context.
+                let reuse = ReuseAnalysis::analyze(&program);
+                let ctx = ExplorationContext::with_reuse(
+                    &program, &platform, config.clone(), reuse.clone(),
+                );
+                let shared = try_sweep_grid_run_in(&ctx, &platform, &axes, &opts).unwrap();
+                prop_assert_eq!(&shared, &oracle, "shared-reuse context diverged");
+            }
+        }
+    }
+
+    /// Layer 2: the equivalence holds under budgets — a `max_evals` stop
+    /// lands on the same certified prefix through either entry, and an
+    /// unraised cancel flag (the server's drain hook) changes nothing.
+    #[test]
+    fn run_in_budgets_match_run_budgets(spec in program_specs(), k in 1u8..=5) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+        let config = MhlaConfig::default();
+        let budget = ExploreBudget {
+            max_evals: Some(k as usize),
+            cancel: Some(Arc::new(AtomicBool::new(false))),
+            ..ExploreBudget::default()
+        };
+        let opts = SweepOptions { budget, ..SweepOptions::default() };
+
+        let oracle = try_sweep_grid_run(&program, &platform, &axes, &config, &opts).unwrap();
+        let ctx = ExplorationContext::new(&program, &platform, config.clone());
+        let run = try_sweep_grid_run_in(&ctx, &platform, &axes, &opts).unwrap();
+        prop_assert_eq!(&run, &oracle);
+    }
+
+    /// Layer 3: the full served path — wire-encoded program in, rendered
+    /// body out — reproduces `result_body` over the in-process run, byte
+    /// for byte.
+    #[test]
+    fn served_body_matches_in_process_result_body(spec in program_specs()) {
+        let program = spec.build();
+        let platform = Platform::three_level(1024, 256);
+        let axes = small_axes();
+
+        let run = try_sweep_grid_run(
+            &program,
+            &platform,
+            &axes,
+            &MhlaConfig::default(),
+            &SweepOptions::default(),
+        )
+        .unwrap();
+        let expected = format!(
+            "{{\"ok\":true,\"cached\":false,\"result\":{}}}",
+            result_body(&run, program_fingerprint(&program), platform_fingerprint(&platform)),
+        );
+
+        let line = Json::Obj(vec![
+            ("op".into(), Json::Str("explore".into())),
+            ("program".into(), program_value(&program)),
+            (
+                "platform".into(),
+                mhla::hierarchy::serdes::platform_value(&platform),
+            ),
+            (
+                "axes".into(),
+                Json::Arr(
+                    axes.iter()
+                        .map(|a| {
+                            Json::Obj(vec![
+                                ("layer".into(), Json::from_u64(a.layer.0 as u64)),
+                                (
+                                    "capacities".into(),
+                                    Json::Arr(
+                                        a.capacities.iter().map(|&c| Json::from_u64(c)).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render_compact();
+        let service = Service::new(ServiceOptions::default());
+        prop_assert_eq!(service.handle_line(&line), expected);
+    }
+}
