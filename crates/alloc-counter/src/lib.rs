@@ -1,0 +1,129 @@
+//! # mhla-alloc-counter — counting global allocator
+//!
+//! A thin wrapper around the system allocator that counts allocation
+//! events, backing the workspace's allocation-budget harnesses (the
+//! `alloc-counter` features of `mhla-bench` and the facade crate): the
+//! evaluation hot paths are expected to run (near-)allocation-free in
+//! steady state, and the counters turn that expectation into a pinned,
+//! CI-enforced budget.
+//!
+//! This is the one crate in the workspace that needs `unsafe` (the
+//! [`GlobalAlloc`] contract); everything else keeps
+//! `#![forbid(unsafe_code)]`. To count anything, a binary must register
+//! the allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: mhla_alloc_counter::CountingAlloc = mhla_alloc_counter::CountingAlloc::new();
+//! ```
+//!
+//! Counters are process-global relaxed atomics, and counting is *gated
+//! at runtime* ([`set_counting`] / [`allocations_during`]): while
+//! disabled — the default — the registered allocator costs one relaxed
+//! load per event, so wall-time measurements taken in the same binary
+//! are not perturbed by the counting of other sections.
+//! [`allocation_count`] returning 0 after a counted section means the
+//! allocator is *not registered* — any measured workload allocates —
+//! and measurement helpers should report "not counting" rather than a
+//! zero budget.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn record(bytes: usize) {
+    if ENABLED.load(Ordering::Relaxed) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// A [`System`]-backed allocator that counts allocation events.
+///
+/// `alloc`, `alloc_zeroed` and `realloc` each count as one event (a
+/// `realloc` is a fresh acquisition of `new_size` bytes for counting
+/// purposes); `dealloc` is free. Counts only accumulate in binaries that
+/// register the allocator via `#[global_allocator]`.
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new counting allocator (const, for `static` registration).
+    #[must_use]
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates touch no allocator state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Turns event counting on or off (off at startup). Returns the prior
+/// state. Counting only has an effect in binaries that registered
+/// [`CountingAlloc`].
+pub fn set_counting(on: bool) -> bool {
+    ENABLED.swap(on, Ordering::Relaxed)
+}
+
+/// Allocation events observed so far (0 when the allocator is not
+/// registered in this binary).
+#[must_use]
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested by those events (0 when the allocator is not
+/// registered in this binary).
+#[must_use]
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Whether the counting allocator is live in this binary: any *counted*
+/// workload allocates, so a zero cumulative count after a counted
+/// section means "not registered".
+#[must_use]
+pub fn is_counting() -> bool {
+    allocation_count() > 0
+}
+
+/// Allocation events and bytes observed while running `f`, with counting
+/// enabled for exactly that span (the prior enabled state is restored).
+pub fn allocations_during<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+    let events = allocation_count();
+    let bytes = allocated_bytes();
+    let was = set_counting(true);
+    let r = f();
+    set_counting(was);
+    (
+        r,
+        allocation_count().saturating_sub(events),
+        allocated_bytes().saturating_sub(bytes),
+    )
+}

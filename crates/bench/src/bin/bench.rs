@@ -18,9 +18,18 @@
 
 use std::process::ExitCode;
 
-use mhla_bench::{measure_sweep_perf_with, sweep_options_from_env, sweep_perf_json};
+use mhla_bench::{
+    measure_sweep_perf_with, prev_suite_value, sweep_options_from_env, sweep_perf_json,
+};
 use mhla_core::explore::SweepOptions;
 use mhla_core::MhlaError;
+
+/// With `--features alloc-counter`, every measurement row also reports
+/// allocation events per evaluated point (the `allocs/eval` column and
+/// JSON field).
+#[cfg(feature = "alloc-counter")]
+#[global_allocator]
+static COUNTING_ALLOC: mhla_alloc_counter::CountingAlloc = mhla_alloc_counter::CountingAlloc::new();
 
 fn main() -> ExitCode {
     match run() {
@@ -42,17 +51,28 @@ fn run() -> Result<(), MhlaError> {
         opts.chunk, opts.parallel
     );
     println!(
-        "{:<18} {:>7} {:>12} {:>12} {:>9} {:>8} {:>8}",
-        "application", "points", "cold [ms]", "fast [ms]", "speedup", "fronts", "points="
+        "{:<18} {:>7} {:>12} {:>12} {:>9} {:>12} {:>8} {:>8}",
+        "application",
+        "points",
+        "cold [ms]",
+        "fast [ms]",
+        "speedup",
+        "allocs/eval",
+        "fronts",
+        "points="
     );
     for p in &perfs {
+        let allocs = p
+            .allocs_per_eval
+            .map_or_else(|| "-".to_string(), |a| format!("{a:.1}"));
         println!(
-            "{:<18} {:>7} {:>12.3} {:>12.3} {:>8.2}x {:>8} {:>8}",
+            "{:<18} {:>7} {:>12.3} {:>12.3} {:>8.2}x {:>12} {:>8} {:>8}",
             p.app,
             p.points,
             p.cold_seconds * 1e3,
             p.fast_seconds * 1e3,
             p.speedup(),
+            allocs,
             p.fronts_identical,
             p.points_identical,
         );
@@ -70,10 +90,15 @@ fn run() -> Result<(), MhlaError> {
     // tuning runs print their timings but must not overwrite the
     // trajectory with apples-to-oranges numbers.
     if opts == SweepOptions::default() {
-        let json = sweep_perf_json(&perfs);
         let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
             .join("BENCH_sweep.json");
+        // The prior document's suite wall time, kept as the before/after
+        // trajectory field of the regenerated one.
+        let prev_fast = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|old| prev_suite_value(&old, "fast_seconds"));
+        let json = sweep_perf_json(&perfs, prev_fast);
         match std::fs::write(&path, &json) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => eprintln!("note: could not write BENCH_sweep.json: {e}"),

@@ -24,8 +24,8 @@ use std::process::ExitCode;
 
 use mhla_bench::{
     default_grid4_axes, grid4_perf_json, measure_grid4_improving, measure_grid4_perf,
-    measure_grid4_perf_with, measure_grid4_refine, sweep_options_from_env, write_results,
-    Grid4Perf, Grid4Refine, ImprovingGrid4Perf,
+    measure_grid4_perf_with, measure_grid4_refine, prev_suite_value, sweep_options_from_env,
+    write_results, Grid4Perf, Grid4Refine, ImprovingGrid4Perf,
 };
 use mhla_core::explore::{
     sweep_grid_pruned_with, try_sweep_grid_pruned_resume, try_sweep_grid_pruned_with, PruneOptions,
@@ -34,10 +34,17 @@ use mhla_core::explore::{
 use mhla_core::{report, MhlaConfig, MhlaError, Objective};
 use mhla_hierarchy::Platform;
 
+/// With `--features alloc-counter`, every measurement row also reports
+/// allocation events per evaluated point (the `allocs/eval` column and
+/// JSON field).
+#[cfg(feature = "alloc-counter")]
+#[global_allocator]
+static COUNTING_ALLOC: mhla_alloc_counter::CountingAlloc = mhla_alloc_counter::CountingAlloc::new();
+
 fn print_table(title: &str, perfs: &[Grid4Perf]) {
     println!("{title}");
     println!(
-        "{:<18} {:>6} {:>6} {:>8} {:>7} {:>6} {:>5} {:>13} {:>12} {:>12} {:>8} {:>8} {:>9}",
+        "{:<18} {:>6} {:>6} {:>8} {:>7} {:>6} {:>5} {:>13} {:>12} {:>12} {:>8} {:>8} {:>12} {:>9}",
         "application",
         "cand",
         "eval",
@@ -50,12 +57,16 @@ fn print_table(title: &str, perfs: &[Grid4Perf]) {
         "par [ms]",
         "speedup",
         "par-spd",
+        "allocs/eval",
         "identical"
     );
     for p in perfs {
+        let allocs = p
+            .allocs_per_eval
+            .map_or_else(|| "-".to_string(), |a| format!("{a:.1}"));
         println!(
             "{:<18} {:>6} {:>6} {:>8} {:>6.1}% {:>6} {:>5} {:>13.3} {:>12.3} {:>12.3} \
-             {:>7.2}x {:>7.2}x {:>9}",
+             {:>7.2}x {:>7.2}x {:>12} {:>9}",
             p.app,
             p.stats.candidates,
             p.stats.evaluated,
@@ -68,6 +79,7 @@ fn print_table(title: &str, perfs: &[Grid4Perf]) {
             p.pruned_parallel_seconds * 1e3,
             p.speedup(),
             p.parallel_speedup(),
+            allocs,
             p.frontier_identical && p.points_identical && p.modes_identical,
         );
     }
@@ -329,16 +341,22 @@ fn run() -> Result<(), MhlaError> {
         &report::grid_csv(&grid.sweep),
     );
 
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_grid4.json");
+    // The prior document's cycles/pruned suite wall time, kept as the
+    // before/after trajectory field of the regenerated one.
+    let prev_pruned = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|old| prev_suite_value(&old, "pruned_seconds"));
     let json = grid4_perf_json(
         &cycles,
         &energy,
         &cycles_improving,
         &energy_improving,
         &refine,
+        prev_pruned,
     );
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_grid4.json");
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("note: could not write BENCH_grid4.json: {e}"),

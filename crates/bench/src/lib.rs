@@ -25,6 +25,42 @@ use mhla_core::{Mhla, MhlaConfig};
 use mhla_hierarchy::Platform;
 use mhla_sim::Simulator;
 
+/// Allocation events per evaluation while running `f` (`evals`
+/// evaluations). `Some` only when the binary was built with the
+/// `alloc-counter` feature *and* registered the counting allocator
+/// (`mhla_alloc_counter::is_counting`); plain builds and un-registered
+/// binaries report `None` rather than a misleading zero.
+#[cfg(feature = "alloc-counter")]
+fn count_allocs_per_eval<R>(evals: usize, f: impl FnOnce() -> R) -> (R, Option<f64>) {
+    let (r, events, _) = mhla_alloc_counter::allocations_during(f);
+    let counting = mhla_alloc_counter::is_counting();
+    (r, counting.then(|| events as f64 / evals.max(1) as f64))
+}
+
+#[cfg(not(feature = "alloc-counter"))]
+fn count_allocs_per_eval<R>(evals: usize, f: impl FnOnce() -> R) -> (R, Option<f64>) {
+    let _ = evals;
+    (f(), None)
+}
+
+/// The suite-level `"<key>": <number>` of a previously written
+/// `BENCH_*.json` document — the before/after hook: the `bench` and
+/// `grid4` binaries read the tracked file's prior value before
+/// overwriting it, so the regenerated document records the wall-time
+/// trajectory across code changes. Reads the *first* `"suite"` object
+/// (the sweep document's only one; the grid document's cycles/pruned
+/// one).
+pub fn prev_suite_value(content: &str, key: &str) -> Option<f64> {
+    let suite = content.find("\"suite\"")?;
+    let pat = format!("\"{key}\":");
+    let at = content[suite..].find(&pat)? + suite + pat.len();
+    let rest = content[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Simulated figures for one application (Figure 2 + Figure 3 bars).
 #[derive(Clone, PartialEq, Debug)]
 pub struct AppFigures {
@@ -222,6 +258,9 @@ pub struct SweepPerf {
     pub fronts_identical: bool,
     /// Whether both paths produced identical (cycles, energy) per point.
     pub points_identical: bool,
+    /// Allocation events per point of the fast sweep, measured by the
+    /// counting allocator (`None` outside `alloc-counter` builds).
+    pub allocs_per_eval: Option<f64>,
 }
 
 impl SweepPerf {
@@ -287,6 +326,18 @@ pub fn measure_sweep_perf_with(
                 fast_s = fast_s.min(t.elapsed().as_secs_f64());
             }
             let (cold, fast) = (cold.expect("ran"), fast.expect("ran"));
+            // One extra (untimed) fast run under the counting allocator;
+            // a no-op reporting `None` outside `alloc-counter` builds.
+            let (_, allocs_per_eval) = count_allocs_per_eval(fast.points.len(), || {
+                sweep_with(
+                    &app.program,
+                    &platform,
+                    LayerId(1),
+                    &caps,
+                    &config,
+                    opts.clone(),
+                )
+            });
             let fronts_identical = cold.pareto_cycles() == fast.pareto_cycles()
                 && cold.pareto_energy() == fast.pareto_energy();
             let points_identical = cold.points.len() == fast.points.len()
@@ -302,6 +353,7 @@ pub fn measure_sweep_perf_with(
                 points: cold.points.len(),
                 fronts_identical,
                 points_identical,
+                allocs_per_eval,
             }
         })
         .collect()
@@ -309,8 +361,12 @@ pub fn measure_sweep_perf_with(
 
 /// Renders [`SweepPerf`] rows as the `BENCH_sweep.json` document tracked
 /// at the workspace root: wall times, points/sec throughput, and the
-/// cold/fast equivalence verdict, per app and suite-wide.
-pub fn sweep_perf_json(perfs: &[SweepPerf]) -> String {
+/// cold/fast equivalence verdict, per app and suite-wide. Optional
+/// fields: per-app and suite `allocs_per_eval` when the counting
+/// allocator measured the fast path, and suite `prev_fast_seconds` /
+/// `wall_speedup_vs_prev` when the prior tracked document's suite time
+/// is passed in (the before/after wall-time trajectory).
+pub fn sweep_perf_json(perfs: &[SweepPerf], prev_fast: Option<f64>) -> String {
     let cold: f64 = perfs.iter().map(|p| p.cold_seconds).sum();
     let fast: f64 = perfs.iter().map(|p| p.fast_seconds).sum();
     let points: usize = perfs.iter().map(|p| p.points).sum();
@@ -319,9 +375,13 @@ pub fn sweep_perf_json(perfs: &[SweepPerf]) -> String {
         .all(|p| p.fronts_identical && p.points_identical);
     let mut out = String::from("{\n  \"bench\": \"tradeoff_sweep\",\n  \"apps\": [\n");
     for (i, p) in perfs.iter().enumerate() {
+        let allocs = p
+            .allocs_per_eval
+            .map(|a| format!("\"allocs_per_eval\": {a:.1}, "))
+            .unwrap_or_default();
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"points\": {}, \"cold_seconds\": {:.6}, \
-             \"fast_seconds\": {:.6}, \"speedup\": {:.2}, \
+             \"fast_seconds\": {:.6}, \"speedup\": {:.2}, {allocs}\
              \"fronts_identical\": {}, \"points_identical\": {}}}{}\n",
             p.app,
             p.points,
@@ -333,9 +393,23 @@ pub fn sweep_perf_json(perfs: &[SweepPerf]) -> String {
             if i + 1 < perfs.len() { "," } else { "" },
         ));
     }
+    let suite_allocs = perfs
+        .iter()
+        .map(|p| p.allocs_per_eval.map(|a| a * p.points as f64))
+        .sum::<Option<f64>>()
+        .map(|total| format!("\"allocs_per_eval\": {:.1}, ", total / points.max(1) as f64))
+        .unwrap_or_default();
+    let prev = prev_fast
+        .map(|prev| {
+            format!(
+                "\"prev_fast_seconds\": {prev:.6}, \"wall_speedup_vs_prev\": {:.2}, ",
+                prev / fast.max(f64::MIN_POSITIVE)
+            )
+        })
+        .unwrap_or_default();
     out.push_str(&format!(
         "  ],\n  \"suite\": {{\"points\": {points}, \"cold_seconds\": {cold:.6}, \
-         \"fast_seconds\": {fast:.6}, \"speedup\": {:.2}, \
+         \"fast_seconds\": {fast:.6}, \"speedup\": {:.2}, {suite_allocs}{prev}\
          \"points_per_second_cold\": {:.0}, \"points_per_second_fast\": {:.0}, \
          \"all_identical\": {all_identical}}}\n}}\n",
         cold / fast.max(f64::MIN_POSITIVE),
@@ -528,6 +602,10 @@ pub struct Grid4Perf {
     /// Whether the sequential and parallel pruned runs produced identical
     /// `PruneStats` and evaluated points.
     pub modes_identical: bool,
+    /// Allocation events per evaluated point of the sequential pruned
+    /// sweep, measured by the counting allocator (`None` outside
+    /// `alloc-counter` builds).
+    pub allocs_per_eval: Option<f64>,
 }
 
 impl Grid4Perf {
@@ -628,6 +706,17 @@ pub fn measure_grid4_perf_with(repeats: usize, config: &mhla_core::MhlaConfig) -
                 pruned.expect("ran"),
                 parallel.expect("ran"),
             );
+            // One extra (untimed) sequential pruned run under the
+            // counting allocator; `None` outside `alloc-counter` builds.
+            let (_, allocs_per_eval) = count_allocs_per_eval(pruned.stats.evaluated, || {
+                sweep_grid_pruned_with(
+                    &app.program,
+                    &platform,
+                    &axes,
+                    config,
+                    sequential_opts.clone(),
+                )
+            });
             let frontier_identical = grid_frontier_points(&exhaustive, &exhaustive.pareto_cycles())
                 == grid_frontier_points(&pruned.sweep, &pruned.sweep.pareto_cycles())
                 && grid_frontier_points(&exhaustive, &exhaustive.pareto_energy())
@@ -651,6 +740,7 @@ pub fn measure_grid4_perf_with(repeats: usize, config: &mhla_core::MhlaConfig) -
                 frontier_identical,
                 points_identical,
                 modes_identical,
+                allocs_per_eval,
             }
         })
         .collect()
@@ -991,7 +1081,9 @@ fn grid4_refine_json(perfs: &[Grid4Refine], indent: &str) -> String {
 
 /// Renders one objective's [`Grid4Perf`] rows as a JSON object (apps +
 /// suite totals), used by [`grid4_perf_json`] per objective section.
-fn grid4_objective_json(perfs: &[Grid4Perf], indent: &str) -> String {
+/// `prev_pruned` is the prior tracked document's suite sequential-pruned
+/// wall time, when known — the before/after trajectory hook.
+fn grid4_objective_json(perfs: &[Grid4Perf], indent: &str, prev_pruned: Option<f64>) -> String {
     let exhaustive: f64 = perfs.iter().map(|p| p.exhaustive_seconds).sum();
     let pruned: f64 = perfs.iter().map(|p| p.pruned_seconds).sum();
     let parallel: f64 = perfs.iter().map(|p| p.pruned_parallel_seconds).sum();
@@ -1005,13 +1097,17 @@ fn grid4_objective_json(perfs: &[Grid4Perf], indent: &str) -> String {
         .all(|p| p.frontier_identical && p.points_identical && p.modes_identical);
     let mut out = format!("{{\n{indent}  \"apps\": [\n");
     for (i, p) in perfs.iter().enumerate() {
+        let allocs = p
+            .allocs_per_eval
+            .map(|a| format!("\"allocs_per_eval\": {a:.1}, "))
+            .unwrap_or_default();
         out.push_str(&format!(
             "{indent}    {{\"name\": \"{}\", \"candidates\": {}, \"evaluated\": {}, \
              \"skipped_saturated\": {}, \"skipped_floor\": {}, \"skip_ratio\": {:.3}, \
              \"waves\": {}, \"speculative_evals\": {}, \
              \"exhaustive_seconds\": {:.6}, \"pruned_seconds\": {:.6}, \
              \"pruned_parallel_seconds\": {:.6}, \"speedup\": {:.2}, \
-             \"parallel_speedup\": {:.2}, \"frontier_identical\": {}, \
+             \"parallel_speedup\": {:.2}, {allocs}\"frontier_identical\": {}, \
              \"points_identical\": {}, \"modes_identical\": {}}}{}\n",
             p.app,
             p.stats.candidates,
@@ -1032,13 +1128,33 @@ fn grid4_objective_json(perfs: &[Grid4Perf], indent: &str) -> String {
             if i + 1 < perfs.len() { "," } else { "" },
         ));
     }
+    let suite_allocs = perfs
+        .iter()
+        .map(|p| p.allocs_per_eval.map(|a| a * p.stats.evaluated as f64))
+        .sum::<Option<f64>>()
+        .map(|total| {
+            format!(
+                "\"allocs_per_eval\": {:.1}, ",
+                total / evaluated.max(1) as f64
+            )
+        })
+        .unwrap_or_default();
+    let prev = prev_pruned
+        .map(|prev| {
+            format!(
+                "\"prev_pruned_seconds\": {prev:.6}, \"wall_speedup_vs_prev\": {:.2}, ",
+                prev / pruned.max(f64::MIN_POSITIVE)
+            )
+        })
+        .unwrap_or_default();
     out.push_str(&format!(
         "{indent}  ],\n{indent}  \"suite\": {{\"candidates\": {candidates}, \
          \"evaluated\": {evaluated}, \"skipped\": {skipped}, \"skip_ratio\": {:.3}, \
          \"waves\": {waves}, \"speculative_evals\": {speculative}, \
          \"exhaustive_seconds\": {exhaustive:.6}, \"pruned_seconds\": {pruned:.6}, \
          \"pruned_parallel_seconds\": {parallel:.6}, \"speedup\": {:.2}, \
-         \"parallel_speedup\": {:.2}, \"all_identical\": {all_identical}}}\n{indent}}}",
+         \"parallel_speedup\": {:.2}, {suite_allocs}{prev}\
+         \"all_identical\": {all_identical}}}\n{indent}}}",
         skipped as f64 / candidates.max(1) as f64,
         exhaustive / pruned.max(f64::MIN_POSITIVE),
         exhaustive / parallel.max(f64::MIN_POSITIVE),
@@ -1059,15 +1175,16 @@ pub fn grid4_perf_json(
     cycles_improving: &[ImprovingGrid4Perf],
     energy_improving: &[ImprovingGrid4Perf],
     refine: &[Grid4Refine],
+    prev_pruned: Option<f64>,
 ) -> String {
     format!(
         "{{\n  \"bench\": \"grid_sweep_l1_l2_l3_pruned\",\n  \"objectives\": {{\n    \
          \"cycles\": {{\n      \"pruned\": {},\n      \"improving\": {}\n    }},\n    \
          \"energy\": {{\n      \"pruned\": {},\n      \"improving\": {}\n    }}\n  }},\n  \
          \"refine\": {}\n}}\n",
-        grid4_objective_json(cycles, "      "),
+        grid4_objective_json(cycles, "      ", prev_pruned),
         grid4_improving_json(cycles_improving, "      "),
-        grid4_objective_json(energy, "      "),
+        grid4_objective_json(energy, "      ", None),
         grid4_improving_json(energy_improving, "      "),
         grid4_refine_json(refine, "  "),
     )

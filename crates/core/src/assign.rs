@@ -23,6 +23,7 @@ use mhla_ir::ArrayId;
 use crate::classify::ArrayClass;
 use crate::cost::{CostBreakdown, CostModel, IncrementalCost};
 use crate::types::{mark_layer, Assignment, MhlaConfig, Objective, SelectedCopy, TransferPolicy};
+use crate::workspace::EvalWorkspace;
 
 impl Objective {
     /// Scalar score of a cost breakdown (lower is better).
@@ -183,21 +184,16 @@ pub fn greedy(model: &CostModel<'_>, config: &MhlaConfig) -> SearchOutcome {
 /// [`greedy`] from an arbitrary feasible starting assignment.
 pub fn greedy_from(model: &CostModel<'_>, config: &MhlaConfig, start: Assignment) -> SearchOutcome {
     let options = enumerate_options(model, config);
-    let mut cache: Vec<Option<CachedTrial>> = (0..options.len()).map(|_| None).collect();
-    greedy_search(
-        model,
-        config,
-        start,
-        &options,
-        &mut cache,
-        &mut SearchTrace::new(model.platform().layer_count(), false),
-    )
+    let mut ws = EvalWorkspace::default();
+    ws.prepare_cache(options.len());
+    let mut trace = SearchTrace::new(model.platform().layer_count(), false);
+    greedy_search(model, config, start, &options, &mut ws, &mut trace)
 }
 
 /// Decision-stability record of one greedy run: which layer capacities
 /// rejected probes, and how far every decision sits from flipping when the
 /// platform's per-access energies are perturbed.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct SearchTrace {
     /// First-overflow layers of failed capacity probes (bitmask).
     pub(crate) constrained_layers: u64,
@@ -247,6 +243,17 @@ impl SearchTrace {
             reject_floors: vec![u64::MAX; layer_count],
             track_margins,
         }
+    }
+
+    /// Resets the trace for reuse as a throwaway (untracked) warm-leg
+    /// trace, keeping its buffers. Equivalent to `new(layer_count, false)`.
+    pub(crate) fn reset_untracked(&mut self, layer_count: usize) {
+        self.constrained_layers = 0;
+        self.track_margins = false;
+        self.margin_rates.clear();
+        self.margin_rates.resize(layer_count, 0.0);
+        self.reject_floors.clear();
+        self.reject_floors.resize(layer_count, u64::MAX);
     }
 
     /// Records one failed capacity probe: its first-overflow layer and the
@@ -416,17 +423,33 @@ pub fn greedy_portfolio_seeded(
     seeds: &[&Assignment],
     moves: &MoveSet,
 ) -> (SearchOutcome, SearchStats) {
+    greedy_portfolio_seeded_in(model, config, seeds, moves, &mut EvalWorkspace::default())
+}
+
+/// [`greedy_portfolio_seeded`] drawing every scratch buffer from `ws` —
+/// the allocation-free per-point search of the sweep engines. A fresh
+/// workspace reproduces the allocating path exactly; a warm (reused)
+/// workspace is bit-identical because every buffer is fully reset or
+/// invalidated before use (the trial cache by `home = None`, since the
+/// platform's capacities — and with them every cached price — may have
+/// changed since the previous point).
+pub fn greedy_portfolio_seeded_in(
+    model: &CostModel<'_>,
+    config: &MhlaConfig,
+    seeds: &[&Assignment],
+    moves: &MoveSet,
+    ws: &mut EvalWorkspace,
+) -> (SearchOutcome, SearchStats) {
     let options = &moves.moves;
-    let mut cache: Vec<Option<CachedTrial>> = (0..options.len()).map(|_| None).collect();
+    let layer_count = model.platform().layer_count();
+    ws.prepare_cache(options.len());
     // Margin rates are only consulted under a positive energy weight —
     // skip the sensitivity bookkeeping otherwise (the cycles objective,
-    // and the common sweep paths that never read the margins).
-    let mut trace = SearchTrace::new(
-        model.platform().layer_count(),
-        config.objective.energy_weight() > 0.0,
-    );
-    let baseline = Assignment::baseline(model.program().array_count(), config.policy);
-    let cold = greedy_search(model, config, baseline, options, &mut cache, &mut trace);
+    // and the common sweep paths that never read the margins). The cold
+    // trace is built fresh: its vectors escape into `SearchStats`.
+    let mut trace = SearchTrace::new(layer_count, config.objective.energy_weight() > 0.0);
+    let baseline = ws.start_baseline(model.program().array_count(), config.policy);
+    let cold = greedy_search(model, config, baseline, options, ws, &mut trace);
     let cold_score = config.objective.score(&cold.cost);
     let mut stats = SearchStats {
         cold_constrained_layers: trace.constrained_layers,
@@ -440,33 +463,38 @@ pub fn greedy_portfolio_seeded(
     // capacity sweep — adjacent points often share the optimum) or with
     // an already-searched seed provably return a known result unchanged,
     // so they are skipped without a leg.
-    let mut ran: Vec<&Assignment> = Vec::new();
+    ws.ran_idx.clear();
     let mut best_warm: Option<(usize, SearchOutcome, f64)> = None;
     for (k, &seed) in seeds.iter().enumerate() {
-        if *seed == cold.assignment || ran.contains(&seed) {
+        if *seed == cold.assignment || ws.ran_idx.iter().any(|&j| seeds[j] == seed) {
             continue;
         }
-        ran.push(seed);
-        let warmed = greedy_search(
-            model,
-            config,
-            seed.clone(),
-            options,
-            &mut cache,
-            &mut SearchTrace::new(model.platform().layer_count(), false),
-        );
+        ws.ran_idx.push(k);
+        let start = ws.start_from_seed(seed);
+        // Warm legs run under the pooled untracked trace (taken out of
+        // the workspace for the call; the cold trace above is the only
+        // one whose data outlives the search).
+        let mut warm_trace = std::mem::take(&mut ws.warm_trace);
+        warm_trace.reset_untracked(layer_count);
+        let warmed = greedy_search(model, config, start, options, ws, &mut warm_trace);
+        ws.warm_trace = warm_trace;
         stats.legs += 1;
         let score = config.objective.score(&warmed.cost);
         // Strict `<` on both contests: ties keep the cold result (the
         // bit-identical-to-standalone guarantee of the cold sweeps) and,
         // among warm legs, the earliest seed (determinism).
         if score < cold_score && best_warm.as_ref().is_none_or(|(_, _, s)| score < *s) {
-            best_warm = Some((k, warmed, score));
+            if let Some(loser) = best_warm.replace((k, warmed, score)) {
+                ws.recycle_outcome(loser.1);
+            }
+        } else {
+            ws.recycle_outcome(warmed);
         }
     }
     match best_warm {
         Some((k, warmed, _)) => {
             stats.winning_seed = Some(k);
+            ws.recycle_outcome(cold);
             (warmed, stats)
         }
         None => (cold, stats),
@@ -482,17 +510,6 @@ fn enumerate_options(model: &CostModel<'_>, config: &MhlaConfig) -> Vec<Move> {
         .arrays()
         .flat_map(|(aid, _)| array_options(model, config, aid))
         .collect()
-}
-
-/// Cached trial data of one candidate move: its array's cost contribution
-/// and layer residents under the move's `(home, chain)` state. Both depend
-/// only on that one array's state, so they stay valid across greedy steps
-/// (and across the portfolio's two searches) as long as the array's home
-/// is unchanged — `home` records the home the entry was computed under.
-struct CachedTrial {
-    home: LayerId,
-    contrib: crate::cost::ArrayContribution,
-    residents: Vec<(LayerId, mhla_lifetime::Resident)>,
 }
 
 /// The "free win" ratio scale: a move costing no extra on-chip bytes is
@@ -533,22 +550,31 @@ fn greedy_search(
     config: &MhlaConfig,
     start: Assignment,
     options: &[Move],
-    cache: &mut [Option<CachedTrial>],
+    ws: &mut EvalWorkspace,
     trace: &mut SearchTrace,
 ) -> SearchOutcome {
-    let mut inc = IncrementalCost::new(model, start);
+    // Field-level borrows: the trial cache, the contender buffers and the
+    // incremental evaluator's pool live side by side in the workspace.
+    // `cache` must already be sized for `options` (`prepare_cache`).
+    let EvalWorkspace {
+        cache,
+        contenders,
+        svec_buf,
+        scratch,
+        streams,
+        pool,
+        ..
+    } = ws;
+    let mut inc = IncrementalCost::new_in(model, start, pool);
     let mut current_score = config.objective.score(inc.cost());
     let mut current_size = inc.onchip_required();
     let mut steps = 0u64;
-    let mut scratch = CostBreakdown::default();
     let layer_count = model.platform().layer_count();
     // Improving, feasible moves of the current step: (ratio, gain,
     // ratio-scale) plus, in `svec_buf`, each contender's per-layer
     // sensitivity difference (a flat reusable buffer, `layer_count`
     // entries per contender) — the contest the chosen move must win with
     // margin.
-    let mut contenders: Vec<(f64, f64, f64)> = Vec::new();
-    let mut svec_buf: Vec<f64> = Vec::new();
 
     loop {
         let mut best: Option<(f64, usize, u64)> = None;
@@ -561,27 +587,25 @@ fn greedy_search(
         for (idx, mv) in options.iter().enumerate() {
             let array = mv.array();
             let (home, chain) = mv.state(inc.assignment().home(array));
-            if cache[idx].as_ref().is_none_or(|e| e.home != home) {
-                cache[idx] = Some(CachedTrial {
+            if cache[idx].home != Some(home) {
+                let slot = &mut cache[idx];
+                slot.home = Some(home);
+                model.array_contribution_into(
+                    array,
                     home,
-                    contrib: model.array_contribution(
-                        array,
-                        home,
-                        chain,
-                        inc.assignment().policy(),
-                    ),
-                    residents: model.array_residents(array, home, chain),
-                });
+                    chain,
+                    inc.assignment().policy(),
+                    streams,
+                    &mut slot.contrib,
+                );
+                model.array_residents_into(array, home, chain, &mut slot.residents);
             }
-            // Internal invariant, not user-reachable: the branch above
-            // fills the slot before this read.
-            #[allow(clippy::expect_used)]
-            let entry = cache[idx].as_ref().expect("just filled");
+            let entry = &cache[idx];
             // Gain first, capacity second: both are pure filters, so the
             // order cannot change the chosen move, and the cheap gain test
             // rejects most moves without paying for a capacity probe.
-            inc.evaluate_with_contribution_into(array, &entry.contrib, &mut scratch);
-            let gain = current_score - config.objective.score(&scratch);
+            inc.evaluate_with_contribution_into(array, &entry.contrib, scratch);
+            let gain = current_score - config.objective.score(scratch);
             if gain <= 0.0 {
                 // The rejection must survive growth: its gain rises at
                 // layer `l` at rate `(cur − trial) sensitivity⁺`. Layers
@@ -655,8 +679,7 @@ fn greedy_search(
                 let mv = &options[idx];
                 let array = mv.array();
                 let (home, chain) = mv.state(inc.assignment().home(array));
-                let chain = chain.to_vec();
-                inc.commit_array_state(array, home, &chain);
+                inc.commit_array_state(array, home, chain);
                 current_score = config.objective.score(inc.cost());
                 current_size = size;
                 steps += 1;
@@ -664,9 +687,9 @@ fn greedy_search(
             None => break,
         }
     }
-    let cost = inc.cost().clone();
+    let (assignment, cost) = inc.into_parts(pool);
     SearchOutcome {
-        assignment: inc.assignment().clone(),
+        assignment,
         cost,
         steps,
     }
@@ -895,6 +918,17 @@ pub fn direct_placement_stats(
     model: &CostModel<'_>,
     policy: TransferPolicy,
 ) -> (SearchOutcome, u64, Vec<u64>) {
+    direct_placement_stats_in(model, policy, &mut EvalWorkspace::default())
+}
+
+/// [`direct_placement_stats`] pricing the placement through the
+/// workspace's pooled scratch (bit-identical; the placement logic itself
+/// is untouched).
+pub(crate) fn direct_placement_stats_in(
+    model: &CostModel<'_>,
+    policy: TransferPolicy,
+    ws: &mut EvalWorkspace,
+) -> (SearchOutcome, u64, Vec<u64>) {
     let program = model.program();
     let info = program.info();
     let mut a = Assignment::baseline(program.array_count(), policy);
@@ -941,7 +975,7 @@ pub fn direct_placement_stats(
             }
         }
     }
-    let cost = model.evaluate(&a);
+    let cost = model.evaluate_in(&a, &mut ws.pool);
     (
         SearchOutcome {
             assignment: a,

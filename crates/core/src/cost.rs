@@ -153,12 +153,19 @@ pub struct ArrayContribution {
 }
 
 impl ArrayContribution {
-    fn with_layers(layers: usize) -> Self {
-        ArrayContribution {
-            accesses_per_layer: vec![0; layers],
-            energy_sensitivity: vec![0.0; layers],
-            ..ArrayContribution::default()
-        }
+    /// Zeroes the contribution for `layers` layers, keeping the vector
+    /// allocations — the workspace-reuse paths re-price contributions in
+    /// place instead of building fresh ones per candidate move.
+    pub(crate) fn reset(&mut self, layers: usize) {
+        self.cpu_access_cycles = 0;
+        self.cpu_access_energy_pj = 0.0;
+        self.transfer_cycles = 0;
+        self.transfer_energy_pj = 0.0;
+        self.transfer_count = 0;
+        self.accesses_per_layer.clear();
+        self.accesses_per_layer.resize(layers, 0);
+        self.energy_sensitivity.clear();
+        self.energy_sensitivity.resize(layers, 0.0);
     }
 }
 
@@ -609,7 +616,30 @@ impl<'a> CostModel<'a> {
         chain: &[SelectedCopy],
         policy: TransferPolicy,
     ) -> ArrayContribution {
-        let mut c = ArrayContribution::with_layers(self.platform.layer_count());
+        let mut c = ArrayContribution::default();
+        let mut streams = Vec::new();
+        self.array_contribution_into(array, home, chain, policy, &mut streams, &mut c);
+        c
+    }
+
+    /// [`array_contribution`](Self::array_contribution) into caller-owned
+    /// buffers: `out` is reset and re-priced in place, `streams` is a
+    /// scratch the chain's transfer streams are staged in. The
+    /// workspace-reuse evaluation paths price thousands of candidate
+    /// moves through two long-lived allocations instead of two per move;
+    /// the arithmetic (and its order) is exactly the allocating
+    /// method's, so results are bit-identical.
+    pub(crate) fn array_contribution_into(
+        &self,
+        array: ArrayId,
+        home: LayerId,
+        chain: &[SelectedCopy],
+        policy: TransferPolicy,
+        streams: &mut Vec<TransferStream>,
+        out: &mut ArrayContribution,
+    ) {
+        let c = out;
+        c.reset(self.platform.layer_count());
         for &(sid, kind) in &self.facts.array_accesses[array.index()] {
             let execs = self.facts.stmt_execs[sid.index()];
             let mut layer = home;
@@ -632,10 +662,10 @@ impl<'a> CostModel<'a> {
                 execs as f64 / mhla_hierarchy::energy::SRAM_WRITE_FACTOR
             };
         }
-        let mut streams = Vec::new();
-        self.chain_streams(array, home, chain, policy, &mut streams);
+        streams.clear();
+        self.chain_streams(array, home, chain, policy, streams);
         let has_dma = self.platform.dma().is_some();
-        for stream in &streams {
+        for stream in streams.iter() {
             let (cycles, energy, count) = self.price_stream(stream);
             c.transfer_cycles += cycles;
             c.transfer_energy_pj += energy;
@@ -671,7 +701,6 @@ impl<'a> CostModel<'a> {
             c.energy_sensitivity[stream.src.index()] += src_units;
             c.energy_sensitivity[stream.dst.index()] += elems as f64;
         }
-        c
     }
 
     /// The whole-assignment energy sensitivity: per layer, the sum of
@@ -680,17 +709,38 @@ impl<'a> CostModel<'a> {
     /// the layer's write-energy delta. Used by the driver to record a
     /// decision margin for the baseline-fallback comparison.
     pub fn assignment_energy_sensitivity(&self, assignment: &Assignment) -> Vec<f64> {
-        let mut sens = vec![0.0; self.platform.layer_count()];
+        let mut sens = Vec::new();
+        self.assignment_energy_sensitivity_into(assignment, &mut IncPool::default(), &mut sens);
+        sens
+    }
+
+    /// [`assignment_energy_sensitivity`](CostModel::assignment_energy_sensitivity)
+    /// accumulating into `out` through pooled scratch — the
+    /// allocation-free variant of the driver's baseline-fallback margin
+    /// computation. Bit-identical (same per-array summation order).
+    pub(crate) fn assignment_energy_sensitivity_into(
+        &self,
+        assignment: &Assignment,
+        pool: &mut IncPool,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(self.platform.layer_count(), 0.0);
         for aid in 0..assignment.array_count() {
             let array = ArrayId::from_index(aid);
-            let chain = assignment.copies_of(array);
-            let c =
-                self.array_contribution(array, assignment.home(array), &chain, assignment.policy());
-            for (total, s) in sens.iter_mut().zip(&c.energy_sensitivity) {
+            assignment.copies_of_into(array, &mut pool.chain);
+            self.array_contribution_into(
+                array,
+                assignment.home(array),
+                &pool.chain,
+                assignment.policy(),
+                &mut pool.streams,
+                &mut pool.trial,
+            );
+            for (total, s) in out.iter_mut().zip(&pool.trial.energy_sensitivity) {
                 *total += s;
             }
         }
-        sens
     }
 
     /// Prices an assignment under the static model.
@@ -714,6 +764,34 @@ impl<'a> CostModel<'a> {
                 &chain,
                 assignment.policy(),
             ));
+        }
+        b
+    }
+
+    /// [`evaluate`](CostModel::evaluate) pricing through pooled scratch
+    /// buffers instead of per-array allocations. Bit-identical to
+    /// `evaluate` (same contributions absorbed in the same ascending
+    /// array order); used by the driver's result-assembly tail so the
+    /// sweep hot path prices the direct-placement baseline without
+    /// rebuilding chain/stream/contribution vectors per point.
+    pub(crate) fn evaluate_in(&self, assignment: &Assignment, pool: &mut IncPool) -> CostBreakdown {
+        let mut b = CostBreakdown {
+            compute_cycles: self.facts.total_compute,
+            accesses_per_layer: vec![0; self.platform.layer_count()],
+            ..CostBreakdown::default()
+        };
+        for aid in 0..assignment.array_count() {
+            let array = ArrayId::from_index(aid);
+            assignment.copies_of_into(array, &mut pool.chain);
+            self.array_contribution_into(
+                array,
+                assignment.home(array),
+                &pool.chain,
+                assignment.policy(),
+                &mut pool.streams,
+                &mut pool.trial,
+            );
+            b.absorb(&pool.trial);
         }
         b
     }
@@ -836,6 +914,21 @@ impl<'a> CostModel<'a> {
         chain: &[SelectedCopy],
     ) -> Vec<(LayerId, Resident)> {
         let mut out = Vec::new();
+        self.array_residents_into(array, home, chain, &mut out);
+        out
+    }
+
+    /// [`array_residents`](Self::array_residents) into a caller-owned
+    /// buffer (cleared first) — the workspace-reuse paths refill one
+    /// long-lived vector per cached trial instead of allocating.
+    pub(crate) fn array_residents_into(
+        &self,
+        array: ArrayId,
+        home: LayerId,
+        chain: &[SelectedCopy],
+        out: &mut Vec<(LayerId, Resident)>,
+    ) {
+        out.clear();
         if home.index() != 0 {
             if let Some(r) = Resident::for_array(self.program, &self.facts.timeline, array) {
                 out.push((home, r));
@@ -853,7 +946,6 @@ impl<'a> CostModel<'a> {
                 out.push((copy.layer, r));
             }
         }
-        out
     }
 }
 
@@ -873,28 +965,48 @@ impl<'a> CostModel<'a> {
 /// allocation — compared to the previous `O(all residents)` clone + sort
 /// per probe. Commits invalidate only the touched array's events.
 #[derive(Debug)]
-struct OccupancyLedger {
-    /// Sorted, deduped candidate event times (shared coordinate set).
-    times: Vec<u64>,
+struct OccupancyLedger<'t> {
+    /// Sorted, deduped candidate event times (shared coordinate set),
+    /// borrowed from the model's [`ProgramFacts`] — constructing a
+    /// ledger no longer clones the endpoint table.
+    times: &'t [u64],
     /// Per on-chip layer: (layer, capacity, aggregated byte deltas).
     layers: Vec<(LayerId, u64, Vec<i64>)>,
     /// Probe scratch, one allocation reused across all probes.
     scratch: RefCell<Vec<i64>>,
 }
 
-impl OccupancyLedger {
-    fn new(model: &CostModel<'_>) -> Self {
-        let times = model.facts().occupancy_times.clone();
+impl<'t> OccupancyLedger<'t> {
+    /// Builds an empty ledger, drawing the per-layer delta buffers and
+    /// the probe scratch from `pool` when it has recycled ones.
+    fn new_in(model: &'t CostModel<'_>, pool: &mut IncPool) -> Self {
+        let times: &'t [u64] = &model.facts().occupancy_times;
         let layers = model
             .platform()
             .on_chip_layers()
-            .map(|(lid, l)| (lid, l.capacity.unwrap_or(u64::MAX), vec![0i64; times.len()]))
+            .map(|(lid, l)| {
+                let mut delta = pool.deltas.pop().unwrap_or_default();
+                delta.clear();
+                delta.resize(times.len(), 0);
+                (lid, l.capacity.unwrap_or(u64::MAX), delta)
+            })
             .collect();
+        let mut scratch = std::mem::take(&mut pool.scratch);
+        scratch.clear();
+        scratch.resize(times.len(), 0);
         OccupancyLedger {
-            scratch: RefCell::new(vec![0i64; times.len()]),
             times,
             layers,
+            scratch: RefCell::new(scratch),
         }
+    }
+
+    /// Returns the ledger's buffers to `pool` for the next evaluator.
+    fn recycle(self, pool: &mut IncPool) {
+        for (.., delta) in self.layers {
+            pool.deltas.push(delta);
+        }
+        pool.scratch = self.scratch.into_inner();
     }
 
     /// Index of an endpoint in the precomputed time set. Every resident
@@ -986,6 +1098,38 @@ impl OccupancyLedger {
     }
 }
 
+/// Recyclable buffers of an [`IncrementalCost`] evaluator.
+///
+/// One greedy search leg builds an evaluator (per-array contributions,
+/// per-array residents, the occupancy ledger's delta arrays) and tears
+/// it down again; a sweep runs thousands of legs over the same program.
+/// The pool carries those buffers from one evaluator to the next —
+/// [`IncrementalCost::new_in`] draws from it,
+/// [`IncrementalCost::into_parts`] returns to it — so steady-state legs
+/// reuse every allocation. A fresh default pool reproduces the
+/// allocating path exactly; results are bit-identical either way (the
+/// buffers are fully reset before use).
+#[derive(Debug, Default)]
+pub struct IncPool {
+    contribs: Vec<ArrayContribution>,
+    residents: Vec<Vec<(LayerId, Resident)>>,
+    deltas: Vec<Vec<i64>>,
+    scratch: Vec<i64>,
+    streams: Vec<TransferStream>,
+    chain: Vec<SelectedCopy>,
+    current: CostBreakdown,
+    trial: ArrayContribution,
+}
+
+impl IncPool {
+    /// Recycles a [`CostBreakdown`] (typically a losing search leg's)
+    /// into the pool so the next evaluator's running total reuses its
+    /// per-layer vector.
+    pub(crate) fn give_breakdown(&mut self, b: CostBreakdown) {
+        self.current = b;
+    }
+}
+
 /// Incremental re-pricing of single-array moves over a working assignment.
 ///
 /// The greedy search evaluates hundreds of candidate moves per step, each
@@ -1009,50 +1153,97 @@ pub struct IncrementalCost<'m, 'a> {
     contribs: Vec<ArrayContribution>,
     /// Per array: the residents its current state places, with their layer.
     residents: Vec<Vec<(LayerId, Resident)>>,
-    occupancy: OccupancyLedger,
+    occupancy: OccupancyLedger<'m>,
     current: CostBreakdown,
+    /// Stream-pricing scratch for in-place contribution refills.
+    streams: Vec<TransferStream>,
 }
 
 impl<'m, 'a> IncrementalCost<'m, 'a> {
     /// Builds the evaluator, pricing `assignment` once in full.
     pub fn new(model: &'m CostModel<'a>, assignment: Assignment) -> Self {
+        IncrementalCost::new_in(model, assignment, &mut IncPool::default())
+    }
+
+    /// [`new`](Self::new) drawing every internal buffer from `pool` —
+    /// the allocation-free construction of the workspace-reuse paths.
+    pub fn new_in(model: &'m CostModel<'a>, assignment: Assignment, pool: &mut IncPool) -> Self {
         let policy = assignment.policy();
-        let mut contribs = Vec::with_capacity(assignment.array_count());
-        let mut residents = Vec::with_capacity(assignment.array_count());
-        let mut occupancy = OccupancyLedger::new(model);
-        for aid in 0..assignment.array_count() {
+        let n = assignment.array_count();
+        let mut contribs = std::mem::take(&mut pool.contribs);
+        contribs.resize_with(n, ArrayContribution::default);
+        let mut residents = std::mem::take(&mut pool.residents);
+        residents.resize_with(n, Vec::new);
+        let mut streams = std::mem::take(&mut pool.streams);
+        let mut chain = std::mem::take(&mut pool.chain);
+        let mut occupancy = OccupancyLedger::new_in(model, pool);
+        for aid in 0..n {
             let array = ArrayId::from_index(aid);
-            let chain = assignment.copies_of(array);
+            assignment.copies_of_into(array, &mut chain);
             let home = assignment.home(array);
-            contribs.push(model.array_contribution(array, home, &chain, policy));
-            let rs = model.array_residents(array, home, &chain);
-            for (l, r) in &rs {
+            model.array_contribution_into(
+                array,
+                home,
+                &chain,
+                policy,
+                &mut streams,
+                &mut contribs[aid],
+            );
+            model.array_residents_into(array, home, &chain, &mut residents[aid]);
+            for (l, r) in &residents[aid] {
                 occupancy.apply(*l, r, 1);
             }
-            residents.push(rs);
         }
+        pool.chain = chain;
         let mut inc = IncrementalCost {
             model,
             assignment,
             contribs,
             residents,
             occupancy,
-            current: CostBreakdown::default(),
+            current: std::mem::take(&mut pool.current),
+            streams,
         };
-        inc.current = inc.rebuild_total();
+        inc.refresh_total();
         inc
     }
 
-    fn rebuild_total(&self) -> CostBreakdown {
+    /// Tears the evaluator down into its committed `(assignment, cost)`
+    /// pair, returning every internal buffer to `pool` for the next
+    /// [`new_in`](Self::new_in).
+    pub fn into_parts(self, pool: &mut IncPool) -> (Assignment, CostBreakdown) {
+        let IncrementalCost {
+            assignment,
+            contribs,
+            residents,
+            occupancy,
+            current,
+            streams,
+            ..
+        } = self;
+        pool.contribs = contribs;
+        pool.residents = residents;
+        pool.streams = streams;
+        occupancy.recycle(pool);
+        (assignment, current)
+    }
+
+    /// Re-sums the cached contributions into `current`, in canonical
+    /// ascending array order (bit-identical to the oracle's summation),
+    /// reusing the running total's per-layer vector.
+    fn refresh_total(&mut self) {
         let mut b = CostBreakdown {
             compute_cycles: self.model.facts.total_compute,
-            accesses_per_layer: vec![0; self.model.platform.layer_count()],
+            accesses_per_layer: std::mem::take(&mut self.current.accesses_per_layer),
             ..CostBreakdown::default()
         };
+        b.accesses_per_layer.clear();
+        b.accesses_per_layer
+            .resize(self.model.platform.layer_count(), 0);
         for c in &self.contribs {
             b.absorb(c);
         }
-        b
+        self.current = b;
     }
 
     /// The working assignment.
@@ -1185,16 +1376,24 @@ impl<'m, 'a> IncrementalCost<'m, 'a> {
             self.assignment.add_copy(c);
         }
         let policy = self.assignment.policy();
-        self.contribs[array.index()] = self.model.array_contribution(array, home, chain, policy);
+        let model = self.model;
+        model.array_contribution_into(
+            array,
+            home,
+            chain,
+            policy,
+            &mut self.streams,
+            &mut self.contribs[array.index()],
+        );
         for (l, r) in &self.residents[array.index()] {
             self.occupancy.apply(*l, r, -1);
         }
-        let rs = self.model.array_residents(array, home, chain);
-        for (l, r) in &rs {
+        let slot = &mut self.residents[array.index()];
+        model.array_residents_into(array, home, chain, slot);
+        for (l, r) in self.residents[array.index()].iter() {
             self.occupancy.apply(*l, r, 1);
         }
-        self.residents[array.index()] = rs;
-        self.current = self.rebuild_total();
+        self.refresh_total();
     }
 }
 

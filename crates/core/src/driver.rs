@@ -13,6 +13,7 @@ use crate::cost::{CostBreakdown, CostModel};
 use crate::error::MhlaError;
 use crate::te::{self, TeSchedule};
 use crate::types::{Assignment, MhlaConfig};
+use crate::workspace::EvalWorkspace;
 
 /// The complete result of one MHLA run (both steps) on one platform.
 #[derive(Clone, PartialEq, Debug)]
@@ -491,6 +492,22 @@ impl<'a> Mhla<'a> {
         }
     }
 
+    /// [`run_with_stats`](Mhla::run_with_stats) drawing every evaluation
+    /// scratch buffer from `ws` — the per-thread workspace the sweep
+    /// engines and the serve worker pool reuse across points/requests.
+    /// The result is byte-for-byte the one `run_with_stats` returns.
+    pub fn run_with_stats_in(
+        &self,
+        warm: Option<&Assignment>,
+        moves: Option<&assign::MoveSet>,
+        ws: &mut EvalWorkspace,
+    ) -> (MhlaResult, RunStats) {
+        match warm {
+            Some(w) => self.run_with_seeds_in(&[w], moves, ws),
+            None => self.run_with_seeds_in(&[], moves, ws),
+        }
+    }
+
     /// [`run_with_stats`](Mhla::run_with_stats) over an arbitrary list of
     /// external warm seeds — the per-point search of
     /// [`SearchMode::Improving`](crate::explore::SearchMode). The cold leg
@@ -505,20 +522,36 @@ impl<'a> Mhla<'a> {
         seeds: &[&Assignment],
         moves: Option<&assign::MoveSet>,
     ) -> (MhlaResult, RunStats) {
+        self.run_with_seeds_in(seeds, moves, &mut EvalWorkspace::default())
+    }
+
+    /// [`run_with_seeds`](Mhla::run_with_seeds) drawing every evaluation
+    /// scratch buffer from `ws`. A fresh workspace reproduces the
+    /// allocating path exactly; a warm (reused) one is bit-identical
+    /// because every buffer is reset before use — so sweep engines keep
+    /// one workspace per worker thread and evaluate every grid point
+    /// through it. Non-greedy strategies ignore the workspace.
+    pub fn run_with_seeds_in(
+        &self,
+        seeds: &[&Assignment],
+        moves: Option<&assign::MoveSet>,
+        ws: &mut EvalWorkspace,
+    ) -> (MhlaResult, RunStats) {
         let model = self.cost_model();
         let (outcome, stats) = match (self.config.strategy, moves) {
             (crate::types::SearchStrategy::Greedy, Some(m)) => {
-                let (o, s) = assign::greedy_portfolio_seeded(&model, &self.config, seeds, m);
+                let (o, s) = assign::greedy_portfolio_seeded_in(&model, &self.config, seeds, m, ws);
                 (o, Some(s))
             }
             (crate::types::SearchStrategy::Greedy, None) => {
                 let m = assign::enumerate_moves(&model, &self.config);
-                let (o, s) = assign::greedy_portfolio_seeded(&model, &self.config, seeds, &m);
+                let (o, s) =
+                    assign::greedy_portfolio_seeded_in(&model, &self.config, seeds, &m, ws);
                 (o, Some(s))
             }
             _ => (assign::search(&model, &self.config), None),
         };
-        self.finish(&model, outcome, stats)
+        self.finish(&model, outcome, stats, ws)
     }
 
     /// The frozen pre-optimization flow: the greedy search re-prices every
@@ -534,7 +567,8 @@ impl<'a> Mhla<'a> {
             crate::types::SearchStrategy::Greedy => assign::greedy_oracle(&model, &self.config),
             _ => assign::search(&model, &self.config),
         };
-        self.finish(&model, outcome, None).0
+        self.finish(&model, outcome, None, &mut EvalWorkspace::default())
+            .0
     }
 
     /// The shared tail of every flow: baseline fallback, Time Extensions,
@@ -548,9 +582,10 @@ impl<'a> Mhla<'a> {
         model: &CostModel<'_>,
         mut outcome: assign::SearchOutcome,
         search_stats: Option<assign::SearchStats>,
+        ws: &mut EvalWorkspace,
     ) -> (MhlaResult, RunStats) {
         let (baseline, placement_constrained, placement_floors) =
-            assign::direct_placement_stats(model, self.config.policy);
+            assign::direct_placement_stats_in(model, self.config.policy, ws);
         // The search is a heuristic and can, on rare corner cases, end in
         // a local optimum worse than the out-of-the-box placement. A real
         // tool never returns an assignment worse than its input: fall back
@@ -566,35 +601,32 @@ impl<'a> Mhla<'a> {
         // perturb identically, as are layers with equal sensitivity).
         // Only computed when a search trace exists — no tracked margin
         // means no consumer.
-        let fallback_rates: Option<Vec<f64>> = if search_stats.is_none()
+        let fallback_gap: Option<f64> = if search_stats.is_none()
             || self.config.objective.energy_weight() <= 0.0
             || outcome.assignment == baseline.assignment
         {
             None
         } else {
-            let out_sens = model.assignment_energy_sensitivity(&outcome.assignment);
-            let base_sens = model.assignment_energy_sensitivity(&baseline.assignment);
+            // The sensitivity vectors land in the workspace (`sens_a` the
+            // outcome side, `sens_b` the baseline side) and are folded
+            // into the margin rates below.
+            model.assignment_energy_sensitivity_into(
+                &outcome.assignment,
+                &mut ws.pool,
+                &mut ws.sens_a,
+            );
+            model.assignment_energy_sensitivity_into(
+                &baseline.assignment,
+                &mut ws.pool,
+                &mut ws.sens_b,
+            );
             let base_score = self.config.objective.score(&baseline.cost);
             let out_score = self.config.objective.score(&outcome.cost);
             // Margins within f64 rounding distance of the score scale are
             // ties (mirrors `SearchTrace::fold`'s tie floor).
             let tie_floor = base_score.abs().max(out_score.abs()).max(1.0) * 1e-9;
             let gap = (base_score - out_score).abs();
-            let gap = if gap <= tie_floor { 0.0 } else { gap };
-            Some(
-                out_sens
-                    .iter()
-                    .zip(&base_sens)
-                    .map(|(o, b)| {
-                        let risk = (o - b).abs();
-                        if risk > 0.0 {
-                            gap / risk
-                        } else {
-                            f64::INFINITY
-                        }
-                    })
-                    .collect(),
-            )
+            Some(if gap <= tie_floor { 0.0 } else { gap })
         };
         if self.config.objective.score(&baseline.cost) < self.config.objective.score(&outcome.cost)
         {
@@ -614,9 +646,19 @@ impl<'a> Mhla<'a> {
         };
         let stats = match search_stats {
             Some(mut s) => {
-                if let Some(fb) = fallback_rates {
-                    for (rate, f) in s.cold_margin_rates.iter_mut().zip(&fb) {
-                        *rate = rate.min(*f);
+                if let Some(gap) = fallback_gap {
+                    for (rate, (o, b)) in s
+                        .cold_margin_rates
+                        .iter_mut()
+                        .zip(ws.sens_a.iter().zip(&ws.sens_b))
+                    {
+                        let risk = (o - b).abs();
+                        let f = if risk > 0.0 {
+                            gap / risk
+                        } else {
+                            f64::INFINITY
+                        };
+                        *rate = rate.min(f);
                     }
                 }
                 // Elementwise min over the three rejection sites: a grown

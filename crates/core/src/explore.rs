@@ -65,6 +65,7 @@
 //! [`pareto::front`] — the sort-based sweep that replaced the seed's
 //! all-pairs dominance scan.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -83,6 +84,7 @@ use crate::driver::{Mhla, MhlaResult, RunStats};
 use crate::error::{self, MhlaError};
 use crate::pareto;
 use crate::types::{Assignment, MhlaConfig, Objective, SearchStrategy};
+use crate::workspace::EvalWorkspace;
 
 /// Why a budgeted sweep stopped early (see [`SweepStatus::Stopped`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -1117,6 +1119,76 @@ struct SweepEngine<'e> {
     order: Vec<Vec<u64>>,
 }
 
+/// Per-thread evaluation scratch of the sweep engines: one working
+/// [`Platform`] resized *in place* per grid point (instead of a fresh
+/// platform build per point) and one [`EvalWorkspace`] reused across
+/// every point the thread evaluates. Under the vendored single-thread
+/// `rayon` (and in `mhla serve`'s persistent worker pool) a thread lives
+/// for the whole sweep/session, so steady-state evaluation reuses every
+/// buffer here.
+///
+/// The working platform's layer *names* go stale (in-place resizing
+/// skips the allocating rename) — by design: nothing in the evaluation
+/// path reads them, and sweep results carry capacities, not platforms.
+/// The numeric fields are re-derived from the same scaling laws as
+/// [`Platform::with_layer_capacities`], so results are bit-identical
+/// (pinned by the hierarchy crate's resize tests and the sweep
+/// equivalence suites).
+struct EngineScratch {
+    /// `(base, work, axes)` of the engine last evaluated on this thread:
+    /// the pristine platform the working copy was cloned from, the
+    /// working copy itself, and the axis layers the engine resizes.
+    /// Rebuilt (rarely) when a different engine shows up on the thread;
+    /// the workspace below survives such switches.
+    platform: Option<(Platform, Platform, Vec<LayerId>)>,
+    /// The thread's evaluation workspace.
+    ws: EvalWorkspace,
+}
+
+impl EngineScratch {
+    /// The working platform resized, in place, to `caps` on the engine's
+    /// axis layers, plus the workspace — the per-point borrow of the
+    /// sweep hot path. Every point sets *all* axis capacities, so values
+    /// left by the previous point are fully overwritten.
+    fn point<'s>(
+        &'s mut self,
+        engine: &SweepEngine<'_>,
+        caps: &[u64],
+    ) -> (&'s Platform, &'s mut EvalWorkspace) {
+        let stale = match &self.platform {
+            Some((base, _, axes)) => base != engine.platform || axes != engine.layers,
+            None => true,
+        };
+        if stale {
+            self.platform = Some((
+                engine.platform.clone(),
+                engine.platform.clone(),
+                engine.layers.to_vec(),
+            ));
+        }
+        // Internal invariant, not user-reachable: the branch above fills
+        // the slot before this read.
+        #[allow(clippy::expect_used)]
+        let (_, work, axes) = self.platform.as_mut().expect("platform prepared above");
+        for (&layer, &cap) in axes.iter().zip(caps) {
+            work.set_layer_capacity(layer, cap);
+        }
+        (work, &mut self.ws)
+    }
+}
+
+thread_local! {
+    /// One [`EngineScratch`] per evaluation thread. The vendored `rayon`
+    /// runs inline on the caller thread in single-thread mode (full
+    /// cross-point reuse) and spawns scoped threads per parallel call
+    /// (per-chunk reuse); the serve worker pool's threads persist across
+    /// requests (cross-request reuse).
+    static ENGINE_SCRATCH: RefCell<EngineScratch> = RefCell::new(EngineScratch {
+        platform: None,
+        ws: EvalWorkspace::new(),
+    });
+}
+
 impl<'e> SweepEngine<'e> {
     /// Builds the engine over cleaned (sorted, deduped, non-empty) axes.
     fn new(
@@ -1135,38 +1207,58 @@ impl<'e> SweepEngine<'e> {
         }
     }
 
-    /// The platform resized to one capacity vector.
-    fn platform_at(&self, caps: &[u64]) -> Platform {
-        let sizes: Vec<(LayerId, u64)> = self
-            .layers
-            .iter()
-            .copied()
-            .zip(caps.iter().copied())
-            .collect();
-        self.platform.with_layer_capacities(&sizes)
-    }
-
     /// One point's search with an optional single warm seed — the cold
     /// schedulers' evaluation (the chunked chain passes its predecessor,
-    /// the prune waves pass `None`).
+    /// the prune waves pass `None`). Runs on the thread's
+    /// [`EngineScratch`]: in-place platform resize, reused workspace.
     fn evaluate(&self, caps: &[u64], warm: Option<&Assignment>) -> (MhlaResult, RunStats) {
-        let pf = self.platform_at(caps);
-        Mhla::with_context(self.ctx, &pf).run_with_stats(warm, Some(self.ctx.moves()))
+        ENGINE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let (pf, ws) = scratch.point(self, caps);
+            Mhla::with_context(self.ctx, pf).run_with_stats_in(warm, Some(self.ctx.moves()), ws)
+        })
     }
 
     /// One point's improving-mode search: the seeded portfolio over the
-    /// gathered `(origin, assignment)` seeds. Returns the result, the run
-    /// stats, and the origin of the winning seed (if any).
-    fn evaluate_seeded(
+    /// seeds gathered from `cache` (axis neighbors plus the gated lex
+    /// predecessor `prev`). Returns the result, the run stats, and the
+    /// origin of the winning seed (if any). Runs on the thread's
+    /// [`EngineScratch`], like [`Self::evaluate`].
+    fn evaluate_improving(
         &self,
-        pf: &Platform,
-        seeds: &[(SeedOrigin, &Assignment)],
+        caps: &[u64],
+        cache: &SeedCache,
+        prev: Option<&[u64]>,
     ) -> (MhlaResult, RunStats, Option<SeedOrigin>) {
-        let refs: Vec<&Assignment> = seeds.iter().map(|&(_, a)| a).collect();
-        let (result, stats) =
-            Mhla::with_context(self.ctx, pf).run_with_seeds(&refs, Some(self.ctx.moves()));
-        let winner = stats.winning_seed.map(|k| seeds[k].0);
-        (result, stats, winner)
+        ENGINE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let (pf, ws) = scratch.point(self, caps);
+            let seeds = self.gather_seeds(pf, caps, cache, prev);
+            let refs: Vec<&Assignment> = seeds.iter().map(|&(_, a)| a).collect();
+            let (result, stats) = Mhla::with_context(self.ctx, pf).run_with_seeds_in(
+                &refs,
+                Some(self.ctx.moves()),
+                ws,
+            );
+            let winner = stats.winning_seed.map(|k| seeds[k].0);
+            (result, stats, winner)
+        })
+    }
+
+    /// One point's search seeded with an explicit assignment list — the
+    /// refinement corner branch, whose seeds come from parent corners
+    /// rather than the grid seed cache. Runs on the thread's
+    /// [`EngineScratch`], like [`Self::evaluate`].
+    fn evaluate_with_seed_refs(
+        &self,
+        caps: &[u64],
+        refs: &[&Assignment],
+    ) -> (MhlaResult, RunStats) {
+        ENGINE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let (pf, ws) = scratch.point(self, caps);
+            Mhla::with_context(self.ctx, pf).run_with_seeds_in(refs, Some(self.ctx.moves()), ws)
+        })
     }
 
     /// Gathers one point's improving-mode seed list: the committed axis
@@ -1203,6 +1295,75 @@ impl<'e> SweepEngine<'e> {
             }
         }
         seeds
+    }
+
+    /// One warm-chain chunk of [`Self::run_chunked`]: the points
+    /// `base..base+caps.len()` of the grid under a fixed `prefix` of the
+    /// outer axes, clipped to `span` and the trip flag. The whole chunk
+    /// runs under a single borrow of the thread's [`EngineScratch`] —
+    /// the capacity buffer is reused across points and the warm seed is
+    /// borrowed from the previous point's result instead of cloned.
+    /// Identical decisions to the per-point path: same clipping, same
+    /// warm chain, same trip polling between points.
+    fn eval_batch(
+        &self,
+        base: usize,
+        prefix: &[u64],
+        caps: &[u64],
+        opts: &SweepOptions,
+        span: std::ops::Range<usize>,
+        trip: &TripFlag,
+    ) -> Vec<(usize, GridPoint, usize, Option<SeedOrigin>)> {
+        let budget = &opts.budget;
+        let timed = budget.is_timed();
+        // A warm-chain override is attributed to the chain's axis.
+        let chain_axis = self.axis_caps.len() - 1;
+        ENGINE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let mut out: Vec<(usize, GridPoint, usize, Option<SeedOrigin>)> =
+                Vec::with_capacity(caps.len());
+            let mut capacities: Vec<u64> = Vec::with_capacity(prefix.len() + 1);
+            for (k, &cap) in caps.iter().enumerate() {
+                let idx = base + k;
+                if idx < span.start {
+                    continue; // already committed by the prior run
+                }
+                if idx >= span.end || (timed && trip.tripped()) {
+                    break;
+                }
+                capacities.clear();
+                capacities.extend_from_slice(prefix);
+                capacities.push(cap);
+                let (pf, ws) = scratch.point(self, &capacities);
+                let warm = if opts.warm_start {
+                    out.last().map(|(_, p, _, _)| &p.result.assignment)
+                } else {
+                    None
+                };
+                let (result, stats) = Mhla::with_context(self.ctx, pf).run_with_stats_in(
+                    warm,
+                    Some(self.ctx.moves()),
+                    ws,
+                );
+                let winner = stats.winning_seed.map(|_| SeedOrigin::Axis(chain_axis));
+                out.push((
+                    idx,
+                    GridPoint {
+                        capacities: capacities.clone(),
+                        result,
+                    },
+                    stats.search_legs,
+                    winner,
+                ));
+                if timed {
+                    if let Some(cause) = budget.stop_timed() {
+                        trip.trip(cause);
+                        break;
+                    }
+                }
+            }
+            out
+        })
     }
 
     /// An empty run over this engine's grid with the given status — what
@@ -1273,48 +1434,12 @@ impl<'e> SweepEngine<'e> {
             })
             .filter(|&(base, _, c)| base + c.len() > start && base < end)
             .collect();
-        // A warm-chain override is attributed to the chain's axis.
-        let chain_axis = self.axis_caps.len() - 1;
-        let timed = budget.is_timed();
         let trip = TripFlag::new();
 
         let run_task =
             |task: &(usize, &[u64], &[u64])| -> Vec<(usize, GridPoint, usize, Option<SeedOrigin>)> {
                 let &(base, prefix, caps) = task;
-                let mut warm: Option<Assignment> = None;
-                let mut out = Vec::with_capacity(caps.len());
-                for (k, &cap) in caps.iter().enumerate() {
-                    let idx = base + k;
-                    if idx < start {
-                        continue; // already committed by the prior run
-                    }
-                    if idx >= end || (timed && trip.tripped()) {
-                        break;
-                    }
-                    let mut capacities = prefix.to_vec();
-                    capacities.push(cap);
-                    let (result, stats) = self.evaluate(
-                        &capacities,
-                        if opts.warm_start { warm.as_ref() } else { None },
-                    );
-                    if opts.warm_start {
-                        warm = Some(result.assignment.clone());
-                    }
-                    let winner = stats.winning_seed.map(|_| SeedOrigin::Axis(chain_axis));
-                    out.push((
-                        idx,
-                        GridPoint { capacities, result },
-                        stats.search_legs,
-                        winner,
-                    ));
-                    if timed {
-                        if let Some(cause) = budget.stop_timed() {
-                            trip.trip(cause);
-                            break;
-                        }
-                    }
-                }
-                out
+                self.eval_batch(base, prefix, caps, opts, start..end, &trip)
             };
 
         type TaskPoint = (usize, GridPoint, usize, Option<SeedOrigin>);
@@ -1400,11 +1525,7 @@ impl<'e> SweepEngine<'e> {
                 status = SweepStatus::Stopped { cause, next_lex: i };
                 break;
             }
-            let pf = self.platform_at(caps);
-            let (result, stats, winner) = {
-                let seeds = self.gather_seeds(&pf, caps, &cache, prev.as_deref());
-                self.evaluate_seeded(&pf, &seeds)
-            };
+            let (result, stats, winner) = self.evaluate_improving(caps, &cache, prev.as_deref());
             evals += stats.search_legs;
             seed_wins += usize::from(winner.is_some());
             winners.push(winner);
@@ -2137,12 +2258,7 @@ impl<'e> SweepEngine<'e> {
             // from).
             let runs: Vec<(MhlaResult, RunStats, Option<SeedOrigin>)> = if improving {
                 wave.iter()
-                    .map(|&i| {
-                        let pf = self.platform_at(&order[i]);
-                        let sd =
-                            self.gather_seeds(&pf, &order[i], &seeds, last_committed.as_deref());
-                        self.evaluate_seeded(&pf, &sd)
-                    })
+                    .map(|&i| self.evaluate_improving(&order[i], &seeds, last_committed.as_deref()))
                     .collect()
             } else if opts.parallel && wave.len() > 1 {
                 wave.par_iter()
@@ -2825,16 +2941,13 @@ impl<'e> SweepEngine<'e> {
                     return Some(cause);
                 }
                 let (result, run, seed_win) = if improving {
-                    let pf = self.platform_at(caps);
                     match seeds_from {
                         RefineSeeds::Grid => {
-                            let sd = self.gather_seeds(
-                                &pf,
+                            let (result, run, winner) = self.evaluate_improving(
                                 caps,
                                 &st.seeds,
                                 st.last_committed.as_deref(),
                             );
-                            let (result, run, winner) = self.evaluate_seeded(&pf, &sd);
                             (result, run, winner.is_some())
                         }
                         RefineSeeds::Corners(parents) => {
@@ -2842,8 +2955,7 @@ impl<'e> SweepEngine<'e> {
                                 let corners =
                                     parents.get(caps).map(Vec::as_slice).unwrap_or_default();
                                 let refs = st.seeds.corner_seeds(corners, caps);
-                                Mhla::with_context(self.ctx, &pf)
-                                    .run_with_seeds(&refs, Some(self.ctx.moves()))
+                                self.evaluate_with_seed_refs(caps, &refs)
                             };
                             let seed_win = run.winning_seed.is_some();
                             (result, run, seed_win)

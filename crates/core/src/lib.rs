@@ -72,6 +72,7 @@ pub mod multitask;
 pub mod pareto;
 pub mod report;
 pub mod te;
+pub mod workspace;
 
 mod classify;
 mod driver;
@@ -80,7 +81,7 @@ mod types;
 pub use classify::{classify_arrays, ArrayClass};
 pub use context::{ExplorationContext, ProgramFacts, SeedCache};
 pub use cost::{
-    ArrayContribution, CostBreakdown, CostFloor, CostModel, IncrementalCost, LayerUsage,
+    ArrayContribution, CostBreakdown, CostFloor, CostModel, IncPool, IncrementalCost, LayerUsage,
 };
 pub use driver::{Mhla, MhlaResult, RunStats};
 pub use error::{
@@ -90,3 +91,4 @@ pub use types::{
     Assignment, AssignmentError, MhlaConfig, Objective, SearchStrategy, SelectedCopy,
     TransferPolicy,
 };
+pub use workspace::EvalWorkspace;

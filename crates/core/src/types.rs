@@ -144,14 +144,43 @@ impl Assignment {
 
     /// Selected copies of one array, outermost first.
     pub fn copies_of(&self, array: ArrayId) -> Vec<SelectedCopy> {
-        let mut v: Vec<SelectedCopy> = self
-            .copies
-            .iter()
-            .copied()
-            .filter(|c| c.candidate.array == array)
-            .collect();
-        v.sort_by_key(|c| c.layer);
+        let mut v = Vec::new();
+        self.copies_of_into(array, &mut v);
         v
+    }
+
+    /// [`copies_of`](Self::copies_of) into a caller-owned buffer
+    /// (cleared first) — same stable sort, so the chain order is
+    /// identical to the allocating accessor's.
+    pub(crate) fn copies_of_into(&self, array: ArrayId, out: &mut Vec<SelectedCopy>) {
+        out.clear();
+        out.extend(
+            self.copies
+                .iter()
+                .copied()
+                .filter(|c| c.candidate.array == array),
+        );
+        out.sort_by_key(|c| c.layer);
+    }
+
+    /// Overwrites this assignment with `other`'s state, reusing this
+    /// assignment's vector allocations (a capacity-preserving
+    /// `clone_from` for the workspace-reuse search paths).
+    pub(crate) fn copy_from(&mut self, other: &Assignment) {
+        self.array_home.clear();
+        self.array_home.extend_from_slice(&other.array_home);
+        self.copies.clear();
+        self.copies.extend_from_slice(&other.copies);
+        self.policy = other.policy;
+    }
+
+    /// Resets this assignment to [`baseline`](Self::baseline) state in
+    /// place, reusing its vector allocations.
+    pub(crate) fn reset_baseline(&mut self, array_count: usize, policy: TransferPolicy) {
+        self.array_home.clear();
+        self.array_home.resize(array_count, LayerId(0));
+        self.copies.clear();
+        self.policy = policy;
     }
 
     /// Adds a copy selection.

@@ -103,6 +103,28 @@ impl MemoryLayer {
         }
     }
 
+    /// Re-derives this layer as a scratchpad of the given capacity, in
+    /// place: every field the cost model reads (`kind`, `capacity`, the
+    /// energy/latency/bandwidth numbers) ends up exactly as
+    /// [`MemoryLayer::scratchpad`] would build it. The `name` is left
+    /// untouched — renaming would allocate, and this is the sweep
+    /// engine's per-grid-point hot path; callers that surface names use
+    /// the allocating constructor instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn resize_scratchpad(&mut self, capacity_bytes: u64) {
+        assert!(capacity_bytes > 0, "scratchpad capacity must be positive");
+        self.kind = LayerKind::ScratchpadSram;
+        self.capacity = Some(capacity_bytes);
+        self.read_energy_pj = energy::sram_read_pj(capacity_bytes);
+        self.write_energy_pj = energy::sram_write_pj(capacity_bytes);
+        self.burst_energy_pj = energy::sram_write_pj(capacity_bytes);
+        self.access_cycles = energy::sram_access_cycles(capacity_bytes);
+        self.burst_bytes_per_cycle = energy::SRAM_BURST_BYTES_PER_CYCLE;
+    }
+
     /// Whether a block of `bytes` fits the layer capacity.
     pub fn fits(&self, bytes: u64) -> bool {
         self.capacity.is_none_or(|c| bytes <= c)
@@ -161,6 +183,16 @@ mod tests {
         assert_eq!(spm.read_energy_pj, energy::sram_read_pj(16 * 1024));
         assert_eq!(spm.access_cycles, 1);
         assert_eq!(spm.name, "SPM-16K");
+    }
+
+    #[test]
+    fn resize_matches_fresh_scratchpad_except_name() {
+        let mut spm = MemoryLayer::scratchpad(16 * 1024);
+        spm.resize_scratchpad(2048);
+        let fresh = MemoryLayer::scratchpad(2048);
+        assert_eq!(spm.name, "SPM-16K"); // stale by design
+        spm.name = fresh.name.clone();
+        assert_eq!(spm, fresh);
     }
 
     #[test]

@@ -353,6 +353,41 @@ impl Platform {
         p
     }
 
+    /// Resizes the scratchpad at `layer` **in place** — the
+    /// allocation-free counterpart of
+    /// [`with_layer_capacity`](Self::with_layer_capacity) for the sweep
+    /// engine's per-grid-point hot path. Every field the cost model
+    /// reads is re-derived exactly as the allocating constructor would
+    /// (see [`MemoryLayer::resize_scratchpad`]); the platform and layer
+    /// *names* are left untouched, so results are bit-identical but
+    /// display output is not — keep one reusable platform per worker and
+    /// never surface it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is the off-chip layer or out of range, or if
+    /// `capacity_bytes` is zero.
+    pub fn set_layer_capacity(&mut self, layer: LayerId, capacity_bytes: u64) {
+        assert!(layer.0 != 0, "cannot resize the off-chip layer");
+        self.layers[layer.0].resize_scratchpad(capacity_bytes);
+    }
+
+    /// Resizes several scratchpad layers in place at once — one point of
+    /// an N-dimensional grid sweep without the per-point clone of
+    /// [`with_layer_capacities`](Self::with_layer_capacities). Same
+    /// name-staleness caveat as
+    /// [`set_layer_capacity`](Self::set_layer_capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer is the off-chip layer or out of range, or any
+    /// capacity is zero.
+    pub fn set_layer_capacities(&mut self, sizes: &[(LayerId, u64)]) {
+        for &(layer, capacity_bytes) in sizes {
+            self.set_layer_capacity(layer, capacity_bytes);
+        }
+    }
+
     /// CPU-visible cycles for one access to `layer`.
     pub fn access_cycles(&self, layer: LayerId) -> u64 {
         self.cpu.access_overhead_cycles + self.layer(layer).access_cycles
@@ -491,6 +526,35 @@ mod tests {
     fn multi_layer_resize_rejects_off_chip_layer() {
         let p = Platform::three_level_default();
         let _ = p.with_layer_capacities(&[(LayerId(0), 1024)]);
+    }
+
+    #[test]
+    fn in_place_resize_matches_allocating_resize_except_names() {
+        let base = Platform::three_level_default();
+        let sizes = [(LayerId(1), 32 * 1024), (LayerId(2), 2 * 1024)];
+        let fresh = base.with_layer_capacities(&sizes);
+        let mut reused = base.clone();
+        // Resize twice to a detour first: steady-state reuse must not
+        // depend on the starting capacities.
+        reused.set_layer_capacities(&[(LayerId(1), 128 * 1024), (LayerId(2), 512)]);
+        reused.set_layer_capacities(&sizes);
+        for (id, l) in fresh.layers() {
+            let r = reused.layer(id);
+            assert_eq!((r.kind, r.capacity), (l.kind, l.capacity), "{id}");
+            assert_eq!(r.read_energy_pj, l.read_energy_pj, "{id}");
+            assert_eq!(r.write_energy_pj, l.write_energy_pj, "{id}");
+            assert_eq!(r.burst_energy_pj, l.burst_energy_pj, "{id}");
+            assert_eq!(r.access_cycles, l.access_cycles, "{id}");
+            assert_eq!(r.burst_bytes_per_cycle, l.burst_bytes_per_cycle, "{id}");
+        }
+        assert_eq!(reused.name(), base.name(), "names stay stale by design");
+    }
+
+    #[test]
+    #[should_panic(expected = "off-chip")]
+    fn in_place_resize_rejects_off_chip_layer() {
+        let mut p = Platform::three_level_default();
+        p.set_layer_capacity(LayerId(0), 1024);
     }
 
     #[test]

@@ -25,7 +25,9 @@ use mhla::core::explore::{
     try_sweep_grid_refined_resume, ExploreBudget, GridAxis, PruneOptions, RefineOptions,
     SearchMode, SweepOptions,
 };
-use mhla::core::{pareto, report, ExplorationContext, Mhla, MhlaConfig, Objective};
+use mhla::core::{
+    pareto, report, Assignment, EvalWorkspace, ExplorationContext, Mhla, MhlaConfig, Objective,
+};
 use mhla::hierarchy::{LayerId, Platform};
 use mhla::ir::arbitrary::{program_specs, ProgramSpec};
 use mhla_bench::grid_frontier_points;
@@ -262,6 +264,54 @@ proptest! {
                 resumed.unwrap(), uninterrupted.clone(),
                 "resume from max_evals={} diverges", max
             );
+        }
+    }
+
+    /// One `EvalWorkspace` reused across every point, objective and mode
+    /// — the sweep engines' steady-state discipline — ≡ a fresh workspace
+    /// per evaluation, bit for bit, results *and* stats, on random
+    /// programs. Covers the Cold path (`run_with_stats` vs
+    /// `run_with_stats_in`, warm-chained like the sweep's warm-start) and
+    /// the Improving-style seeded portfolio (`run_with_seeds` vs
+    /// `run_with_seeds_in` over all previously found assignments).
+    #[test]
+    fn workspace_reuse_equals_fresh_on_random_programs(spec in program_specs()) {
+        let program = spec.build();
+        let base = Platform::embedded_default(1024);
+        let mut ws = EvalWorkspace::new();
+        for objective in OBJECTIVES {
+            let config = MhlaConfig { objective, ..MhlaConfig::default() };
+            let ctx = ExplorationContext::new(&program, &base, config.clone());
+            let mut warm: Option<Assignment> = None;
+            let mut seeds: Vec<Assignment> = Vec::new();
+            for capacity in [64u64, 192, 512, 1024] {
+                let pf = base.with_layer_capacity(LayerId(1), capacity);
+                let fresh =
+                    Mhla::with_context(&ctx, &pf).run_with_stats(warm.as_ref(), Some(ctx.moves()));
+                let reused = Mhla::with_context(&ctx, &pf).run_with_stats_in(
+                    warm.as_ref(),
+                    Some(ctx.moves()),
+                    &mut ws,
+                );
+                prop_assert_eq!(
+                    &fresh, &reused,
+                    "cold run diverges at {} B under {:?}", capacity, objective
+                );
+                let refs: Vec<&Assignment> = seeds.iter().collect();
+                let fresh_seeded =
+                    Mhla::with_context(&ctx, &pf).run_with_seeds(&refs, Some(ctx.moves()));
+                let reused_seeded = Mhla::with_context(&ctx, &pf).run_with_seeds_in(
+                    &refs,
+                    Some(ctx.moves()),
+                    &mut ws,
+                );
+                prop_assert_eq!(
+                    &fresh_seeded, &reused_seeded,
+                    "seeded run diverges at {} B under {:?}", capacity, objective
+                );
+                warm = Some(fresh.0.assignment.clone());
+                seeds.push(fresh_seeded.0.assignment.clone());
+            }
         }
     }
 

@@ -4,7 +4,7 @@
 //! full application suite.
 
 use mhla::core::explore::{default_capacities, sweep, sweep_cold, sweep_with, SweepOptions};
-use mhla::core::MhlaConfig;
+use mhla::core::{EvalWorkspace, ExplorationContext, Mhla, MhlaConfig};
 use mhla::hierarchy::{LayerId, Platform};
 
 #[test]
@@ -81,6 +81,41 @@ fn sweep_options_do_not_change_results() {
                     assert_eq!(a.energy_pj(), b.energy_pj(), "{opts:?}");
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn one_workspace_across_the_whole_suite_matches_fresh_per_point() {
+    // The steady-state discipline the sweep engines rely on, pinned on
+    // the full application suite: ONE EvalWorkspace carried across every
+    // app and every capacity point (buffers warmed by one program are
+    // handed to the next) reproduces the fresh-workspace-per-point
+    // results bit for bit — results AND run stats.
+    let caps = default_capacities();
+    let platform = Platform::embedded_default(1024);
+    let config = MhlaConfig::default();
+    let mut ws = EvalWorkspace::new();
+    for app in mhla_apps::all_apps() {
+        let ctx = ExplorationContext::new(&app.program, &platform, config.clone());
+        let mut warm = None;
+        for &cap in &caps {
+            let pf = platform.with_layer_capacity(LayerId(1), cap);
+            let fresh =
+                Mhla::with_context(&ctx, &pf).run_with_stats(warm.as_ref(), Some(ctx.moves()));
+            let reused = Mhla::with_context(&ctx, &pf).run_with_stats_in(
+                warm.as_ref(),
+                Some(ctx.moves()),
+                &mut ws,
+            );
+            assert_eq!(
+                fresh,
+                reused,
+                "{} at {} B: workspace reuse diverges from fresh",
+                app.name(),
+                cap
+            );
+            warm = Some(fresh.0.assignment);
         }
     }
 }
